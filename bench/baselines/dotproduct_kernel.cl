@@ -1,0 +1,12 @@
+/* Element-wise product kernel of the plain OpenCL dot product (the
+ * NVIDIA SDK sample computes the products on the device and sums on the
+ * host). */
+__kernel void dotProduct(__global const float* a,
+                         __global const float* b,
+                         __global float* products,
+                         int n) {
+  int i = (int)get_global_id(0);
+  if (i < n) {
+    products[i] = a[i] * b[i];
+  }
+}

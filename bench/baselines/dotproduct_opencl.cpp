@@ -1,0 +1,75 @@
+// Plain OpenCL dot product, written the way the NVIDIA SDK sample the
+// paper cites is structured (Sec. III: "an OpenCL-based implementation
+// of a dot product computation provided by NVIDIA requires approximately
+// 68 lines of code (kernel function: 9 lines, host program: 59 lines)").
+// Every step a real OpenCL host program performs is spelled out.
+#include "baselines/dotproduct_opencl.h"
+
+#include <iostream>
+
+#include "dotproduct_kernel_source.h"
+#include "ocl/ocl.h"
+
+namespace baselines {
+
+float dotProductOpenCl(const float* a, const float* b, int n) {
+  // Discover a platform.
+  const auto platforms = ocl::getPlatforms();
+  if (platforms.empty()) {
+    throw common::Error("no OpenCL platform");
+  }
+  // Pick the first GPU device.
+  const auto devices = platforms.front().devices(ocl::DeviceType::GPU);
+  if (devices.empty()) {
+    throw common::Error("no GPU device");
+  }
+  const ocl::Device device = devices.front();
+
+  // Create the context and a command queue.
+  ocl::Context context({device});
+  ocl::CommandQueue queue(device, ocl::Backend::OpenCL);
+
+  // Create and build the program from source.
+  ocl::Program program = context.createProgram(kDotProductKernelSource);
+  try {
+    program.build();
+  } catch (const ocl::BuildError& e) {
+    std::cerr << "build log:\n" << e.log() << std::endl;
+    throw;
+  }
+  ocl::Kernel kernel = program.createKernel("dotProduct");
+
+  // Allocate device buffers.
+  const std::size_t bytes = std::size_t(n) * sizeof(float);
+  ocl::Buffer bufA = context.createBuffer(device, bytes);
+  ocl::Buffer bufB = context.createBuffer(device, bytes);
+  ocl::Buffer bufProducts = context.createBuffer(device, bytes);
+
+  // Upload the inputs.
+  queue.enqueueWriteBuffer(bufA, 0, bytes, a);
+  queue.enqueueWriteBuffer(bufB, 0, bytes, b);
+
+  // Bind the kernel arguments.
+  kernel.setArg(0, bufA);
+  kernel.setArg(1, bufB);
+  kernel.setArg(2, bufProducts);
+  kernel.setArg(3, n);
+
+  // Launch over the padded global range.
+  const std::size_t local = 256;
+  const std::size_t global = (std::size_t(n) + local - 1) / local * local;
+  queue.enqueueNDRange(kernel, ocl::NDRange1D{global, local});
+  queue.finish();
+
+  // Download the products and finish the reduction on the host.
+  std::vector<float> products(static_cast<std::size_t>(n));
+  queue.enqueueReadBuffer(bufProducts, 0, bytes, products.data(),
+                          /*blocking=*/true);
+  float result = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    result += products[std::size_t(i)];
+  }
+  return result;
+}
+
+} // namespace baselines

@@ -1,0 +1,10 @@
+// Plain OpenCL dot-product baseline (see dotproduct_opencl.cpp).
+#pragma once
+
+namespace baselines {
+
+/// Computes the dot product of a and b (n elements) on one simulated
+/// GPU, with all OpenCL host boilerplate written out.
+float dotProductOpenCl(const float* a, const float* b, int n);
+
+} // namespace baselines

@@ -1,0 +1,94 @@
+// Reproduces Figure 2 of the paper: runtime and program size of parallel
+// list-mode OSEM using CUDA, OpenCL, and SkelCL on 1, 2, and 4 GPUs.
+//
+// Paper (Tesla S1070, ~1e7 events, 150x150x280, 10 subsets; average
+// runtime per subset):
+//   1 GPU : CUDA 3.03 s, OpenCL 3.66 s, SkelCL 3.66 s
+//   4 GPUs: speedups CUDA 3.15x, OpenCL 3.24x, SkelCL 3.1x
+//   program size: SkelCL 232 LoC (200 kernel + 32 host),
+//                 CUDA 329 (199+130), OpenCL 436 (193+243)
+#include "bench_util.h"
+
+#include "cuda/runtime.h"
+#include "osem/osem.h"
+
+int main() {
+  bench::setupCacheDir("osem");
+
+  osem::OsemParams params = osem::OsemParams::benchSize();
+  params.numEvents = std::size_t(double(params.numEvents) * bench::scale());
+  const auto dataset = osem::generateDataset(params);
+
+  bench::heading(
+      "Figure 2: list-mode OSEM (" + std::to_string(params.numEvents) +
+      " events, " + std::to_string(params.vol.nx) + "x" +
+      std::to_string(params.vol.ny) + "x" + std::to_string(params.vol.nz) +
+      " volume, " + std::to_string(params.numSubsets) + " subsets)");
+
+  const auto reference = osem::reconstructSequential(dataset);
+
+  struct Cell {
+    double perSubsetMs = 0;
+    bool correct = false;
+  };
+  const int gpuCounts[] = {1, 2, 4};
+  Cell cells[3][3]; // [impl][gpuConfig]
+
+  for (int g = 0; g < 3; ++g) {
+    const int gpus = gpuCounts[g];
+    bench::setupSystem(std::uint32_t(gpus));
+    cuda::reset();
+
+    const auto run = [&](int impl, osem::OsemResult result) {
+      cells[impl][g].perSubsetMs = result.virtualSecondsPerSubset * 1e3;
+      cells[impl][g].correct =
+          osem::relativeRmse(reference.image, result.image) < 1e-3;
+    };
+    run(0, osem::reconstructCuda(dataset, gpus));
+    run(1, osem::reconstructOpenCl(dataset, gpus));
+    run(2, osem::reconstructSkelCl(dataset));
+    skelcl::terminate();
+  }
+
+  const char* labels[] = {"CUDA", "OpenCL", "SkelCL"};
+  const double paper1Gpu[] = {3.03, 3.66, 3.66};
+  const double paperSpeedup4[] = {3.15, 3.24, 3.10};
+
+  bench::subheading("avg virtual runtime per subset [ms]");
+  std::printf("%-8s %10s %10s %10s %14s %16s %14s\n", "impl", "1 GPU",
+              "2 GPUs", "4 GPUs", "speedup(4)", "paper 1GPU[s]",
+              "paper sp(4)");
+  bool allCorrect = true;
+  for (int impl = 0; impl < 3; ++impl) {
+    for (int g = 0; g < 3; ++g) {
+      allCorrect &= cells[impl][g].correct;
+    }
+    std::printf("%-8s %10.3f %10.3f %10.3f %13.2fx %16.2f %13.2fx\n",
+                labels[impl], cells[impl][0].perSubsetMs,
+                cells[impl][1].perSubsetMs, cells[impl][2].perSubsetMs,
+                cells[impl][0].perSubsetMs / cells[impl][2].perSubsetMs,
+                paper1Gpu[impl], paperSpeedup4[impl]);
+  }
+  std::printf("all reconstructions match the sequential reference: %s\n",
+              allCorrect ? "yes" : "NO (BUG)");
+  std::printf(
+      "SkelCL overhead vs OpenCL (1 GPU): %+.1f%% (paper: ~0%%, < 5%%)\n",
+      (cells[2][0].perSubsetMs / cells[1][0].perSubsetMs - 1.0) * 100.0);
+  std::printf(
+      "SkelCL on 4 GPUs vs CUDA on 1 GPU: %.2fx faster (paper: 2.56x)\n",
+      cells[0][0].perSubsetMs / cells[2][2].perSubsetMs);
+
+  bench::subheading("program size (lines of code)");
+  std::printf("%-8s %8s %8s %8s %22s\n", "impl", "kernel", "host", "total",
+              "paper (kernel+host)");
+  const char* paperLoc[] = {"329 (199+130)", "436 (193+243)",
+                            "232 (200+32)"};
+  int i = 0;
+  for (const auto& entry : osem::locEntries()) {
+    const std::size_t kernel = bench::fileLoc(entry.kernelFile);
+    const std::size_t host = bench::fileLoc(entry.hostFile);
+    std::printf("%-8s %8zu %8zu %8zu %22s\n", entry.label.c_str(), kernel,
+                host, kernel + host, paperLoc[i++]);
+  }
+  return allCorrect ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Micro-benchmarks of the four skeletons (google-benchmark), measuring
+// both wall time of the interpreted substrate and the virtual device
+// time per call (reported as the "virtual_us" counter).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+void globalSetup() {
+  static bool done = [] {
+    bench::setupCacheDir("microbench");
+    bench::setupSystem(1);
+    return true;
+  }();
+  (void)done;
+}
+
+std::vector<float> makeData(std::size_t n) {
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = float(i % 97) * 0.125f;
+  }
+  return data;
+}
+
+void BM_Map(benchmark::State& state) {
+  globalSetup();
+  const auto n = std::size_t(state.range(0));
+  const auto data = makeData(n);
+  skelcl::Map<float> map("float m(float x) { return x * 2.0f + 1.0f; }");
+  skelcl::Vector<float> input(data.data(), n);
+  input.state().ensureOnDevices();
+  std::uint64_t virtualNs = 0;
+  for (auto _ : state) {
+    const auto t0 = ocl::hostTimeNs();
+    skelcl::Vector<float> out = map(input);
+    out.state().ensureOnHost();
+    virtualNs += ocl::hostTimeNs() - t0;
+  }
+  state.counters["virtual_us"] = benchmark::Counter(
+      double(virtualNs) * 1e-3 / double(state.iterations()));
+  state.SetItemsProcessed(std::int64_t(n) * state.iterations());
+}
+BENCHMARK(BM_Map)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_Zip(benchmark::State& state) {
+  globalSetup();
+  const auto n = std::size_t(state.range(0));
+  const auto data = makeData(n);
+  skelcl::Zip<float> zip("float z(float x, float y) { return x * y; }");
+  skelcl::Vector<float> a(data.data(), n);
+  skelcl::Vector<float> b(data.data(), n);
+  a.state().ensureOnDevices();
+  b.state().ensureOnDevices();
+  std::uint64_t virtualNs = 0;
+  for (auto _ : state) {
+    const auto t0 = ocl::hostTimeNs();
+    skelcl::Vector<float> out = zip(a, b);
+    out.state().ensureOnHost();
+    virtualNs += ocl::hostTimeNs() - t0;
+  }
+  state.counters["virtual_us"] = benchmark::Counter(
+      double(virtualNs) * 1e-3 / double(state.iterations()));
+  state.SetItemsProcessed(std::int64_t(n) * state.iterations());
+}
+BENCHMARK(BM_Zip)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_Reduce(benchmark::State& state) {
+  globalSetup();
+  const auto n = std::size_t(state.range(0));
+  const auto data = makeData(n);
+  skelcl::Reduce<float> sum("float s(float x, float y) { return x + y; }");
+  skelcl::Vector<float> input(data.data(), n);
+  input.state().ensureOnDevices();
+  std::uint64_t virtualNs = 0;
+  for (auto _ : state) {
+    const auto t0 = ocl::hostTimeNs();
+    benchmark::DoNotOptimize(sum(input).getValue());
+    virtualNs += ocl::hostTimeNs() - t0;
+  }
+  state.counters["virtual_us"] = benchmark::Counter(
+      double(virtualNs) * 1e-3 / double(state.iterations()));
+  state.SetItemsProcessed(std::int64_t(n) * state.iterations());
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_Scan(benchmark::State& state) {
+  globalSetup();
+  const auto n = std::size_t(state.range(0));
+  const auto data = makeData(n);
+  skelcl::Scan<float> scan("float s(float x, float y) { return x + y; }",
+                           "0.0f");
+  skelcl::Vector<float> input(data.data(), n);
+  input.state().ensureOnDevices();
+  std::uint64_t virtualNs = 0;
+  for (auto _ : state) {
+    const auto t0 = ocl::hostTimeNs();
+    skelcl::Vector<float> out = scan(input);
+    out.state().ensureOnHost();
+    virtualNs += ocl::hostTimeNs() - t0;
+  }
+  state.counters["virtual_us"] = benchmark::Counter(
+      double(virtualNs) * 1e-3 / double(state.iterations()));
+  state.SetItemsProcessed(std::int64_t(n) * state.iterations());
+}
+BENCHMARK(BM_Scan)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_HostSequentialSum(benchmark::State& state) {
+  // Host baseline for the reduce numbers above.
+  const auto n = std::size_t(state.range(0));
+  const auto data = makeData(n);
+  for (auto _ : state) {
+    float acc = 0;
+    for (const float v : data) {
+      acc += v;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(std::int64_t(n) * state.iterations());
+}
+BENCHMARK(BM_HostSequentialSum)->Arg(1 << 18);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// figures and tables. Each bench binary prints the paper's reported
+// numbers next to the values measured on the simulated testbed, so the
+// shape comparison is visible in one place (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/byte_stream.h"
+#include "common/string_util.h"
+#include "ocl/ocl.h"
+#include "skelcl/skelcl.h"
+
+namespace bench {
+
+/// Counts non-blank, non-comment lines of the file (the LoC metric used
+/// for every program-size comparison).
+inline std::size_t fileLoc(const std::string& path) {
+  const auto bytes = common::readFile(path);
+  return common::countLinesOfCode(
+      std::string(bytes.begin(), bytes.end()));
+}
+
+/// Workload scale factor from SKELCL_BENCH_SCALE (default 1.0). Larger
+/// values enlarge workloads toward the paper's sizes; the default keeps
+/// every binary comfortable on an interpreted substrate.
+inline double scale() {
+  if (const char* env = std::getenv("SKELCL_BENCH_SCALE")) {
+    return std::atof(env);
+  }
+  return 1.0;
+}
+
+/// Points the kernel cache somewhere writable and deterministic.
+inline void setupCacheDir(const char* name) {
+  const std::string dir = std::string("/tmp/skelcl-bench-cache-") + name;
+  ::setenv("SKELCL_CACHE_DIR", dir.c_str(), 1);
+}
+
+/// Configures the paper's testbed with `gpus` GPUs and initializes
+/// SkelCL on them.
+inline void setupSystem(std::uint32_t gpus) {
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+}
+
+/// Blocks the virtual host until every SkelCL device drained its queue.
+inline void syncAllDevices() {
+  auto& runtime = skelcl::detail::Runtime::instance();
+  for (std::size_t d = 0; d < runtime.deviceCount(); ++d) {
+    runtime.queue(d).finish();
+  }
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+} // namespace bench

@@ -1,0 +1,13 @@
+# Embeds a kernel source file into a generated C++ header as a raw string
+# constant. The original file stays a plain .cl file so the benchmark
+# harness can count its lines of code the same way it counts host code.
+function(embed_cl_source cl_file var_name)
+  file(READ ${cl_file} content)
+  get_filename_component(base ${cl_file} NAME_WE)
+  set(generated "${CMAKE_CURRENT_BINARY_DIR}/generated/${base}_source.h")
+  file(WRITE ${generated}
+       "// Generated from ${cl_file} - do not edit.\n"
+       "#pragma once\n\n"
+       "inline constexpr char ${var_name}[] = R\"CLCSRC(\n${content})CLCSRC\";\n")
+  set_property(DIRECTORY APPEND PROPERTY CMAKE_CONFIGURE_DEPENDS ${cl_file})
+endfunction()

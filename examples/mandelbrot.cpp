@@ -1,0 +1,40 @@
+// Mandelbrot example: renders the fractal with the SkelCL Map skeleton
+// and writes a PPM image. Pass a different size or output path:
+//
+//   mandelbrot [width height [maxIter [out.ppm]]]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mandelbrot/mandelbrot.h"
+#include "skelcl/skelcl.h"
+
+int main(int argc, char** argv) {
+  mandelbrot::FractalParams params = mandelbrot::FractalParams::benchSize();
+  std::string outPath = "mandelbrot.ppm";
+  if (argc >= 3) {
+    params.width = std::uint32_t(std::atoi(argv[1]));
+    params.height = std::uint32_t(std::atoi(argv[2]));
+  }
+  if (argc >= 4) {
+    params.maxIterations = std::uint32_t(std::atoi(argv[3]));
+  }
+  if (argc >= 5) {
+    outPath = argv[4];
+  }
+
+  skelcl::init(skelcl::DeviceSelection::nGPUs(1));
+
+  std::printf("rendering %ux%u, %u iterations...\n", params.width,
+              params.height, params.maxIterations);
+  const auto result = mandelbrot::computeSkelCl(params);
+  mandelbrot::writePpm(outPath, params, result.iterations);
+
+  std::printf("wrote %s\n", outPath.c_str());
+  std::printf("virtual (simulated GPU) time: %.3f ms\n",
+              result.virtualSeconds * 1e3);
+  std::printf("wall (interpreter) time:      %.3f ms\n",
+              result.wallSeconds * 1e3);
+  skelcl::terminate();
+  return 0;
+}

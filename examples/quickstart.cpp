@@ -1,0 +1,57 @@
+// Quickstart: the dot product from Listing 1 of the paper, verbatim in
+// structure. Two skeletons — Zip customized with multiplication and
+// Reduce customized with addition — compute a dot product on the GPU;
+// the Vector class handles every transfer implicitly.
+#include <cstdio>
+#include <cstdlib>
+
+#include "skelcl/skelcl.h"
+
+#define ARRAY_SIZE 16384
+
+static void fillArray(float* data, int n) {
+  for (int i = 0; i < n; ++i) {
+    data[i] = float(i % 10) * 0.5f;
+  }
+}
+
+int main(int, char const*[]) {
+  skelcl::init(); /* initialize SkelCL */
+
+  /* create skeletons */
+  skelcl::Reduce<float> sum(
+      "float sum (float x,float y){return x+y;}");
+  skelcl::Zip<float> mult(
+      "float mult(float x,float y){return x*y;}");
+
+  /* allocate and initialize host arrays */
+  float* a_ptr = new float[ARRAY_SIZE];
+  float* b_ptr = new float[ARRAY_SIZE];
+  fillArray(a_ptr, ARRAY_SIZE);
+  fillArray(b_ptr, ARRAY_SIZE);
+
+  /* create input vectors */
+  skelcl::Vector<float> A(a_ptr, ARRAY_SIZE);
+  skelcl::Vector<float> B(b_ptr, ARRAY_SIZE);
+
+  /* execute skeletons */
+  skelcl::Scalar<float> C = sum(mult(A, B));
+
+  /* fetch result */
+  float c = C.getValue();
+
+  /* verify against the host */
+  float expected = 0.0f;
+  for (int i = 0; i < ARRAY_SIZE; ++i) {
+    expected += a_ptr[i] * b_ptr[i];
+  }
+  std::printf("dot product  = %.2f\n", double(c));
+  std::printf("host result  = %.2f\n", double(expected));
+  std::printf("virtual time = %.3f ms\n", double(ocl::hostTimeNs()) * 1e-6);
+
+  /* clean up */
+  delete[] a_ptr;
+  delete[] b_ptr;
+  skelcl::terminate();
+  return std::abs(c - expected) < 1.0f ? 0 : 1;
+}

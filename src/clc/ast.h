@@ -1,0 +1,224 @@
+// Abstract syntax tree for the clc OpenCL-C subset.
+//
+// Nodes are arena-owned by the TranslationUnit. The parser builds the tree
+// untyped; semantic analysis (sema.h) fills in the `type`, `isLValue`, and
+// resolution fields in place, so the same tree flows through all stages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clc/token.h"
+#include "clc/types.h"
+
+namespace clc {
+
+struct Expr;
+struct Stmt;
+struct FuncDecl;
+struct VarDecl;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  VarRef,
+  Unary,
+  Binary,
+  Assign,
+  Ternary,
+  Call,
+  Index,
+  Member,
+  Cast,
+  SizeofType,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Plus, Neg, Not, BitNot,
+  PreInc, PreDec, PostInc, PostDec,
+  Deref, AddrOf,
+};
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  Lt, Gt, Le, Ge, EqCmp, Ne,
+  LogAnd, LogOr,
+};
+
+/// Assignment operators; `None` is plain '='.
+enum class AssignOp : std::uint8_t {
+  None, Add, Sub, Mul, Div, Rem, Shl, Shr, And, Or, Xor,
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // Filled in by sema:
+  const Type* type = nullptr;
+  bool isLValue = false;
+  /// For expressions that denote addressable storage (lvalues and struct
+  /// rvalues): which memory space the storage lives in.
+  AddressSpace storageSpace = AddressSpace::Private;
+
+  // IntLit / BoolLit
+  std::uint64_t intValue = 0;
+  // FloatLit
+  double floatValue = 0.0;
+  bool floatIsDouble = false; // literal had no 'f' suffix
+
+  // VarRef
+  std::string name;
+  const VarDecl* resolvedVar = nullptr; // sema
+
+  // Unary / Binary / Assign / Ternary / Cast / Index / Member
+  UnaryOp unaryOp = UnaryOp::Plus;
+  BinaryOp binaryOp = BinaryOp::Add;
+  AssignOp assignOp = AssignOp::None;
+  Expr* lhs = nullptr; // also: operand, base, condition
+  Expr* rhs = nullptr; // also: index
+  Expr* ternaryElse = nullptr;
+
+  // Call
+  std::vector<Expr*> args;
+  const FuncDecl* resolvedFunc = nullptr; // sema; null for builtins
+  int builtinId = -1;                     // sema; >= 0 for builtins
+
+  // Member
+  std::string memberName;
+  const StructField* resolvedField = nullptr; // sema
+
+  // Cast / SizeofType: target type written in source.
+  const Type* writtenType = nullptr; // resolved at parse time
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Block,
+  Decl,
+  ExprStmt,
+  If,
+  For,
+  While,
+  DoWhile,
+  Return,
+  Break,
+  Continue,
+  Empty,
+};
+
+struct VarDecl {
+  std::string name;
+  const Type* type = nullptr;
+  AddressSpace space = AddressSpace::Private; // Local for __local arrays
+  Expr* init = nullptr;                       // may be null
+  SourceLoc loc;
+
+  // Filled in by sema/codegen: byte offset of the variable's storage.
+  // Private variables live in the work-item frame; __local variables in
+  // the work-group's local memory.
+  std::uint32_t frameOffset = 0;
+  bool isParam = false;
+  std::uint32_t paramIndex = 0;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  std::vector<Stmt*> body;     // Block
+  std::vector<VarDecl*> decls; // Decl
+  Expr* expr = nullptr;        // ExprStmt, Return (may be null), If/While cond
+  Stmt* thenStmt = nullptr;    // If / For / While / DoWhile body
+  Stmt* elseStmt = nullptr;    // If
+  Stmt* forInit = nullptr;     // For (Decl or ExprStmt or Empty)
+  Expr* forStep = nullptr;     // For (may be null)
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  std::string name;
+  const Type* type = nullptr;
+  SourceLoc loc;
+};
+
+struct FuncDecl {
+  std::string name;
+  const Type* returnType = nullptr;
+  std::vector<ParamDecl> params;
+  Stmt* bodyStmt = nullptr;
+  bool isKernel = false;
+  SourceLoc loc;
+
+  // Filled in by sema: declarations for parameters (share frame layout
+  // machinery with local variables).
+  std::vector<VarDecl*> paramVars;
+};
+
+/// A parsed translation unit. Owns the arena behind all node pointers.
+class TranslationUnit {
+public:
+  TranslationUnit() : types_(std::make_unique<TypeTable>()) {}
+
+  TypeTable& types() noexcept { return *types_; }
+  const TypeTable& types() const noexcept { return *types_; }
+
+  Expr* newExpr(ExprKind kind, SourceLoc loc) {
+    exprs_.push_back(std::make_unique<Expr>());
+    exprs_.back()->kind = kind;
+    exprs_.back()->loc = loc;
+    return exprs_.back().get();
+  }
+
+  Stmt* newStmt(StmtKind kind, SourceLoc loc) {
+    stmts_.push_back(std::make_unique<Stmt>());
+    stmts_.back()->kind = kind;
+    stmts_.back()->loc = loc;
+    return stmts_.back().get();
+  }
+
+  VarDecl* newVarDecl() {
+    vars_.push_back(std::make_unique<VarDecl>());
+    return vars_.back().get();
+  }
+
+  FuncDecl* newFuncDecl() {
+    funcs_.push_back(std::make_unique<FuncDecl>());
+    return funcs_.back().get();
+  }
+
+  /// Functions in declaration order; kernels are the entry points.
+  std::vector<FuncDecl*> functions;
+
+  const FuncDecl* findFunction(const std::string& name) const noexcept {
+    for (const FuncDecl* f : functions) {
+      if (f->name == name) {
+        return f;
+      }
+    }
+    return nullptr;
+  }
+
+private:
+  std::unique_ptr<TypeTable> types_;
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  std::vector<std::unique_ptr<Stmt>> stmts_;
+  std::vector<std::unique_ptr<VarDecl>> vars_;
+  std::vector<std::unique_ptr<FuncDecl>> funcs_;
+};
+
+} // namespace clc

@@ -1,0 +1,545 @@
+#include "clc/builtins.h"
+
+#include <unordered_map>
+
+namespace clc {
+
+namespace {
+
+enum class Family {
+  WorkItem,     // (uint dim) -> size_t
+  WorkDim,      // () -> uint
+  Barrier,      // (int flags) -> void
+  Math1,        // (genfloat) -> genfloat
+  Math2,        // (genfloat, genfloat) -> genfloat
+  Math3,        // (genfloat, genfloat, genfloat) -> genfloat
+  MinMax,       // (gentype, gentype) -> gentype  (ints and floats)
+  IAbs,         // (genint) -> genint
+  Clamp,        // (gentype, gentype, gentype) -> gentype
+  Mix,          // (genfloat, genfloat, genfloat) -> genfloat
+  AsType,       // (32-bit scalar) -> fixed 32-bit scalar
+  Convert,      // (scalar) -> fixed scalar
+  Atomic1,      // (ptr) -> old
+  Atomic2,      // (ptr, operand) -> old
+  Atomic3,      // (ptr, cmp, val) -> old
+  AtomicF,      // (float ptr, float) -> old
+};
+
+struct Entry {
+  Builtin id;
+  Family family;
+};
+
+const std::unordered_map<std::string, Entry>& table() {
+  static const std::unordered_map<std::string, Entry> t = {
+      {"get_global_id", {Builtin::GetGlobalId, Family::WorkItem}},
+      {"get_local_id", {Builtin::GetLocalId, Family::WorkItem}},
+      {"get_group_id", {Builtin::GetGroupId, Family::WorkItem}},
+      {"get_global_size", {Builtin::GetGlobalSize, Family::WorkItem}},
+      {"get_local_size", {Builtin::GetLocalSize, Family::WorkItem}},
+      {"get_num_groups", {Builtin::GetNumGroups, Family::WorkItem}},
+      {"get_work_dim", {Builtin::GetWorkDim, Family::WorkDim}},
+      {"barrier", {Builtin::Barrier, Family::Barrier}},
+      {"__syncthreads", {Builtin::Barrier, Family::Barrier}},
+      {"mem_fence", {Builtin::Barrier, Family::Barrier}},
+
+      {"sqrt", {Builtin::Sqrt, Family::Math1}},
+      {"native_sqrt", {Builtin::Sqrt, Family::Math1}},
+      {"rsqrt", {Builtin::Rsqrt, Family::Math1}},
+      {"native_rsqrt", {Builtin::Rsqrt, Family::Math1}},
+      {"sin", {Builtin::Sin, Family::Math1}},
+      {"native_sin", {Builtin::Sin, Family::Math1}},
+      {"cos", {Builtin::Cos, Family::Math1}},
+      {"native_cos", {Builtin::Cos, Family::Math1}},
+      {"tan", {Builtin::Tan, Family::Math1}},
+      {"asin", {Builtin::Asin, Family::Math1}},
+      {"acos", {Builtin::Acos, Family::Math1}},
+      {"atan", {Builtin::Atan, Family::Math1}},
+      {"exp", {Builtin::Exp, Family::Math1}},
+      {"native_exp", {Builtin::Exp, Family::Math1}},
+      {"exp2", {Builtin::Exp2, Family::Math1}},
+      {"log", {Builtin::Log, Family::Math1}},
+      {"native_log", {Builtin::Log, Family::Math1}},
+      {"log2", {Builtin::Log2, Family::Math1}},
+      {"log10", {Builtin::Log10, Family::Math1}},
+      {"fabs", {Builtin::Fabs, Family::Math1}},
+      {"fabsf", {Builtin::Fabs, Family::Math1}},
+      {"floor", {Builtin::Floor, Family::Math1}},
+      {"ceil", {Builtin::Ceil, Family::Math1}},
+      {"round", {Builtin::Round, Family::Math1}},
+      {"trunc", {Builtin::Trunc, Family::Math1}},
+
+      {"pow", {Builtin::Pow, Family::Math2}},
+      {"powf", {Builtin::Pow, Family::Math2}},
+      {"atan2", {Builtin::Atan2, Family::Math2}},
+      {"fmod", {Builtin::Fmod, Family::Math2}},
+      {"fmin", {Builtin::Fmin, Family::Math2}},
+      {"fmax", {Builtin::Fmax, Family::Math2}},
+      {"hypot", {Builtin::Hypot, Family::Math2}},
+      {"copysign", {Builtin::Copysign, Family::Math2}},
+
+      {"mad", {Builtin::Mad, Family::Math3}},
+      {"fma", {Builtin::Fma, Family::Math3}},
+      {"mix", {Builtin::Mix, Family::Mix}},
+
+      {"min", {Builtin::IMin, Family::MinMax}},
+      {"max", {Builtin::IMax, Family::MinMax}},
+      {"abs", {Builtin::IAbs, Family::IAbs}},
+      {"clamp", {Builtin::IClamp, Family::Clamp}},
+
+      {"as_int", {Builtin::AsInt, Family::AsType}},
+      {"as_uint", {Builtin::AsUInt, Family::AsType}},
+      {"as_float", {Builtin::AsFloat, Family::AsType}},
+
+      {"convert_int", {Builtin::ConvertInt, Family::Convert}},
+      {"convert_uint", {Builtin::ConvertUInt, Family::Convert}},
+      {"convert_float", {Builtin::ConvertFloat, Family::Convert}},
+
+      {"atomic_add", {Builtin::AtomicAdd, Family::Atomic2}},
+      {"atom_add", {Builtin::AtomicAdd, Family::Atomic2}},
+      {"atomicAdd", {Builtin::AtomicAdd, Family::Atomic2}}, // CUDA dialect
+      {"atomic_sub", {Builtin::AtomicSub, Family::Atomic2}},
+      {"atomic_xchg", {Builtin::AtomicXchg, Family::Atomic2}},
+      {"atomic_min", {Builtin::AtomicMin, Family::Atomic2}},
+      {"atomic_max", {Builtin::AtomicMax, Family::Atomic2}},
+      {"atomic_and", {Builtin::AtomicAnd, Family::Atomic2}},
+      {"atomic_or", {Builtin::AtomicOr, Family::Atomic2}},
+      {"atomic_xor", {Builtin::AtomicXor, Family::Atomic2}},
+      {"atomic_inc", {Builtin::AtomicInc, Family::Atomic1}},
+      {"atomic_dec", {Builtin::AtomicDec, Family::Atomic1}},
+      {"atomic_cmpxchg", {Builtin::AtomicCmpXchg, Family::Atomic3}},
+      {"atomic_add_float", {Builtin::AtomicAddFloat, Family::AtomicF}},
+  };
+  return t;
+}
+
+[[noreturn]] void mismatch(const std::string& name) {
+  throw common::InvalidArgument("no matching overload for builtin '" + name +
+                                "'");
+}
+
+const Type* promoteToFloat(const Type* t, TypeTable& types) {
+  if (t->isFloatingScalar()) {
+    return t;
+  }
+  if (t->isArithmetic()) {
+    return types.scalar(ScalarKind::F32);
+  }
+  return nullptr;
+}
+
+} // namespace
+
+std::optional<BuiltinCall> resolveBuiltin(
+    const std::string& name, const std::vector<const Type*>& argTypes,
+    TypeTable& types) {
+  const auto it = table().find(name);
+  if (it == table().end()) {
+    return std::nullopt;
+  }
+  const Entry entry = it->second;
+  BuiltinCall call;
+  call.id = entry.id;
+
+  const auto arity = [&](std::size_t n) {
+    if (argTypes.size() != n) {
+      mismatch(name);
+    }
+  };
+
+  switch (entry.family) {
+    case Family::WorkItem: {
+      arity(1);
+      if (!argTypes[0]->isIntegerScalar()) mismatch(name);
+      call.paramTypes = {types.scalar(ScalarKind::U32)};
+      call.resultType = types.scalar(ScalarKind::U64); // size_t
+      return call;
+    }
+    case Family::WorkDim: {
+      arity(0);
+      call.resultType = types.scalar(ScalarKind::U32);
+      return call;
+    }
+    case Family::Barrier: {
+      if (argTypes.size() > 1) mismatch(name);
+      if (argTypes.size() == 1 && !argTypes[0]->isIntegerScalar()) {
+        mismatch(name);
+      }
+      call.paramTypes.assign(argTypes.size(), types.scalar(ScalarKind::I32));
+      call.resultType = types.voidType();
+      return call;
+    }
+    case Family::Math1: {
+      arity(1);
+      const Type* t = promoteToFloat(argTypes[0], types);
+      if (t == nullptr) mismatch(name);
+      call.paramTypes = {t};
+      call.resultType = t;
+      return call;
+    }
+    case Family::Math2:
+    case Family::Math3:
+    case Family::Mix: {
+      const std::size_t n = entry.family == Family::Math2 ? 2 : 3;
+      arity(n);
+      const Type* t = nullptr;
+      for (const Type* arg : argTypes) {
+        const Type* f = promoteToFloat(arg, types);
+        if (f == nullptr) mismatch(name);
+        if (t == nullptr || f->scalarKind() == ScalarKind::F64) {
+          t = (t != nullptr && t->scalarKind() == ScalarKind::F64) ? t : f;
+        }
+      }
+      call.paramTypes.assign(n, t);
+      call.resultType = t;
+      return call;
+    }
+    case Family::MinMax: {
+      arity(2);
+      if (!argTypes[0]->isArithmetic() || !argTypes[1]->isArithmetic()) {
+        mismatch(name);
+      }
+      // Floats route to fmin/fmax; integers keep min/max semantics.
+      if (argTypes[0]->isFloatingScalar() || argTypes[1]->isFloatingScalar()) {
+        const Type* t =
+            (argTypes[0]->isFloatingScalar() &&
+             argTypes[0]->scalarKind() == ScalarKind::F64) ||
+                    (argTypes[1]->isFloatingScalar() &&
+                     argTypes[1]->scalarKind() == ScalarKind::F64)
+                ? types.scalar(ScalarKind::F64)
+                : types.scalar(ScalarKind::F32);
+        call.id = entry.id == Builtin::IMin ? Builtin::Fmin : Builtin::Fmax;
+        call.paramTypes = {t, t};
+        call.resultType = t;
+        return call;
+      }
+      // Integer: unify to the wider/unsigned type.
+      const bool isU = !isSigned(argTypes[0]->scalarKind()) ||
+                       !isSigned(argTypes[1]->scalarKind());
+      const std::size_t size =
+          std::max(argTypes[0]->size(), argTypes[1]->size());
+      ScalarKind kind;
+      if (size <= 4) {
+        kind = isU ? ScalarKind::U32 : ScalarKind::I32;
+      } else {
+        kind = isU ? ScalarKind::U64 : ScalarKind::I64;
+      }
+      const Type* t = types.scalar(kind);
+      call.paramTypes = {t, t};
+      call.resultType = t;
+      return call;
+    }
+    case Family::IAbs: {
+      arity(1);
+      if (argTypes[0]->isFloatingScalar()) {
+        call.id = Builtin::Fabs;
+        call.paramTypes = {argTypes[0]};
+        call.resultType = argTypes[0];
+        return call;
+      }
+      if (!argTypes[0]->isIntegerScalar()) mismatch(name);
+      const Type* t = types.scalar(
+          argTypes[0]->size() <= 4 ? ScalarKind::I32 : ScalarKind::I64);
+      call.paramTypes = {t};
+      call.resultType = t;
+      return call;
+    }
+    case Family::Clamp: {
+      arity(3);
+      bool anyFloat = false;
+      bool anyDouble = false;
+      for (const Type* arg : argTypes) {
+        if (!arg->isArithmetic()) mismatch(name);
+        anyFloat |= arg->isFloatingScalar();
+        anyDouble |= arg->isFloatingScalar() &&
+                     arg->scalarKind() == ScalarKind::F64;
+      }
+      const Type* t;
+      if (anyFloat) {
+        call.id = Builtin::Clamp;
+        t = types.scalar(anyDouble ? ScalarKind::F64 : ScalarKind::F32);
+      } else {
+        call.id = Builtin::IClamp;
+        t = types.scalar(ScalarKind::I64);
+      }
+      call.paramTypes.assign(3, t);
+      call.resultType = t;
+      return call;
+    }
+    case Family::AsType: {
+      arity(1);
+      if (!argTypes[0]->isScalar() || argTypes[0]->size() != 4) {
+        mismatch(name);
+      }
+      call.paramTypes = {argTypes[0]};
+      switch (entry.id) {
+        case Builtin::AsInt: call.resultType = types.scalar(ScalarKind::I32); break;
+        case Builtin::AsUInt: call.resultType = types.scalar(ScalarKind::U32); break;
+        default: call.resultType = types.scalar(ScalarKind::F32); break;
+      }
+      return call;
+    }
+    case Family::Convert: {
+      arity(1);
+      if (!argTypes[0]->isArithmetic()) mismatch(name);
+      call.paramTypes = {argTypes[0]};
+      switch (entry.id) {
+        case Builtin::ConvertInt: call.resultType = types.scalar(ScalarKind::I32); break;
+        case Builtin::ConvertUInt: call.resultType = types.scalar(ScalarKind::U32); break;
+        default: call.resultType = types.scalar(ScalarKind::F32); break;
+      }
+      return call;
+    }
+    case Family::Atomic1:
+    case Family::Atomic2:
+    case Family::Atomic3: {
+      const std::size_t n = entry.family == Family::Atomic1 ? 1
+                            : entry.family == Family::Atomic2 ? 2 : 3;
+      arity(n);
+      if (!argTypes[0]->isPointer()) mismatch(name);
+      const Type* pointee = argTypes[0]->pointee();
+      if (!pointee->isIntegerScalar() || pointee->size() != 4) {
+        // CUDA's atomicAdd also covers float*; route it to the extension.
+        if (entry.id == Builtin::AtomicAdd && pointee->isFloatingScalar() &&
+            pointee->size() == 4 && n == 2) {
+          call.id = Builtin::AtomicAddFloat;
+          call.paramTypes = {argTypes[0], types.scalar(ScalarKind::F32)};
+          call.resultType = types.scalar(ScalarKind::F32);
+          return call;
+        }
+        mismatch(name);
+      }
+      // Any address space is accepted: CUDA-dialect device functions take
+      // unqualified pointers whose actual space the VM resolves at run
+      // time from the pointer value itself.
+      call.paramTypes.push_back(argTypes[0]);
+      for (std::size_t i = 1; i < n; ++i) {
+        call.paramTypes.push_back(pointee);
+      }
+      call.resultType = pointee;
+      return call;
+    }
+    case Family::AtomicF: {
+      arity(2);
+      if (!argTypes[0]->isPointer() ||
+          !argTypes[0]->pointee()->isFloatingScalar() ||
+          argTypes[0]->pointee()->size() != 4) {
+        mismatch(name);
+      }
+      call.paramTypes = {argTypes[0], types.scalar(ScalarKind::F32)};
+      call.resultType = types.scalar(ScalarKind::F32);
+      return call;
+    }
+  }
+  mismatch(name);
+}
+
+std::uint32_t builtinCycleCost(Builtin b) noexcept {
+  switch (b) {
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize:
+    case Builtin::GetNumGroups:
+    case Builtin::GetWorkDim:
+      return 2;
+    case Builtin::Barrier:
+      return 16;
+    case Builtin::Sqrt:
+    case Builtin::Rsqrt:
+      return 8;
+    case Builtin::Sin:
+    case Builtin::Cos:
+    case Builtin::Tan:
+    case Builtin::Asin:
+    case Builtin::Acos:
+    case Builtin::Atan:
+    case Builtin::Atan2:
+    case Builtin::Exp:
+    case Builtin::Exp2:
+    case Builtin::Log:
+    case Builtin::Log2:
+    case Builtin::Log10:
+    case Builtin::Pow:
+    case Builtin::Hypot:
+      return 16;
+    case Builtin::Fmod:
+      return 8;
+    case Builtin::Fabs:
+    case Builtin::Floor:
+    case Builtin::Ceil:
+    case Builtin::Round:
+    case Builtin::Trunc:
+    case Builtin::Fmin:
+    case Builtin::Fmax:
+    case Builtin::Copysign:
+    case Builtin::IMin:
+    case Builtin::IMax:
+    case Builtin::IAbs:
+      return 1;
+    case Builtin::Mad:
+    case Builtin::Fma:
+    case Builtin::Mix:
+    case Builtin::Clamp:
+    case Builtin::IClamp:
+      return 2;
+    case Builtin::AsInt:
+    case Builtin::AsUInt:
+    case Builtin::AsFloat:
+    case Builtin::ConvertInt:
+    case Builtin::ConvertUInt:
+    case Builtin::ConvertFloat:
+      return 1;
+    case Builtin::AtomicAdd:
+    case Builtin::AtomicSub:
+    case Builtin::AtomicXchg:
+    case Builtin::AtomicMin:
+    case Builtin::AtomicMax:
+    case Builtin::AtomicAnd:
+    case Builtin::AtomicOr:
+    case Builtin::AtomicXor:
+    case Builtin::AtomicInc:
+    case Builtin::AtomicDec:
+    case Builtin::AtomicCmpXchg:
+    case Builtin::AtomicAddFloat:
+      return 32;
+  }
+  return 1;
+}
+
+std::uint8_t builtinArity(Builtin b) noexcept {
+  switch (b) {
+    case Builtin::GetWorkDim:
+      return 0;
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize:
+    case Builtin::GetNumGroups:
+    case Builtin::Barrier: // flags operand is dropped by codegen
+    case Builtin::Sqrt:
+    case Builtin::Rsqrt:
+    case Builtin::Sin:
+    case Builtin::Cos:
+    case Builtin::Tan:
+    case Builtin::Asin:
+    case Builtin::Acos:
+    case Builtin::Atan:
+    case Builtin::Exp:
+    case Builtin::Exp2:
+    case Builtin::Log:
+    case Builtin::Log2:
+    case Builtin::Log10:
+    case Builtin::Fabs:
+    case Builtin::Floor:
+    case Builtin::Ceil:
+    case Builtin::Round:
+    case Builtin::Trunc:
+    case Builtin::IAbs:
+    case Builtin::AsInt:
+    case Builtin::AsUInt:
+    case Builtin::AsFloat:
+    case Builtin::ConvertInt:
+    case Builtin::ConvertUInt:
+    case Builtin::ConvertFloat:
+    case Builtin::AtomicInc:
+    case Builtin::AtomicDec:
+      return 1;
+    case Builtin::Pow:
+    case Builtin::Atan2:
+    case Builtin::Fmod:
+    case Builtin::Fmin:
+    case Builtin::Fmax:
+    case Builtin::Hypot:
+    case Builtin::Copysign:
+    case Builtin::IMin:
+    case Builtin::IMax:
+    case Builtin::AtomicAdd:
+    case Builtin::AtomicSub:
+    case Builtin::AtomicXchg:
+    case Builtin::AtomicMin:
+    case Builtin::AtomicMax:
+    case Builtin::AtomicAnd:
+    case Builtin::AtomicOr:
+    case Builtin::AtomicXor:
+    case Builtin::AtomicAddFloat:
+      return 2;
+    case Builtin::Mad:
+    case Builtin::Fma:
+    case Builtin::Clamp:
+    case Builtin::IClamp:
+    case Builtin::Mix:
+    case Builtin::AtomicCmpXchg:
+      return 3;
+  }
+  return 0;
+}
+
+const char* builtinName(Builtin b) noexcept {
+  switch (b) {
+    case Builtin::GetGlobalId: return "get_global_id";
+    case Builtin::GetLocalId: return "get_local_id";
+    case Builtin::GetGroupId: return "get_group_id";
+    case Builtin::GetGlobalSize: return "get_global_size";
+    case Builtin::GetLocalSize: return "get_local_size";
+    case Builtin::GetNumGroups: return "get_num_groups";
+    case Builtin::GetWorkDim: return "get_work_dim";
+    case Builtin::Barrier: return "barrier";
+    case Builtin::Sqrt: return "sqrt";
+    case Builtin::Rsqrt: return "rsqrt";
+    case Builtin::Sin: return "sin";
+    case Builtin::Cos: return "cos";
+    case Builtin::Tan: return "tan";
+    case Builtin::Asin: return "asin";
+    case Builtin::Acos: return "acos";
+    case Builtin::Atan: return "atan";
+    case Builtin::Atan2: return "atan2";
+    case Builtin::Exp: return "exp";
+    case Builtin::Exp2: return "exp2";
+    case Builtin::Log: return "log";
+    case Builtin::Log2: return "log2";
+    case Builtin::Log10: return "log10";
+    case Builtin::Fabs: return "fabs";
+    case Builtin::Floor: return "floor";
+    case Builtin::Ceil: return "ceil";
+    case Builtin::Round: return "round";
+    case Builtin::Trunc: return "trunc";
+    case Builtin::Pow: return "pow";
+    case Builtin::Fmod: return "fmod";
+    case Builtin::Fmin: return "fmin";
+    case Builtin::Fmax: return "fmax";
+    case Builtin::Hypot: return "hypot";
+    case Builtin::Copysign: return "copysign";
+    case Builtin::Mad: return "mad";
+    case Builtin::Fma: return "fma";
+    case Builtin::Clamp: return "clamp";
+    case Builtin::Mix: return "mix";
+    case Builtin::IMin: return "min";
+    case Builtin::IMax: return "max";
+    case Builtin::IAbs: return "abs";
+    case Builtin::IClamp: return "clamp";
+    case Builtin::AsInt: return "as_int";
+    case Builtin::AsUInt: return "as_uint";
+    case Builtin::AsFloat: return "as_float";
+    case Builtin::ConvertInt: return "convert_int";
+    case Builtin::ConvertUInt: return "convert_uint";
+    case Builtin::ConvertFloat: return "convert_float";
+    case Builtin::AtomicAdd: return "atomic_add";
+    case Builtin::AtomicSub: return "atomic_sub";
+    case Builtin::AtomicXchg: return "atomic_xchg";
+    case Builtin::AtomicMin: return "atomic_min";
+    case Builtin::AtomicMax: return "atomic_max";
+    case Builtin::AtomicAnd: return "atomic_and";
+    case Builtin::AtomicOr: return "atomic_or";
+    case Builtin::AtomicXor: return "atomic_xor";
+    case Builtin::AtomicInc: return "atomic_inc";
+    case Builtin::AtomicDec: return "atomic_dec";
+    case Builtin::AtomicCmpXchg: return "atomic_cmpxchg";
+    case Builtin::AtomicAddFloat: return "atomic_add_float";
+  }
+  return "?";
+}
+
+} // namespace clc

@@ -1,0 +1,183 @@
+// Bytecode representation produced by the clc code generator and executed
+// by the VM. A compiled Program is what ocl::Program::build() yields and
+// what SkelCL's on-disk kernel cache stores (see serialize.h).
+//
+// Execution model
+// ---------------
+// Stack machine with 64-bit operand slots. Floats occupy the low bits of a
+// slot in their native width. Every instruction that cares about a type
+// carries a TypeTag. Pointers are packed 64-bit handles:
+//
+//   bits 63..62  address space (0 private, 1 global/constant, 2 local)
+//   bits 61..48  segment index  (global: kernel-arg buffer table entry)
+//   bits 47..0   byte offset within the segment
+//
+// which lets the VM bounds-check every memory access against the segment's
+// real size — out-of-bounds accesses raise a trap instead of corrupting
+// memory, one deliberate quality-of-life improvement over real GPUs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clc {
+
+enum class TypeTag : std::uint8_t {
+  I8, U8, I16, U16, I32, U32, I64, U64, F32, F64,
+  Ptr, // alias of U64 with pointer semantics; kept for disassembly clarity
+};
+
+std::size_t typeTagSize(TypeTag tag) noexcept;
+const char* typeTagName(TypeTag tag) noexcept;
+
+enum class Op : std::uint8_t {
+  Nop,
+  PushConst,   // a = constant pool index; pushes 64-bit slot
+  PushFrameAddr, // a = byte offset in current frame; pushes Private pointer
+  PushLocalAddr, // a = byte offset in static __local area; pushes Local ptr
+  Dup,         // duplicate top slot
+  Pop,         // discard top slot
+  Swap,        // swap two top slots
+
+  Rot3,        // [a b c] -> [b c a] (brings the third slot to the top)
+
+  Load,        // tag; pops ptr, pushes loaded value
+  Store,       // tag; pops value then ptr, stores value
+  StoreKeep,   // like Store but pushes the stored value back
+  MemCopy,     // a = byte count; pops src ptr then dst ptr
+
+  // Arithmetic (tag-typed). Pops rhs then lhs, pushes result.
+  Add, Sub, Mul, Div, Rem,
+  Neg,         // unary
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  BitNot,      // unary
+
+  // Comparisons: pop rhs, lhs; push i32 0/1.
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  LogNot,      // i32: pushes 1 if zero else 0
+
+  Conv,        // a = (from << 8) | to; converts top of stack
+
+  Jmp,         // a = target pc
+  Jz,          // a = target pc; pops i32 condition
+  Jnz,         // a = target pc; pops i32 condition
+
+  Call,        // a = function index
+  CallBuiltin, // a = builtin id, tag = operand TypeTag (F32/F64/ints)
+  Barrier,     // work-group barrier; the VM yields the work-item here
+  Ret,         // return without value
+  RetVal,      // return with scalar value on stack
+  RetStruct,   // a = byte count; pops value address; copies to sret pointer
+
+  Trap,        // a = trap code (unreachable, etc.)
+};
+
+const char* opName(Op op) noexcept;
+
+struct Instr {
+  Op op = Op::Nop;
+  TypeTag tag = TypeTag::I32;
+  std::int32_t a = 0;
+};
+static_assert(sizeof(Instr) == 8);
+
+/// How a kernel argument must be supplied by the host.
+enum class ParamKind : std::uint8_t {
+  GlobalPtr, // buffer argument
+  LocalPtr,  // host supplies a byte size; VM allocates per work-group
+  Scalar,    // by-value scalar of `size` bytes
+  Struct,    // by-value struct of `size` bytes
+};
+
+struct ParamInfo {
+  std::string name;
+  ParamKind kind = ParamKind::Scalar;
+  std::uint32_t size = 0;        // scalar/struct byte size
+  TypeTag scalarTag = TypeTag::I32; // valid when kind == Scalar
+  /// Frame offset where the parameter's storage lives in the callee frame.
+  std::uint32_t frameOffset = 0;
+};
+
+struct FunctionInfo {
+  std::string name;
+  std::uint32_t codeStart = 0;
+  std::uint32_t codeEnd = 0;
+  std::uint32_t frameSize = 0;
+  std::vector<ParamInfo> params;
+  bool returnsValue = false;   // scalar return
+  bool returnsStruct = false;  // caller passes hidden sret pointer
+  std::uint32_t returnSize = 0;
+  bool isKernel = false;
+};
+
+struct KernelInfo {
+  std::string name;
+  std::uint32_t functionIndex = 0;
+  /// Bytes of statically declared __local variables.
+  std::uint32_t staticLocalSize = 0;
+};
+
+/// A fully compiled translation unit.
+struct Program {
+  static constexpr std::uint32_t kSerialVersion = 3;
+
+  std::vector<Instr> code;
+  std::vector<std::uint64_t> constants;
+  std::vector<FunctionInfo> functions;
+  std::vector<KernelInfo> kernels;
+  std::string sourceHash; // SHA-256 hex of the source text
+
+  const KernelInfo* findKernel(const std::string& name) const noexcept {
+    for (const auto& k : kernels) {
+      if (k.name == name) {
+        return &k;
+      }
+    }
+    return nullptr;
+  }
+
+  const FunctionInfo* findFunction(const std::string& name) const noexcept {
+    for (const auto& f : functions) {
+      if (f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+};
+
+// --- pointer packing --------------------------------------------------------
+
+// Space code 0 is deliberately unused: a zero pointer value (null) then
+// decodes to an invalid space and traps instead of aliasing private
+// memory at offset 0.
+enum class MemSpace : std::uint8_t {
+  Invalid = 0,
+  Global = 1,
+  Local = 2,
+  Private = 3,
+};
+
+constexpr std::uint64_t packPointer(MemSpace space, std::uint64_t segment,
+                                    std::uint64_t offset) noexcept {
+  return (std::uint64_t(space) << 62) | ((segment & 0x3fff) << 48) |
+         (offset & 0xffffffffffffULL);
+}
+
+constexpr MemSpace pointerSpace(std::uint64_t ptr) noexcept {
+  return MemSpace((ptr >> 62) & 0x3);
+}
+
+constexpr std::uint64_t pointerSegment(std::uint64_t ptr) noexcept {
+  return (ptr >> 48) & 0x3fff;
+}
+
+constexpr std::uint64_t pointerOffset(std::uint64_t ptr) noexcept {
+  return ptr & 0xffffffffffffULL;
+}
+
+/// Disassembles the program for debugging and golden tests.
+std::string disassemble(const Program& program);
+
+} // namespace clc

@@ -1,0 +1,20 @@
+// Bytecode generation from the analyzed AST.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clc/ast.h"
+#include "clc/bytecode.h"
+
+namespace clc {
+
+/// Generates a Program from a fully analyzed translation unit.
+Program generate(const TranslationUnit& unit);
+
+/// Convenience driver: lex + parse + analyze + generate.
+/// `options` currently supports "-D NAME=VALUE"-free builds only and is
+/// folded into the source hash, mirroring clBuildProgram options.
+Program compile(const std::string& source);
+
+} // namespace clc

@@ -1,0 +1,48 @@
+// Compiler diagnostics for the clc OpenCL-C front end.
+//
+// Build failures must surface to SkelCL users the way a real OpenCL driver
+// reports them: a BuildError carrying a human-readable log that points at
+// the offending line of the *generated* kernel source. CompileError is the
+// internal carrier; ocl::Program converts it into its build log.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace clc {
+
+/// A location inside a kernel source string (1-based line and column).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const noexcept { return line > 0; }
+};
+
+/// Thrown by the lexer, parser, and semantic analysis on the first error.
+class CompileError : public common::Error {
+public:
+  CompileError(std::string message, SourceLoc loc)
+      : common::Error(format(message, loc)),
+        message_(std::move(message)),
+        loc_(loc) {}
+
+  const std::string& message() const noexcept { return message_; }
+  SourceLoc loc() const noexcept { return loc_; }
+
+private:
+  static std::string format(const std::string& message, SourceLoc loc);
+
+  std::string message_;
+  SourceLoc loc_;
+};
+
+/// Renders `loc` with a caret into `source` for build logs, e.g.
+///   3:14: error: unknown identifier 'foo'
+///     float y = foo * 2.0f;
+///                ^
+std::string renderContext(const std::string& source, SourceLoc loc,
+                          const std::string& message);
+
+} // namespace clc

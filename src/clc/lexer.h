@@ -1,0 +1,28 @@
+// Lexer (with a small preprocessor) for the clc OpenCL-C subset.
+//
+// The preprocessor supports what generated and hand-written kernels in
+// this repository need: object-like and function-like #define, #undef,
+// #ifdef/#ifndef/#else/#endif, and #pragma (ignored). Macro expansion is
+// applied during token production with a recursion-depth guard.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clc/token.h"
+
+namespace clc {
+
+/// Tokenizes `source`; throws CompileError on malformed input.
+/// The returned stream always ends with a single Eof token.
+std::vector<Token> lex(const std::string& source);
+
+/// Runs the preprocessor over a raw token stream: executes directives and
+/// expands macros. `lex` + `preprocess` is what the compiler driver uses;
+/// they are exposed separately for testing.
+std::vector<Token> preprocess(std::vector<Token> tokens);
+
+/// Convenience: lex + preprocess.
+std::vector<Token> lexAndPreprocess(const std::string& source);
+
+} // namespace clc

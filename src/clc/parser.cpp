@@ -1,0 +1,925 @@
+#include "clc/parser.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "clc/lexer.h"
+
+namespace clc {
+
+namespace {
+
+/// Parsed declaration specifiers: qualifiers + base type + address space.
+struct DeclSpec {
+  const Type* baseType = nullptr;
+  AddressSpace space = AddressSpace::Private;
+  bool isKernel = false;
+  bool sawAddressSpace = false;
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string& source)
+      : tokens_(lexAndPreprocess(source)),
+        unit_(std::make_unique<TranslationUnit>()) {}
+
+  std::unique_ptr<TranslationUnit> run() {
+    while (!cur().is(TokKind::Eof)) {
+      topLevelDecl();
+    }
+    return std::move(unit_);
+  }
+
+private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& cur() const noexcept { return tokens_[pos_]; }
+  const Token& peek(std::size_t ahead = 1) const noexcept {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  Token consume() { return tokens_[pos_++]; }
+
+  bool accept(TokKind kind) {
+    if (cur().is(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Token expect(TokKind kind, const char* context) {
+    if (!cur().is(kind)) {
+      fail(std::string("expected ") + tokKindName(kind) + " " + context +
+           ", found " + describe(cur()));
+    }
+    return consume();
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw CompileError(message, cur().loc);
+  }
+
+  static std::string describe(const Token& tok) {
+    if (tok.is(TokKind::Identifier)) {
+      return "'" + tok.text + "'";
+    }
+    return tokKindName(tok.kind);
+  }
+
+  // --- types ----------------------------------------------------------------
+
+  bool isTypeStart(const Token& tok) const {
+    switch (tok.kind) {
+      case TokKind::KwVoid:
+      case TokKind::KwBool:
+      case TokKind::KwChar:
+      case TokKind::KwUChar:
+      case TokKind::KwShort:
+      case TokKind::KwUShort:
+      case TokKind::KwInt:
+      case TokKind::KwUInt:
+      case TokKind::KwLong:
+      case TokKind::KwULong:
+      case TokKind::KwFloat:
+      case TokKind::KwDouble:
+      case TokKind::KwUnsigned:
+      case TokKind::KwSigned:
+      case TokKind::KwSizeT:
+      case TokKind::KwStruct:
+      case TokKind::KwConst:
+      case TokKind::KwVolatile:
+      case TokKind::KwGlobal:
+      case TokKind::KwLocal:
+      case TokKind::KwPrivate:
+      case TokKind::KwConstantAS:
+        return true;
+      case TokKind::Identifier:
+        return typedefs_.count(tok.text) != 0;
+      default:
+        return false;
+    }
+  }
+
+  /// Consumes declaration specifiers. `allowKernel` permits __kernel etc.
+  DeclSpec declSpec(bool allowKernel) {
+    DeclSpec spec;
+    bool sawUnsigned = false;
+    bool sawSigned = false;
+    const Type* base = nullptr;
+
+    for (;;) {
+      const Token& tok = cur();
+      switch (tok.kind) {
+        case TokKind::KwConst:
+        case TokKind::KwVolatile:
+        case TokKind::KwStatic:
+        case TokKind::KwInline:
+        case TokKind::KwDevice:
+          ++pos_;
+          continue;
+        case TokKind::KwKernel:
+          if (!allowKernel) {
+            fail("'__kernel' is only allowed on top-level functions");
+          }
+          spec.isKernel = true;
+          ++pos_;
+          continue;
+        case TokKind::KwGlobal:
+          spec.space = AddressSpace::Global;
+          spec.sawAddressSpace = true;
+          ++pos_;
+          continue;
+        case TokKind::KwLocal:
+          spec.space = AddressSpace::Local;
+          spec.sawAddressSpace = true;
+          ++pos_;
+          continue;
+        case TokKind::KwConstantAS:
+          spec.space = AddressSpace::Constant;
+          spec.sawAddressSpace = true;
+          ++pos_;
+          continue;
+        case TokKind::KwPrivate:
+          spec.space = AddressSpace::Private;
+          spec.sawAddressSpace = true;
+          ++pos_;
+          continue;
+        case TokKind::KwUnsigned:
+          sawUnsigned = true;
+          ++pos_;
+          continue;
+        case TokKind::KwSigned:
+          sawSigned = true;
+          ++pos_;
+          continue;
+        default:
+          break;
+      }
+      break;
+    }
+
+    TypeTable& types = unit_->types();
+    switch (cur().kind) {
+      case TokKind::KwVoid: base = types.scalar(ScalarKind::Void); ++pos_; break;
+      case TokKind::KwBool: base = types.scalar(ScalarKind::Bool); ++pos_; break;
+      case TokKind::KwChar: base = types.scalar(ScalarKind::I8); ++pos_; break;
+      case TokKind::KwUChar: base = types.scalar(ScalarKind::U8); ++pos_; break;
+      case TokKind::KwShort: base = types.scalar(ScalarKind::I16); ++pos_; break;
+      case TokKind::KwUShort: base = types.scalar(ScalarKind::U16); ++pos_; break;
+      case TokKind::KwInt: base = types.scalar(ScalarKind::I32); ++pos_; break;
+      case TokKind::KwUInt: base = types.scalar(ScalarKind::U32); ++pos_; break;
+      case TokKind::KwLong: base = types.scalar(ScalarKind::I64); ++pos_; break;
+      case TokKind::KwULong: base = types.scalar(ScalarKind::U64); ++pos_; break;
+      case TokKind::KwFloat: base = types.scalar(ScalarKind::F32); ++pos_; break;
+      case TokKind::KwDouble: base = types.scalar(ScalarKind::F64); ++pos_; break;
+      case TokKind::KwSizeT: base = types.scalar(ScalarKind::U64); ++pos_; break;
+      case TokKind::KwStruct: {
+        ++pos_;
+        const Token nameTok = expect(TokKind::Identifier, "after 'struct'");
+        if (cur().is(TokKind::LBrace)) {
+          base = structBody(nameTok.text);
+        } else {
+          base = unit_->types().findStruct(nameTok.text);
+          if (base == nullptr) {
+            throw CompileError("unknown struct '" + nameTok.text + "'",
+                               nameTok.loc);
+          }
+        }
+        break;
+      }
+      case TokKind::Identifier: {
+        const auto it = typedefs_.find(cur().text);
+        if (it != typedefs_.end()) {
+          base = it->second;
+          ++pos_;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (base == nullptr) {
+      if (sawUnsigned || sawSigned) {
+        base = types.scalar(sawUnsigned ? ScalarKind::U32 : ScalarKind::I32);
+      } else {
+        fail("expected a type, found " + describe(cur()));
+      }
+    } else if (sawUnsigned || sawSigned) {
+      if (!base->isIntegerScalar()) {
+        fail("'unsigned'/'signed' applied to non-integer type");
+      }
+      ScalarKind kind = base->scalarKind();
+      if (sawUnsigned) {
+        switch (kind) {
+          case ScalarKind::I8: kind = ScalarKind::U8; break;
+          case ScalarKind::I16: kind = ScalarKind::U16; break;
+          case ScalarKind::I32: kind = ScalarKind::U32; break;
+          case ScalarKind::I64: kind = ScalarKind::U64; break;
+          default: break;
+        }
+      }
+      base = types.scalar(kind);
+    }
+
+    // Trailing qualifiers (e.g. "float const").
+    while (cur().is(TokKind::KwConst) || cur().is(TokKind::KwVolatile)) {
+      ++pos_;
+    }
+    spec.baseType = base;
+    return spec;
+  }
+
+  /// Parses "* const* ..." pointer declarators on top of a base type.
+  const Type* pointerDeclarators(const Type* base, AddressSpace space) {
+    const Type* type = base;
+    while (accept(TokKind::Star)) {
+      type = unit_->types().pointerTo(type, space);
+      while (cur().is(TokKind::KwConst) || cur().is(TokKind::KwVolatile)) {
+        ++pos_;
+      }
+    }
+    return type;
+  }
+
+  /// Parses a struct body "{ field; ... }" and declares the struct. The
+  /// struct is forward-declared before its fields parse, so pointer
+  /// fields may reference the struct itself.
+  const Type* structBody(const std::string& name) {
+    const Type* declared = nullptr;
+    try {
+      declared = unit_->types().forwardDeclareStruct(name);
+    } catch (const common::InvalidArgument& e) {
+      fail(e.what());
+    }
+    expect(TokKind::LBrace, "to open struct body");
+    std::vector<StructField> fields;
+    while (!accept(TokKind::RBrace)) {
+      DeclSpec spec = declSpec(/*allowKernel=*/false);
+      for (;;) {
+        const Type* fieldType = pointerDeclarators(spec.baseType, spec.space);
+        const Token nameTok = expect(TokKind::Identifier, "in struct field");
+        if (accept(TokKind::LBracket)) {
+          const std::uint64_t length = constArrayLength();
+          expect(TokKind::RBracket, "after array length");
+          fieldType = unit_->types().arrayOf(fieldType, length);
+        }
+        fields.push_back(StructField{nameTok.text, fieldType, 0});
+        if (accept(TokKind::Comma)) {
+          continue;
+        }
+        expect(TokKind::Semicolon, "after struct field");
+        break;
+      }
+    }
+    try {
+      unit_->types().completeStruct(declared, std::move(fields));
+    } catch (const common::InvalidArgument& e) {
+      fail(e.what());
+    }
+    return declared;
+  }
+
+  std::uint64_t constArrayLength() {
+    Expr* e = conditionalExpr();
+    const auto value = evalConstInt(e);
+    if (!value.has_value() || static_cast<std::int64_t>(*value) <= 0) {
+      throw CompileError("array length must be a positive integer constant",
+                         e->loc);
+    }
+    return *value;
+  }
+
+  /// Best-effort compile-time integer evaluation for array lengths.
+  std::optional<std::uint64_t> evalConstInt(const Expr* e) const {
+    switch (e->kind) {
+      case ExprKind::IntLit:
+      case ExprKind::BoolLit:
+        return e->intValue;
+      case ExprKind::Unary: {
+        const auto v = evalConstInt(e->lhs);
+        if (!v) return std::nullopt;
+        switch (e->unaryOp) {
+          case UnaryOp::Plus: return v;
+          case UnaryOp::Neg: return std::uint64_t(-std::int64_t(*v));
+          case UnaryOp::BitNot: return ~*v;
+          case UnaryOp::Not: return std::uint64_t(*v == 0);
+          default: return std::nullopt;
+        }
+      }
+      case ExprKind::Binary: {
+        const auto l = evalConstInt(e->lhs);
+        const auto r = evalConstInt(e->rhs);
+        if (!l || !r) return std::nullopt;
+        switch (e->binaryOp) {
+          case BinaryOp::Add: return *l + *r;
+          case BinaryOp::Sub: return *l - *r;
+          case BinaryOp::Mul: return *l * *r;
+          case BinaryOp::Div: return *r == 0 ? std::nullopt
+                                             : std::optional(*l / *r);
+          case BinaryOp::Rem: return *r == 0 ? std::nullopt
+                                             : std::optional(*l % *r);
+          case BinaryOp::Shl: return *l << (*r & 63);
+          case BinaryOp::Shr: return *l >> (*r & 63);
+          case BinaryOp::BitAnd: return *l & *r;
+          case BinaryOp::BitOr: return *l | *r;
+          case BinaryOp::BitXor: return *l ^ *r;
+          default: return std::nullopt;
+        }
+      }
+      case ExprKind::Cast:
+        return evalConstInt(e->lhs);
+      case ExprKind::SizeofType:
+        return e->writtenType->size();
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // --- top-level -------------------------------------------------------------
+
+  void topLevelDecl() {
+    if (accept(TokKind::Semicolon)) {
+      return;
+    }
+    if (cur().is(TokKind::KwTypedef)) {
+      typedefDecl();
+      return;
+    }
+    if (cur().is(TokKind::KwStruct) && peek().is(TokKind::Identifier) &&
+        peek(2).is(TokKind::LBrace)) {
+      // struct Name { ... };
+      ++pos_;
+      const Token nameTok = consume();
+      structBody(nameTok.text);
+      typedefs_[nameTok.text] = unit_->types().findStruct(nameTok.text);
+      expect(TokKind::Semicolon, "after struct declaration");
+      return;
+    }
+    functionDecl();
+  }
+
+  void typedefDecl() {
+    expect(TokKind::KwTypedef, "to begin typedef");
+    if (cur().is(TokKind::KwStruct) &&
+        (peek().is(TokKind::LBrace) ||
+         (peek().is(TokKind::Identifier) && peek(2).is(TokKind::LBrace)))) {
+      // typedef struct [Tag] { ... } Name;
+      ++pos_;
+      std::string tag;
+      if (cur().is(TokKind::Identifier)) {
+        tag = consume().text;
+      }
+      // Declare under the typedef name; parse body with a placeholder when
+      // the tag is absent.
+      const Token* nameTokPeek = nullptr;
+      // We must know the final name only after the body, so parse with tag
+      // or a temporary, then alias.
+      const std::string structName =
+          !tag.empty() ? tag : ("__anon_struct_" + std::to_string(anonId_++));
+      const Type* type = structBody(structName);
+      const Token nameTok = expect(TokKind::Identifier, "for typedef name");
+      (void)nameTokPeek;
+      try {
+        unit_->types().aliasStruct(nameTok.text, type);
+      } catch (const common::InvalidArgument& e) {
+        fail(e.what());
+      }
+      registerTypedef(nameTok, type);
+      if (!tag.empty()) {
+        typedefs_[tag] = type;
+      }
+      expect(TokKind::Semicolon, "after typedef");
+      return;
+    }
+    // typedef existing-type Name;
+    DeclSpec spec = declSpec(/*allowKernel=*/false);
+    const Type* type = pointerDeclarators(spec.baseType, spec.space);
+    const Token nameTok = expect(TokKind::Identifier, "for typedef name");
+    registerTypedef(nameTok, type);
+    expect(TokKind::Semicolon, "after typedef");
+  }
+
+  void registerTypedef(const Token& nameTok, const Type* type) {
+    const auto it = typedefs_.find(nameTok.text);
+    if (it != typedefs_.end() && it->second != type) {
+      throw CompileError(
+          "typedef '" + nameTok.text + "' redefined with a different type",
+          nameTok.loc);
+    }
+    typedefs_[nameTok.text] = type;
+  }
+
+  void functionDecl() {
+    DeclSpec spec = declSpec(/*allowKernel=*/true);
+    const Type* returnType = pointerDeclarators(spec.baseType, spec.space);
+    const Token nameTok = expect(TokKind::Identifier, "for function name");
+
+    FuncDecl* func = unit_->newFuncDecl();
+    func->name = nameTok.text;
+    func->returnType = returnType;
+    func->isKernel = spec.isKernel;
+    func->loc = nameTok.loc;
+
+    expect(TokKind::LParen, "to open parameter list");
+    if (!cur().is(TokKind::RParen)) {
+      if (cur().is(TokKind::KwVoid) && peek().is(TokKind::RParen)) {
+        ++pos_; // f(void)
+      } else {
+        for (;;) {
+          func->params.push_back(paramDecl(func->isKernel));
+          if (!accept(TokKind::Comma)) {
+            break;
+          }
+        }
+      }
+    }
+    expect(TokKind::RParen, "to close parameter list");
+
+    if (func->isKernel && !func->returnType->isVoid()) {
+      throw CompileError("kernel functions must return void", func->loc);
+    }
+
+    if (accept(TokKind::Semicolon)) {
+      // Prototype only.
+      registerFunction(func);
+      return;
+    }
+    registerFunction(func);
+    func->bodyStmt = block();
+  }
+
+  void registerFunction(FuncDecl* func) {
+    for (FuncDecl*& existing : unit_->functions) {
+      if (existing->name == func->name) {
+        if (existing->bodyStmt != nullptr) {
+          throw CompileError("function '" + func->name + "' redefined",
+                             func->loc);
+        }
+        existing = func; // definition replaces prototype
+        return;
+      }
+    }
+    unit_->functions.push_back(func);
+  }
+
+  ParamDecl paramDecl(bool kernelContext) {
+    DeclSpec spec = declSpec(/*allowKernel=*/false);
+    // A kernel parameter written as a bare pointer ("float* p") defaults
+    // to the global address space. This matches CUDA semantics for
+    // __global__ functions; explicit __private stays an error (sema).
+    if (kernelContext && !spec.sawAddressSpace) {
+      spec.space = AddressSpace::Global;
+    }
+    const Type* type = pointerDeclarators(spec.baseType, spec.space);
+    ParamDecl param;
+    param.loc = cur().loc;
+    if (cur().is(TokKind::Identifier)) {
+      param.name = consume().text;
+    }
+    if (accept(TokKind::LBracket)) {
+      // "T name[]" decays to a pointer parameter.
+      if (!cur().is(TokKind::RBracket)) {
+        constArrayLength(); // size is parsed and ignored, as in C
+      }
+      expect(TokKind::RBracket, "after parameter array");
+      type = unit_->types().pointerTo(type, spec.space);
+    }
+    param.type = type;
+    return param;
+  }
+
+  // --- statements -------------------------------------------------------------
+
+  Stmt* block() {
+    const Token open = expect(TokKind::LBrace, "to open block");
+    Stmt* stmt = unit_->newStmt(StmtKind::Block, open.loc);
+    while (!accept(TokKind::RBrace)) {
+      if (cur().is(TokKind::Eof)) {
+        throw CompileError("unterminated block", open.loc);
+      }
+      stmt->body.push_back(statement());
+    }
+    return stmt;
+  }
+
+  Stmt* statement() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::LBrace:
+        return block();
+      case TokKind::Semicolon:
+        ++pos_;
+        return unit_->newStmt(StmtKind::Empty, loc);
+      case TokKind::KwIf: return ifStatement();
+      case TokKind::KwFor: return forStatement();
+      case TokKind::KwWhile: return whileStatement();
+      case TokKind::KwDo: return doWhileStatement();
+      case TokKind::KwReturn: {
+        ++pos_;
+        Stmt* stmt = unit_->newStmt(StmtKind::Return, loc);
+        if (!cur().is(TokKind::Semicolon)) {
+          stmt->expr = expression();
+        }
+        expect(TokKind::Semicolon, "after return");
+        return stmt;
+      }
+      case TokKind::KwBreak:
+        ++pos_;
+        expect(TokKind::Semicolon, "after break");
+        return unit_->newStmt(StmtKind::Break, loc);
+      case TokKind::KwContinue:
+        ++pos_;
+        expect(TokKind::Semicolon, "after continue");
+        return unit_->newStmt(StmtKind::Continue, loc);
+      case TokKind::KwSwitch:
+      case TokKind::KwCase:
+      case TokKind::KwDefault:
+      case TokKind::KwGoto:
+        fail("statement not supported by clc (use if/else chains)");
+      default:
+        break;
+    }
+    if (isTypeStart(cur()) && !isCastLookahead()) {
+      Stmt* stmt = declStatement();
+      expect(TokKind::Semicolon, "after declaration");
+      return stmt;
+    }
+    Stmt* stmt = unit_->newStmt(StmtKind::ExprStmt, loc);
+    stmt->expr = expression();
+    expect(TokKind::Semicolon, "after expression");
+    return stmt;
+  }
+
+  /// A statement beginning with a type name is a declaration; this guards
+  /// against the (rare) case of an expression statement starting with a
+  /// parenthesized cast, which cannot happen since casts start with '('.
+  bool isCastLookahead() const { return false; }
+
+  Stmt* declStatement() {
+    const SourceLoc loc = cur().loc;
+    DeclSpec spec = declSpec(/*allowKernel=*/false);
+    Stmt* stmt = unit_->newStmt(StmtKind::Decl, loc);
+    for (;;) {
+      const Type* type = pointerDeclarators(spec.baseType, spec.space);
+      const Token nameTok = expect(TokKind::Identifier, "in declaration");
+      while (accept(TokKind::LBracket)) {
+        const std::uint64_t length = constArrayLength();
+        expect(TokKind::RBracket, "after array length");
+        type = unit_->types().arrayOf(type, length);
+      }
+      VarDecl* var = unit_->newVarDecl();
+      var->name = nameTok.text;
+      var->type = type;
+      // The address-space qualifier binds to the pointee for pointer
+      // declarators ("__global int* p" is a private pointer to global
+      // memory); only non-pointer declarations live in the named space.
+      var->space = (spec.sawAddressSpace && !type->isPointer())
+                       ? spec.space
+                       : AddressSpace::Private;
+      var->loc = nameTok.loc;
+      if (accept(TokKind::Eq)) {
+        var->init = assignmentExpr();
+      }
+      stmt->decls.push_back(var);
+      if (!accept(TokKind::Comma)) {
+        break;
+      }
+    }
+    return stmt;
+  }
+
+  Stmt* ifStatement() {
+    const Token kw = expect(TokKind::KwIf, "");
+    Stmt* stmt = unit_->newStmt(StmtKind::If, kw.loc);
+    expect(TokKind::LParen, "after 'if'");
+    stmt->expr = expression();
+    expect(TokKind::RParen, "after if condition");
+    stmt->thenStmt = statement();
+    if (accept(TokKind::KwElse)) {
+      stmt->elseStmt = statement();
+    }
+    return stmt;
+  }
+
+  Stmt* forStatement() {
+    const Token kw = expect(TokKind::KwFor, "");
+    Stmt* stmt = unit_->newStmt(StmtKind::For, kw.loc);
+    expect(TokKind::LParen, "after 'for'");
+    if (!accept(TokKind::Semicolon)) {
+      if (isTypeStart(cur())) {
+        stmt->forInit = declStatement();
+      } else {
+        Stmt* init = unit_->newStmt(StmtKind::ExprStmt, cur().loc);
+        init->expr = expression();
+        stmt->forInit = init;
+      }
+      expect(TokKind::Semicolon, "after for-init");
+    }
+    if (!cur().is(TokKind::Semicolon)) {
+      stmt->expr = expression();
+    }
+    expect(TokKind::Semicolon, "after for-condition");
+    if (!cur().is(TokKind::RParen)) {
+      stmt->forStep = expression();
+    }
+    expect(TokKind::RParen, "after for-step");
+    stmt->thenStmt = statement();
+    return stmt;
+  }
+
+  Stmt* whileStatement() {
+    const Token kw = expect(TokKind::KwWhile, "");
+    Stmt* stmt = unit_->newStmt(StmtKind::While, kw.loc);
+    expect(TokKind::LParen, "after 'while'");
+    stmt->expr = expression();
+    expect(TokKind::RParen, "after while condition");
+    stmt->thenStmt = statement();
+    return stmt;
+  }
+
+  Stmt* doWhileStatement() {
+    const Token kw = expect(TokKind::KwDo, "");
+    Stmt* stmt = unit_->newStmt(StmtKind::DoWhile, kw.loc);
+    stmt->thenStmt = statement();
+    expect(TokKind::KwWhile, "after do-body");
+    expect(TokKind::LParen, "after 'while'");
+    stmt->expr = expression();
+    expect(TokKind::RParen, "after do-while condition");
+    expect(TokKind::Semicolon, "after do-while");
+    return stmt;
+  }
+
+  // --- expressions ------------------------------------------------------------
+
+  Expr* expression() { return assignmentExpr(); }
+
+  Expr* assignmentExpr() {
+    Expr* lhs = conditionalExpr();
+    AssignOp op;
+    switch (cur().kind) {
+      case TokKind::Eq: op = AssignOp::None; break;
+      case TokKind::PlusEq: op = AssignOp::Add; break;
+      case TokKind::MinusEq: op = AssignOp::Sub; break;
+      case TokKind::StarEq: op = AssignOp::Mul; break;
+      case TokKind::SlashEq: op = AssignOp::Div; break;
+      case TokKind::PercentEq: op = AssignOp::Rem; break;
+      case TokKind::ShlEq: op = AssignOp::Shl; break;
+      case TokKind::ShrEq: op = AssignOp::Shr; break;
+      case TokKind::AmpEq: op = AssignOp::And; break;
+      case TokKind::PipeEq: op = AssignOp::Or; break;
+      case TokKind::CaretEq: op = AssignOp::Xor; break;
+      default:
+        return lhs;
+    }
+    const SourceLoc loc = consume().loc;
+    Expr* expr = unit_->newExpr(ExprKind::Assign, loc);
+    expr->assignOp = op;
+    expr->lhs = lhs;
+    expr->rhs = assignmentExpr();
+    return expr;
+  }
+
+  Expr* conditionalExpr() {
+    Expr* cond = binaryExpr(0);
+    if (!cur().is(TokKind::Question)) {
+      return cond;
+    }
+    const SourceLoc loc = consume().loc;
+    Expr* expr = unit_->newExpr(ExprKind::Ternary, loc);
+    expr->lhs = cond;
+    expr->rhs = expression();
+    expect(TokKind::Colon, "in ternary expression");
+    expr->ternaryElse = conditionalExpr();
+    return expr;
+  }
+
+  struct BinOpInfo {
+    BinaryOp op;
+    int precedence;
+  };
+
+  std::optional<BinOpInfo> binOpFor(TokKind kind) const {
+    switch (kind) {
+      case TokKind::PipePipe: return BinOpInfo{BinaryOp::LogOr, 1};
+      case TokKind::AmpAmp: return BinOpInfo{BinaryOp::LogAnd, 2};
+      case TokKind::Pipe: return BinOpInfo{BinaryOp::BitOr, 3};
+      case TokKind::Caret: return BinOpInfo{BinaryOp::BitXor, 4};
+      case TokKind::Amp: return BinOpInfo{BinaryOp::BitAnd, 5};
+      case TokKind::EqEq: return BinOpInfo{BinaryOp::EqCmp, 6};
+      case TokKind::NotEq: return BinOpInfo{BinaryOp::Ne, 6};
+      case TokKind::Less: return BinOpInfo{BinaryOp::Lt, 7};
+      case TokKind::Greater: return BinOpInfo{BinaryOp::Gt, 7};
+      case TokKind::LessEq: return BinOpInfo{BinaryOp::Le, 7};
+      case TokKind::GreaterEq: return BinOpInfo{BinaryOp::Ge, 7};
+      case TokKind::Shl: return BinOpInfo{BinaryOp::Shl, 8};
+      case TokKind::Shr: return BinOpInfo{BinaryOp::Shr, 8};
+      case TokKind::Plus: return BinOpInfo{BinaryOp::Add, 9};
+      case TokKind::Minus: return BinOpInfo{BinaryOp::Sub, 9};
+      case TokKind::Star: return BinOpInfo{BinaryOp::Mul, 10};
+      case TokKind::Slash: return BinOpInfo{BinaryOp::Div, 10};
+      case TokKind::Percent: return BinOpInfo{BinaryOp::Rem, 10};
+      default: return std::nullopt;
+    }
+  }
+
+  Expr* binaryExpr(int minPrecedence) {
+    Expr* lhs = unaryExpr();
+    for (;;) {
+      const auto info = binOpFor(cur().kind);
+      if (!info || info->precedence < minPrecedence) {
+        return lhs;
+      }
+      const SourceLoc loc = consume().loc;
+      Expr* rhs = binaryExpr(info->precedence + 1);
+      Expr* expr = unit_->newExpr(ExprKind::Binary, loc);
+      expr->binaryOp = info->op;
+      expr->lhs = lhs;
+      expr->rhs = rhs;
+      lhs = expr;
+    }
+  }
+
+  Expr* unaryExpr() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::Plus: ++pos_; return makeUnary(UnaryOp::Plus, loc);
+      case TokKind::Minus: ++pos_; return makeUnary(UnaryOp::Neg, loc);
+      case TokKind::Not: ++pos_; return makeUnary(UnaryOp::Not, loc);
+      case TokKind::Tilde: ++pos_; return makeUnary(UnaryOp::BitNot, loc);
+      case TokKind::Star: ++pos_; return makeUnary(UnaryOp::Deref, loc);
+      case TokKind::Amp: ++pos_; return makeUnary(UnaryOp::AddrOf, loc);
+      case TokKind::PlusPlus: ++pos_; return makeUnary(UnaryOp::PreInc, loc);
+      case TokKind::MinusMinus: ++pos_; return makeUnary(UnaryOp::PreDec, loc);
+      case TokKind::KwSizeof: {
+        ++pos_;
+        if (cur().is(TokKind::LParen) && isTypeStart(peek())) {
+          ++pos_;
+          const Type* type = typeName();
+          expect(TokKind::RParen, "after sizeof type");
+          Expr* expr = unit_->newExpr(ExprKind::SizeofType, loc);
+          expr->writtenType = type;
+          return expr;
+        }
+        Expr* operand = unaryExpr();
+        Expr* expr = unit_->newExpr(ExprKind::SizeofType, loc);
+        expr->lhs = operand; // sema resolves the operand's type
+        return expr;
+      }
+      case TokKind::LParen:
+        if (isTypeStart(peek())) {
+          // Cast expression: "(type) unary-expr".
+          ++pos_;
+          const Type* type = typeName();
+          expect(TokKind::RParen, "after cast type");
+          Expr* expr = unit_->newExpr(ExprKind::Cast, loc);
+          expr->writtenType = type;
+          expr->lhs = unaryExpr();
+          return expr;
+        }
+        break;
+      default:
+        break;
+    }
+    return postfixExpr();
+  }
+
+  Expr* makeUnary(UnaryOp op, SourceLoc loc) {
+    Expr* expr = unit_->newExpr(ExprKind::Unary, loc);
+    expr->unaryOp = op;
+    expr->lhs = unaryExpr();
+    return expr;
+  }
+
+  /// "type" production used by casts and sizeof: declspec + pointers.
+  const Type* typeName() {
+    DeclSpec spec = declSpec(/*allowKernel=*/false);
+    return pointerDeclarators(spec.baseType, spec.space);
+  }
+
+  Expr* postfixExpr() {
+    Expr* expr = primaryExpr();
+    for (;;) {
+      const SourceLoc loc = cur().loc;
+      if (accept(TokKind::LBracket)) {
+        Expr* index = expression();
+        expect(TokKind::RBracket, "after array index");
+        Expr* node = unit_->newExpr(ExprKind::Index, loc);
+        node->lhs = expr;
+        node->rhs = index;
+        expr = node;
+      } else if (accept(TokKind::Dot)) {
+        const Token nameTok = expect(TokKind::Identifier, "after '.'");
+        Expr* node = unit_->newExpr(ExprKind::Member, loc);
+        node->lhs = expr;
+        node->memberName = nameTok.text;
+        expr = node;
+      } else if (accept(TokKind::Arrow)) {
+        const Token nameTok = expect(TokKind::Identifier, "after '->'");
+        // p->f is (*p).f
+        Expr* deref = unit_->newExpr(ExprKind::Unary, loc);
+        deref->unaryOp = UnaryOp::Deref;
+        deref->lhs = expr;
+        Expr* node = unit_->newExpr(ExprKind::Member, loc);
+        node->lhs = deref;
+        node->memberName = nameTok.text;
+        expr = node;
+      } else if (accept(TokKind::PlusPlus)) {
+        Expr* node = unit_->newExpr(ExprKind::Unary, loc);
+        node->unaryOp = UnaryOp::PostInc;
+        node->lhs = expr;
+        expr = node;
+      } else if (accept(TokKind::MinusMinus)) {
+        Expr* node = unit_->newExpr(ExprKind::Unary, loc);
+        node->unaryOp = UnaryOp::PostDec;
+        node->lhs = expr;
+        expr = node;
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Expr* primaryExpr() {
+    const Token tok = cur();
+    switch (tok.kind) {
+      case TokKind::IntLiteral: {
+        ++pos_;
+        Expr* expr = unit_->newExpr(ExprKind::IntLit, tok.loc);
+        expr->intValue = tok.intValue;
+        // Type per C rules, simplified: suffix-driven, defaults to int
+        // (long when the value does not fit).
+        ScalarKind kind = ScalarKind::I32;
+        if (tok.unsignedSuffix && tok.longSuffix) kind = ScalarKind::U64;
+        else if (tok.unsignedSuffix) kind = ScalarKind::U32;
+        else if (tok.longSuffix) kind = ScalarKind::I64;
+        else if (tok.intValue > 0x7fffffffULL) kind = ScalarKind::I64;
+        expr->type = unit_->types().scalar(kind);
+        return expr;
+      }
+      case TokKind::FloatLiteral: {
+        ++pos_;
+        Expr* expr = unit_->newExpr(ExprKind::FloatLit, tok.loc);
+        expr->floatValue = tok.floatValue;
+        expr->floatIsDouble = !tok.floatSuffix;
+        expr->type = unit_->types().scalar(
+            tok.floatSuffix ? ScalarKind::F32 : ScalarKind::F64);
+        return expr;
+      }
+      case TokKind::KwTrue:
+      case TokKind::KwFalse: {
+        ++pos_;
+        Expr* expr = unit_->newExpr(ExprKind::BoolLit, tok.loc);
+        expr->intValue = tok.kind == TokKind::KwTrue ? 1 : 0;
+        expr->type = unit_->types().boolType();
+        return expr;
+      }
+      case TokKind::Identifier: {
+        ++pos_;
+        if (cur().is(TokKind::LParen)) {
+          // Function call.
+          ++pos_;
+          Expr* expr = unit_->newExpr(ExprKind::Call, tok.loc);
+          expr->name = tok.text;
+          if (!cur().is(TokKind::RParen)) {
+            for (;;) {
+              expr->args.push_back(assignmentExpr());
+              if (!accept(TokKind::Comma)) {
+                break;
+              }
+            }
+          }
+          expect(TokKind::RParen, "after call arguments");
+          return expr;
+        }
+        Expr* expr = unit_->newExpr(ExprKind::VarRef, tok.loc);
+        expr->name = tok.text;
+        return expr;
+      }
+      case TokKind::LParen: {
+        ++pos_;
+        Expr* expr = expression();
+        expect(TokKind::RParen, "after parenthesized expression");
+        return expr;
+      }
+      default:
+        fail("expected an expression, found " + describe(tok));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<TranslationUnit> unit_;
+  std::unordered_map<std::string, const Type*> typedefs_;
+  int anonId_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<TranslationUnit> parse(const std::string& source) {
+  return Parser(source).run();
+}
+
+} // namespace clc

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the clc OpenCL-C subset.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clc/ast.h"
+
+namespace clc {
+
+/// Parses a full translation unit (struct/typedef declarations and
+/// functions). Throws CompileError on the first syntax error.
+std::unique_ptr<TranslationUnit> parse(const std::string& source);
+
+} // namespace clc

@@ -1,0 +1,856 @@
+#include "clc/sema.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "clc/builtins.h"
+
+namespace clc {
+
+namespace {
+
+/// Integer promotion rank (C11 6.3.1.1, simplified to our scalar set).
+int rank(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::Bool: return 0;
+    case ScalarKind::I8:
+    case ScalarKind::U8: return 1;
+    case ScalarKind::I16:
+    case ScalarKind::U16: return 2;
+    case ScalarKind::I32:
+    case ScalarKind::U32: return 3;
+    case ScalarKind::I64:
+    case ScalarKind::U64: return 4;
+    case ScalarKind::F32: return 5;
+    case ScalarKind::F64: return 6;
+    case ScalarKind::Void: return -1;
+  }
+  return -1;
+}
+
+class Sema {
+public:
+  explicit Sema(TranslationUnit& unit) : unit_(unit), types_(unit.types()) {}
+
+  void run() {
+    for (FuncDecl* func : unit_.functions) {
+      if (func->bodyStmt != nullptr) {
+        analyzeFunction(func);
+      }
+    }
+    checkNoRecursion();
+  }
+
+private:
+  // --- scopes ---------------------------------------------------------------
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  void declare(VarDecl* var) {
+    auto& scope = scopes_.back();
+    if (scope.count(var->name) != 0) {
+      throw CompileError("redeclaration of '" + var->name + "'", var->loc);
+    }
+    scope[var->name] = var;
+  }
+
+  VarDecl* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) {
+        return found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  // --- helpers ---------------------------------------------------------------
+
+  [[noreturn]] void fail(const std::string& message, SourceLoc loc) const {
+    throw CompileError(message, loc);
+  }
+
+  /// Wraps `e` in a cast to `target` unless it already has that type.
+  Expr* coerce(Expr* e, const Type* target) {
+    COMMON_CHECK(e->type != nullptr);
+    if (e->type == target) {
+      return e;
+    }
+    if (e->type->isArithmetic() && target->isArithmetic()) {
+      Expr* cast = unit_.newExpr(ExprKind::Cast, e->loc);
+      cast->writtenType = target;
+      cast->lhs = e;
+      cast->type = target;
+      return cast;
+    }
+    if (e->type->isPointer() && target->isPointer()) {
+      Expr* cast = unit_.newExpr(ExprKind::Cast, e->loc);
+      cast->writtenType = target;
+      cast->lhs = e;
+      cast->type = target;
+      return cast;
+    }
+    // Integer literal 0 converts to any pointer (null).
+    if (target->isPointer() && e->kind == ExprKind::IntLit &&
+        e->intValue == 0) {
+      Expr* cast = unit_.newExpr(ExprKind::Cast, e->loc);
+      cast->writtenType = target;
+      cast->lhs = e;
+      cast->type = target;
+      return cast;
+    }
+    fail("cannot convert '" + e->type->toString() + "' to '" +
+             target->toString() + "'",
+         e->loc);
+  }
+
+  /// Usual arithmetic conversions; returns the common type.
+  const Type* arithCommonType(const Type* a, const Type* b, SourceLoc loc) {
+    if (!a->isArithmetic() || !b->isArithmetic()) {
+      fail("expected arithmetic operands", loc);
+    }
+    const ScalarKind ka = a->scalarKind();
+    const ScalarKind kb = b->scalarKind();
+    if (isFloating(ka) || isFloating(kb)) {
+      if (ka == ScalarKind::F64 || kb == ScalarKind::F64) {
+        return types_.scalar(ScalarKind::F64);
+      }
+      return types_.scalar(ScalarKind::F32);
+    }
+    // Integer promotion to at least int.
+    const int ra = std::max(rank(ka), 3);
+    const int rb = std::max(rank(kb), 3);
+    const int r = std::max(ra, rb);
+    const bool ua = !isSigned(ka) && rank(ka) >= 3;
+    const bool ub = !isSigned(kb) && rank(kb) >= 3;
+    bool resultUnsigned;
+    if (ra == rb) {
+      resultUnsigned = ua || ub;
+    } else if (ra > rb) {
+      resultUnsigned = ua;
+    } else {
+      resultUnsigned = ub;
+    }
+    if (r <= 3) {
+      return types_.scalar(resultUnsigned ? ScalarKind::U32 : ScalarKind::I32);
+    }
+    return types_.scalar(resultUnsigned ? ScalarKind::U64 : ScalarKind::I64);
+  }
+
+  /// Integer promotion of small types to int (for ~, unary -, shifts).
+  const Type* promote(const Type* t) {
+    if (t->isIntegerScalar() && rank(t->scalarKind()) < 3) {
+      return types_.intType();
+    }
+    return t;
+  }
+
+  void requireCondition(const Expr* e) {
+    if (!e->type->isArithmetic() && !e->type->isPointer()) {
+      fail("condition must be arithmetic or a pointer (got '" +
+               e->type->toString() + "')",
+           e->loc);
+    }
+  }
+
+  // --- functions --------------------------------------------------------------
+
+  void analyzeFunction(FuncDecl* func) {
+    currentFunc_ = func;
+    pushScope();
+    std::set<std::string> paramNames;
+    for (std::size_t i = 0; i < func->params.size(); ++i) {
+      ParamDecl& param = func->params[i];
+      if (param.name.empty()) {
+        fail("parameter " + std::to_string(i + 1) + " of '" + func->name +
+                 "' needs a name",
+             param.loc);
+      }
+      if (!paramNames.insert(param.name).second) {
+        fail("duplicate parameter '" + param.name + "'", param.loc);
+      }
+      if (param.type->isVoid()) {
+        fail("parameter cannot have type void", param.loc);
+      }
+      if (func->isKernel && param.type->isPointer()) {
+        const AddressSpace space = param.type->addressSpace();
+        if (space == AddressSpace::Private) {
+          fail("kernel pointer parameter '" + param.name +
+                   "' must be __global, __local or __constant",
+               param.loc);
+        }
+      }
+      VarDecl* var = unit_.newVarDecl();
+      var->name = param.name;
+      var->type = param.type;
+      var->isParam = true;
+      var->paramIndex = static_cast<std::uint32_t>(i);
+      var->loc = param.loc;
+      func->paramVars.push_back(var);
+      declare(var);
+    }
+    loopDepth_ = 0;
+    analyzeStmt(func->bodyStmt);
+    popScope();
+    currentFunc_ = nullptr;
+  }
+
+  void checkNoRecursion() {
+    // OpenCL C forbids recursion; detect cycles in the call graph.
+    enum class Mark { White, Grey, Black };
+    std::map<const FuncDecl*, Mark> marks;
+    std::vector<const FuncDecl*> stack;
+
+    auto dfs = [&](auto&& self, const FuncDecl* f) -> void {
+      marks[f] = Mark::Grey;
+      const auto range = callGraph_.equal_range(f);
+      for (auto it = range.first; it != range.second; ++it) {
+        const FuncDecl* callee = it->second;
+        const Mark mark = marks.count(callee) ? marks[callee] : Mark::White;
+        if (mark == Mark::Grey) {
+          throw CompileError("recursion is not allowed in OpenCL C: '" +
+                                 f->name + "' -> '" + callee->name + "'",
+                             f->loc);
+        }
+        if (mark == Mark::White) {
+          self(self, callee);
+        }
+      }
+      marks[f] = Mark::Black;
+    };
+
+    for (const FuncDecl* func : unit_.functions) {
+      if (!marks.count(func)) {
+        dfs(dfs, func);
+      }
+    }
+  }
+
+  // --- statements --------------------------------------------------------------
+
+  void analyzeStmt(Stmt* stmt) {
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        pushScope();
+        for (Stmt* s : stmt->body) {
+          analyzeStmt(s);
+        }
+        popScope();
+        return;
+      case StmtKind::Decl:
+        for (VarDecl* var : stmt->decls) {
+          analyzeVarDecl(var);
+        }
+        return;
+      case StmtKind::ExprStmt:
+        analyzeExpr(stmt->expr);
+        return;
+      case StmtKind::If:
+        analyzeExpr(stmt->expr);
+        requireCondition(stmt->expr);
+        analyzeStmt(stmt->thenStmt);
+        if (stmt->elseStmt != nullptr) {
+          analyzeStmt(stmt->elseStmt);
+        }
+        return;
+      case StmtKind::For:
+        pushScope();
+        if (stmt->forInit != nullptr) {
+          analyzeStmt(stmt->forInit);
+        }
+        if (stmt->expr != nullptr) {
+          analyzeExpr(stmt->expr);
+          requireCondition(stmt->expr);
+        }
+        if (stmt->forStep != nullptr) {
+          analyzeExpr(stmt->forStep);
+        }
+        ++loopDepth_;
+        analyzeStmt(stmt->thenStmt);
+        --loopDepth_;
+        popScope();
+        return;
+      case StmtKind::While:
+      case StmtKind::DoWhile:
+        analyzeExpr(stmt->expr);
+        requireCondition(stmt->expr);
+        ++loopDepth_;
+        analyzeStmt(stmt->thenStmt);
+        --loopDepth_;
+        return;
+      case StmtKind::Return: {
+        const Type* expected = currentFunc_->returnType;
+        if (stmt->expr == nullptr) {
+          if (!expected->isVoid()) {
+            fail("non-void function '" + currentFunc_->name +
+                     "' must return a value",
+                 stmt->loc);
+          }
+          return;
+        }
+        if (expected->isVoid()) {
+          fail("void function '" + currentFunc_->name +
+                   "' cannot return a value",
+               stmt->loc);
+        }
+        analyzeExpr(stmt->expr);
+        if (expected->isStruct()) {
+          if (stmt->expr->type != expected) {
+            fail("returning '" + stmt->expr->type->toString() +
+                     "' from a function returning '" + expected->toString() +
+                     "'",
+                 stmt->loc);
+          }
+        } else {
+          stmt->expr = coerce(stmt->expr, expected);
+        }
+        return;
+      }
+      case StmtKind::Break:
+        if (loopDepth_ == 0) {
+          fail("'break' outside of a loop", stmt->loc);
+        }
+        return;
+      case StmtKind::Continue:
+        if (loopDepth_ == 0) {
+          fail("'continue' outside of a loop", stmt->loc);
+        }
+        return;
+      case StmtKind::Empty:
+        return;
+    }
+  }
+
+  void analyzeVarDecl(VarDecl* var) {
+    if (var->type->isVoid()) {
+      fail("variable '" + var->name + "' cannot have type void", var->loc);
+    }
+    if (var->space == AddressSpace::Local) {
+      if (!currentFunc_->isKernel) {
+        fail("__local variable '" + var->name +
+                 "' is only allowed in kernel functions",
+             var->loc);
+      }
+      if (var->init != nullptr) {
+        fail("__local variable '" + var->name + "' cannot be initialized",
+             var->loc);
+      }
+    }
+    if (var->space == AddressSpace::Global ||
+        var->space == AddressSpace::Constant) {
+      fail("variables cannot live in the " +
+               std::string(addressSpaceName(var->space)) + " address space",
+           var->loc);
+    }
+    if (var->init != nullptr) {
+      if (var->type->isArray()) {
+        fail("array initializers are not supported", var->loc);
+      }
+      analyzeExpr(var->init);
+      if (var->type->isStruct()) {
+        if (var->init->type != var->type) {
+          fail("initializing '" + var->type->toString() + "' with '" +
+                   var->init->type->toString() + "'",
+               var->loc);
+        }
+      } else {
+        var->init = coerce(var->init, var->type);
+      }
+    }
+    declare(var);
+  }
+
+  // --- expressions -------------------------------------------------------------
+
+  void analyzeExpr(Expr* e) {
+    switch (e->kind) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::BoolLit:
+        return; // typed by the parser
+      case ExprKind::VarRef: return analyzeVarRef(e);
+      case ExprKind::Unary: return analyzeUnary(e);
+      case ExprKind::Binary: return analyzeBinary(e);
+      case ExprKind::Assign: return analyzeAssign(e);
+      case ExprKind::Ternary: return analyzeTernary(e);
+      case ExprKind::Call: return analyzeCall(e);
+      case ExprKind::Index: return analyzeIndex(e);
+      case ExprKind::Member: return analyzeMember(e);
+      case ExprKind::Cast: return analyzeCast(e);
+      case ExprKind::SizeofType: return analyzeSizeof(e);
+    }
+  }
+
+  void analyzeVarRef(Expr* e) {
+    VarDecl* var = lookup(e->name);
+    if (var == nullptr) {
+      fail("unknown identifier '" + e->name + "'", e->loc);
+    }
+    e->resolvedVar = var;
+    e->type = var->type;
+    e->isLValue = true;
+    e->storageSpace = var->space;
+  }
+
+  void analyzeUnary(Expr* e) {
+    // '&' and '*' need the operand first in all cases.
+    analyzeExpr(e->lhs);
+    const Type* operand = e->lhs->type;
+    switch (e->unaryOp) {
+      case UnaryOp::Plus:
+      case UnaryOp::Neg: {
+        if (!operand->isArithmetic()) {
+          fail("unary '" +
+                   std::string(e->unaryOp == UnaryOp::Neg ? "-" : "+") +
+                   "' needs an arithmetic operand",
+               e->loc);
+        }
+        const Type* t = promote(operand);
+        e->lhs = coerce(e->lhs, t);
+        e->type = t;
+        return;
+      }
+      case UnaryOp::Not:
+        requireCondition(e->lhs);
+        e->type = types_.intType();
+        return;
+      case UnaryOp::BitNot: {
+        if (!operand->isIntegerScalar()) {
+          fail("'~' needs an integer operand", e->loc);
+        }
+        const Type* t = promote(operand);
+        e->lhs = coerce(e->lhs, t);
+        e->type = t;
+        return;
+      }
+      case UnaryOp::PreInc:
+      case UnaryOp::PreDec:
+      case UnaryOp::PostInc:
+      case UnaryOp::PostDec:
+        if (!e->lhs->isLValue) {
+          fail("increment/decrement needs an lvalue", e->loc);
+        }
+        if (!operand->isArithmetic() && !operand->isPointer()) {
+          fail("increment/decrement needs arithmetic or pointer type",
+               e->loc);
+        }
+        e->type = operand;
+        return;
+      case UnaryOp::Deref:
+        if (!operand->isPointer()) {
+          fail("cannot dereference non-pointer type '" +
+                   operand->toString() + "'",
+               e->loc);
+        }
+        e->type = operand->pointee();
+        if (e->type->isVoid()) {
+          fail("cannot dereference void pointer", e->loc);
+        }
+        e->isLValue = true;
+        e->storageSpace = operand->addressSpace();
+        return;
+      case UnaryOp::AddrOf:
+        if (!e->lhs->isLValue) {
+          fail("cannot take the address of an rvalue", e->loc);
+        }
+        if (e->lhs->type->isArray()) {
+          // &array yields a pointer to the first element, like array decay.
+          e->type = types_.pointerTo(e->lhs->type->elementType(),
+                                     e->lhs->storageSpace);
+        } else {
+          e->type = types_.pointerTo(e->lhs->type, e->lhs->storageSpace);
+        }
+        return;
+    }
+  }
+
+  /// Array-to-pointer decay.
+  Expr* decay(Expr* e) {
+    if (e->type->isArray()) {
+      Expr* cast = unit_.newExpr(ExprKind::Cast, e->loc);
+      cast->writtenType =
+          types_.pointerTo(e->type->elementType(), e->storageSpace);
+      cast->lhs = e;
+      cast->type = cast->writtenType;
+      return cast;
+    }
+    return e;
+  }
+
+  void analyzeBinary(Expr* e) {
+    analyzeExpr(e->lhs);
+    analyzeExpr(e->rhs);
+    e->lhs = decay(e->lhs);
+    e->rhs = decay(e->rhs);
+    const Type* lt = e->lhs->type;
+    const Type* rt = e->rhs->type;
+
+    switch (e->binaryOp) {
+      case BinaryOp::LogAnd:
+      case BinaryOp::LogOr:
+        requireCondition(e->lhs);
+        requireCondition(e->rhs);
+        e->type = types_.intType();
+        return;
+      case BinaryOp::EqCmp:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge: {
+        if (lt->isPointer() || rt->isPointer()) {
+          if (lt->isPointer() && rt->isPointer()) {
+            // Same pointee expected, but comparing any pointers is defined
+            // here (handles void* style generic code).
+          } else if (lt->isPointer()) {
+            e->rhs = coerce(e->rhs, lt);
+          } else {
+            e->lhs = coerce(e->lhs, rt);
+          }
+        } else {
+          const Type* common = arithCommonType(lt, rt, e->loc);
+          e->lhs = coerce(e->lhs, common);
+          e->rhs = coerce(e->rhs, common);
+        }
+        e->type = types_.intType();
+        return;
+      }
+      case BinaryOp::Shl:
+      case BinaryOp::Shr: {
+        if (!lt->isIntegerScalar() || !rt->isIntegerScalar()) {
+          fail("shift needs integer operands", e->loc);
+        }
+        const Type* t = promote(lt);
+        e->lhs = coerce(e->lhs, t);
+        e->rhs = coerce(e->rhs, promote(rt));
+        e->type = t;
+        return;
+      }
+      case BinaryOp::Add:
+      case BinaryOp::Sub: {
+        if (lt->isPointer() && rt->isIntegerScalar()) {
+          e->rhs = coerce(e->rhs, types_.scalar(ScalarKind::I64));
+          e->type = lt;
+          return;
+        }
+        if (e->binaryOp == BinaryOp::Add && lt->isIntegerScalar() &&
+            rt->isPointer()) {
+          e->lhs = coerce(e->lhs, types_.scalar(ScalarKind::I64));
+          e->type = rt;
+          return;
+        }
+        if (e->binaryOp == BinaryOp::Sub && lt->isPointer() &&
+            rt->isPointer()) {
+          if (lt->pointee() != rt->pointee()) {
+            fail("subtracting pointers to different types", e->loc);
+          }
+          e->type = types_.scalar(ScalarKind::I64);
+          return;
+        }
+        [[fallthrough]];
+      }
+      case BinaryOp::Mul:
+      case BinaryOp::Div: {
+        const Type* common = arithCommonType(lt, rt, e->loc);
+        e->lhs = coerce(e->lhs, common);
+        e->rhs = coerce(e->rhs, common);
+        e->type = common;
+        return;
+      }
+      case BinaryOp::Rem:
+      case BinaryOp::BitAnd:
+      case BinaryOp::BitOr:
+      case BinaryOp::BitXor: {
+        if (!lt->isIntegerScalar() || !rt->isIntegerScalar()) {
+          // OpenCL allows fmod via the builtin; '%' is integer-only.
+          fail("operator needs integer operands", e->loc);
+        }
+        const Type* common = arithCommonType(lt, rt, e->loc);
+        e->lhs = coerce(e->lhs, common);
+        e->rhs = coerce(e->rhs, common);
+        e->type = common;
+        return;
+      }
+    }
+  }
+
+  void analyzeAssign(Expr* e) {
+    analyzeExpr(e->lhs);
+    analyzeExpr(e->rhs);
+    if (!e->lhs->isLValue) {
+      fail("left side of assignment is not an lvalue", e->loc);
+    }
+    if (e->lhs->type->isArray()) {
+      fail("cannot assign to an array", e->loc);
+    }
+    const Type* target = e->lhs->type;
+    e->rhs = decay(e->rhs);
+
+    if (e->assignOp != AssignOp::None) {
+      if (target->isPointer()) {
+        if ((e->assignOp != AssignOp::Add && e->assignOp != AssignOp::Sub) ||
+            !e->rhs->type->isIntegerScalar()) {
+          fail("invalid compound assignment on pointer", e->loc);
+        }
+        e->rhs = coerce(e->rhs, types_.scalar(ScalarKind::I64));
+        e->type = target;
+        return;
+      }
+      if (!target->isArithmetic() || !e->rhs->type->isArithmetic()) {
+        fail("compound assignment needs arithmetic operands", e->loc);
+      }
+      switch (e->assignOp) {
+        case AssignOp::Rem:
+        case AssignOp::Shl:
+        case AssignOp::Shr:
+        case AssignOp::And:
+        case AssignOp::Or:
+        case AssignOp::Xor:
+          if (!target->isIntegerScalar() ||
+              !e->rhs->type->isIntegerScalar()) {
+            fail("compound assignment needs integer operands", e->loc);
+          }
+          break;
+        default:
+          break;
+      }
+      // The operation runs in the common type; result converts back.
+      e->rhs = coerce(e->rhs, arithCommonType(target, e->rhs->type, e->loc));
+      e->type = target;
+      return;
+    }
+
+    if (target->isStruct()) {
+      if (e->rhs->type != target) {
+        fail("assigning '" + e->rhs->type->toString() + "' to '" +
+                 target->toString() + "'",
+             e->loc);
+      }
+    } else {
+      e->rhs = coerce(e->rhs, target);
+    }
+    e->type = target;
+  }
+
+  void analyzeTernary(Expr* e) {
+    analyzeExpr(e->lhs);
+    requireCondition(e->lhs);
+    analyzeExpr(e->rhs);
+    analyzeExpr(e->ternaryElse);
+    e->rhs = decay(e->rhs);
+    e->ternaryElse = decay(e->ternaryElse);
+    const Type* a = e->rhs->type;
+    const Type* b = e->ternaryElse->type;
+    if (a->isArithmetic() && b->isArithmetic()) {
+      const Type* common = arithCommonType(a, b, e->loc);
+      e->rhs = coerce(e->rhs, common);
+      e->ternaryElse = coerce(e->ternaryElse, common);
+      e->type = common;
+      return;
+    }
+    if (a == b && (a->isPointer() || a->isStruct())) {
+      e->type = a;
+      if (a->isStruct()) {
+        fail("ternary on struct values is not supported", e->loc);
+      }
+      return;
+    }
+    fail("incompatible ternary branch types '" + a->toString() + "' and '" +
+             b->toString() + "'",
+         e->loc);
+  }
+
+  void analyzeCall(Expr* e) {
+    // Analyze arguments first; decay arrays to pointers.
+    std::vector<const Type*> argTypes;
+    for (Expr*& arg : e->args) {
+      analyzeExpr(arg);
+      arg = decay(arg);
+      argTypes.push_back(arg->type);
+    }
+
+    // Builtins take precedence (user code cannot shadow them).
+    std::optional<BuiltinCall> builtin;
+    try {
+      builtin = resolveBuiltin(e->name, argTypes, types_);
+    } catch (const common::InvalidArgument& err) {
+      fail(err.what(), e->loc);
+    }
+    if (builtin.has_value()) {
+      e->builtinId = static_cast<int>(builtin->id);
+      for (std::size_t i = 0; i < e->args.size(); ++i) {
+        e->args[i] = coerce(e->args[i], builtin->paramTypes[i]);
+      }
+      e->type = builtin->resultType;
+      if (builtin->id == Builtin::Barrier && !currentFunc_->isKernel) {
+        // Real OpenCL allows barriers in helper functions called from
+        // kernels; our VM yields only at kernel scope, so reject early
+        // with a clear message instead of deadlocking.
+        fail("barrier() is only supported directly inside kernel functions",
+             e->loc);
+      }
+      return;
+    }
+
+    const FuncDecl* callee = unit_.findFunction(e->name);
+    if (callee == nullptr) {
+      fail("call to unknown function '" + e->name + "'", e->loc);
+    }
+    if (callee->bodyStmt == nullptr) {
+      fail("function '" + e->name + "' is declared but never defined",
+           e->loc);
+    }
+    if (callee->isKernel) {
+      fail("kernel '" + e->name + "' cannot be called from device code",
+           e->loc);
+    }
+    if (callee->params.size() != e->args.size()) {
+      fail("'" + e->name + "' expects " +
+               std::to_string(callee->params.size()) + " arguments, got " +
+               std::to_string(e->args.size()),
+           e->loc);
+    }
+    for (std::size_t i = 0; i < e->args.size(); ++i) {
+      const Type* paramType = callee->params[i].type;
+      if (paramType->isStruct()) {
+        if (e->args[i]->type != paramType) {
+          fail("argument " + std::to_string(i + 1) + " of '" + e->name +
+                   "': expected '" + paramType->toString() + "', got '" +
+                   e->args[i]->type->toString() + "'",
+               e->args[i]->loc);
+        }
+      } else {
+        e->args[i] = coerce(e->args[i], paramType);
+      }
+    }
+    e->resolvedFunc = callee;
+    e->type = callee->returnType;
+    if (e->type->isStruct()) {
+      e->storageSpace = AddressSpace::Private; // returned into a temp
+    }
+    callGraph_.insert({currentFunc_, callee});
+  }
+
+  void analyzeIndex(Expr* e) {
+    analyzeExpr(e->lhs);
+    analyzeExpr(e->rhs);
+    if (!e->rhs->type->isIntegerScalar()) {
+      fail("array index must be an integer", e->rhs->loc);
+    }
+    e->rhs = coerce(e->rhs, types_.scalar(ScalarKind::I64));
+    const Type* base = e->lhs->type;
+    if (base->isArray()) {
+      e->type = base->elementType();
+      e->isLValue = e->lhs->isLValue;
+      e->storageSpace = e->lhs->storageSpace;
+      return;
+    }
+    e->lhs = decay(e->lhs);
+    base = e->lhs->type;
+    if (!base->isPointer()) {
+      fail("cannot index non-pointer type '" + base->toString() + "'",
+           e->loc);
+    }
+    e->type = base->pointee();
+    if (e->type->isVoid()) {
+      fail("cannot index a void pointer", e->loc);
+    }
+    e->isLValue = true;
+    e->storageSpace = base->addressSpace();
+  }
+
+  void analyzeMember(Expr* e) {
+    // CUDA dialect: threadIdx.x and friends.
+    if (e->lhs->kind == ExprKind::VarRef && lookup(e->lhs->name) == nullptr) {
+      static const std::unordered_map<std::string, Builtin> cudaVars = {
+          {"threadIdx", Builtin::GetLocalId},
+          {"blockIdx", Builtin::GetGroupId},
+          {"blockDim", Builtin::GetLocalSize},
+          {"gridDim", Builtin::GetNumGroups},
+      };
+      const auto it = cudaVars.find(e->lhs->name);
+      if (it != cudaVars.end()) {
+        int dim = -1;
+        if (e->memberName == "x") dim = 0;
+        else if (e->memberName == "y") dim = 1;
+        else if (e->memberName == "z") dim = 2;
+        if (dim < 0) {
+          fail("unknown component '." + e->memberName + "' on " +
+                   e->lhs->name,
+               e->loc);
+        }
+        Expr* dimLit = unit_.newExpr(ExprKind::IntLit, e->loc);
+        dimLit->intValue = static_cast<std::uint64_t>(dim);
+        dimLit->type = types_.scalar(ScalarKind::U32);
+        e->kind = ExprKind::Call;
+        e->name = builtinName(it->second);
+        e->builtinId = static_cast<int>(it->second);
+        e->args = {dimLit};
+        e->lhs = nullptr;
+        // CUDA's threadIdx.x is uint; ours returns size_t. Keep u64 — the
+        // usual conversions absorb the difference.
+        e->type = types_.scalar(ScalarKind::U64);
+        return;
+      }
+    }
+
+    analyzeExpr(e->lhs);
+    const Type* base = e->lhs->type;
+    if (!base->isStruct()) {
+      fail("member access on non-struct type '" + base->toString() + "'",
+           e->loc);
+    }
+    const StructField* field = base->findField(e->memberName);
+    if (field == nullptr) {
+      fail("no field '" + e->memberName + "' in '" + base->toString() + "'",
+           e->loc);
+    }
+    e->resolvedField = field;
+    e->type = field->type;
+    e->isLValue = e->lhs->isLValue;
+    e->storageSpace = e->lhs->storageSpace;
+  }
+
+  void analyzeCast(Expr* e) {
+    analyzeExpr(e->lhs);
+    e->lhs = decay(e->lhs);
+    const Type* from = e->lhs->type;
+    const Type* to = e->writtenType;
+    const bool ok =
+        (from->isArithmetic() && to->isArithmetic()) ||
+        (from->isPointer() && to->isPointer()) ||
+        (from->isPointer() && to->isIntegerScalar() && to->size() == 8) ||
+        (from->isIntegerScalar() && to->isPointer()) || (from == to);
+    if (!ok) {
+      fail("invalid cast from '" + from->toString() + "' to '" +
+               to->toString() + "'",
+           e->loc);
+    }
+    e->type = to;
+  }
+
+  void analyzeSizeof(Expr* e) {
+    if (e->writtenType == nullptr) {
+      COMMON_CHECK(e->lhs != nullptr);
+      analyzeExpr(e->lhs);
+      e->writtenType = e->lhs->type;
+    }
+    e->type = types_.scalar(ScalarKind::U64);
+  }
+
+  TranslationUnit& unit_;
+  TypeTable& types_;
+  std::vector<std::unordered_map<std::string, VarDecl*>> scopes_;
+  FuncDecl* currentFunc_ = nullptr;
+  int loopDepth_ = 0;
+  std::multimap<const FuncDecl*, const FuncDecl*> callGraph_;
+};
+
+} // namespace
+
+void analyze(TranslationUnit& unit) { Sema(unit).run(); }
+
+} // namespace clc

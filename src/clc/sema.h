@@ -1,0 +1,19 @@
+// Semantic analysis for the clc OpenCL-C subset.
+//
+// Annotates the AST in place: resolves names, checks and unifies types
+// (inserting explicit Cast nodes so that code generation never has to
+// reason about implicit conversions), resolves builtin calls — including
+// the CUDA-dialect spellings threadIdx.x / blockIdx.x / __syncthreads() —
+// and enforces OpenCL rules (kernels return void, no recursion, __local
+// declarations only at kernel scope, kernel pointer parameters must name
+// an address space).
+#pragma once
+
+#include "clc/ast.h"
+
+namespace clc {
+
+/// Analyzes the unit; throws CompileError on the first error.
+void analyze(TranslationUnit& unit);
+
+} // namespace clc

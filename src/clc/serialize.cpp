@@ -1,0 +1,141 @@
+#include "clc/serialize.h"
+
+#include "common/byte_stream.h"
+
+namespace clc {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x434c4342; // "CLCB"
+} // namespace
+
+std::vector<std::uint8_t> serializeProgram(const Program& program) {
+  common::ByteWriter w;
+  w.write<std::uint32_t>(kMagic);
+  w.write<std::uint32_t>(Program::kSerialVersion);
+  w.writeString(program.sourceHash);
+
+  w.write<std::uint64_t>(program.code.size());
+  for (const Instr& instr : program.code) {
+    w.write<std::uint8_t>(static_cast<std::uint8_t>(instr.op));
+    w.write<std::uint8_t>(static_cast<std::uint8_t>(instr.tag));
+    w.write<std::int32_t>(instr.a);
+  }
+
+  w.writeVector(program.constants);
+
+  w.write<std::uint64_t>(program.functions.size());
+  for (const FunctionInfo& f : program.functions) {
+    w.writeString(f.name);
+    w.write<std::uint32_t>(f.codeStart);
+    w.write<std::uint32_t>(f.codeEnd);
+    w.write<std::uint32_t>(f.frameSize);
+    w.write<std::uint8_t>(f.returnsValue ? 1 : 0);
+    w.write<std::uint8_t>(f.returnsStruct ? 1 : 0);
+    w.write<std::uint32_t>(f.returnSize);
+    w.write<std::uint8_t>(f.isKernel ? 1 : 0);
+    w.write<std::uint64_t>(f.params.size());
+    for (const ParamInfo& p : f.params) {
+      w.writeString(p.name);
+      w.write<std::uint8_t>(static_cast<std::uint8_t>(p.kind));
+      w.write<std::uint32_t>(p.size);
+      w.write<std::uint8_t>(static_cast<std::uint8_t>(p.scalarTag));
+      w.write<std::uint32_t>(p.frameOffset);
+    }
+  }
+
+  w.write<std::uint64_t>(program.kernels.size());
+  for (const KernelInfo& k : program.kernels) {
+    w.writeString(k.name);
+    w.write<std::uint32_t>(k.functionIndex);
+    w.write<std::uint32_t>(k.staticLocalSize);
+  }
+  return w.takeBytes();
+}
+
+Program deserializeProgram(const std::vector<std::uint8_t>& bytes) {
+  common::ByteReader r(bytes);
+  if (r.read<std::uint32_t>() != kMagic) {
+    throw common::DeserializeError("not a clc program (bad magic)");
+  }
+  if (r.read<std::uint32_t>() != Program::kSerialVersion) {
+    throw common::DeserializeError("clc program version mismatch");
+  }
+  Program program;
+  program.sourceHash = r.readString();
+
+  const auto codeLen = r.read<std::uint64_t>();
+  program.code.reserve(static_cast<std::size_t>(codeLen));
+  for (std::uint64_t i = 0; i < codeLen; ++i) {
+    Instr instr;
+    instr.op = static_cast<Op>(r.read<std::uint8_t>());
+    instr.tag = static_cast<TypeTag>(r.read<std::uint8_t>());
+    instr.a = r.read<std::int32_t>();
+    program.code.push_back(instr);
+  }
+
+  program.constants = r.readVector<std::uint64_t>();
+
+  const auto funcCount = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < funcCount; ++i) {
+    FunctionInfo f;
+    f.name = r.readString();
+    f.codeStart = r.read<std::uint32_t>();
+    f.codeEnd = r.read<std::uint32_t>();
+    f.frameSize = r.read<std::uint32_t>();
+    f.returnsValue = r.read<std::uint8_t>() != 0;
+    f.returnsStruct = r.read<std::uint8_t>() != 0;
+    f.returnSize = r.read<std::uint32_t>();
+    f.isKernel = r.read<std::uint8_t>() != 0;
+    const auto paramCount = r.read<std::uint64_t>();
+    for (std::uint64_t j = 0; j < paramCount; ++j) {
+      ParamInfo p;
+      p.name = r.readString();
+      p.kind = static_cast<ParamKind>(r.read<std::uint8_t>());
+      p.size = r.read<std::uint32_t>();
+      p.scalarTag = static_cast<TypeTag>(r.read<std::uint8_t>());
+      p.frameOffset = r.read<std::uint32_t>();
+      f.params.push_back(std::move(p));
+    }
+    program.functions.push_back(std::move(f));
+  }
+
+  const auto kernelCount = r.read<std::uint64_t>();
+  for (std::uint64_t i = 0; i < kernelCount; ++i) {
+    KernelInfo k;
+    k.name = r.readString();
+    k.functionIndex = r.read<std::uint32_t>();
+    k.staticLocalSize = r.read<std::uint32_t>();
+    program.kernels.push_back(std::move(k));
+  }
+
+  // Structural validation so a corrupted cache entry cannot crash the VM.
+  const auto codeSize = static_cast<std::uint32_t>(program.code.size());
+  for (const FunctionInfo& f : program.functions) {
+    if (f.codeStart > f.codeEnd || f.codeEnd > codeSize) {
+      throw common::DeserializeError("function code range out of bounds");
+    }
+  }
+  for (const KernelInfo& k : program.kernels) {
+    if (k.functionIndex >= program.functions.size()) {
+      throw common::DeserializeError("kernel function index out of bounds");
+    }
+  }
+  for (const Instr& instr : program.code) {
+    if (instr.op == Op::PushConst &&
+        (instr.a < 0 ||
+         std::size_t(instr.a) >= program.constants.size())) {
+      throw common::DeserializeError("constant index out of bounds");
+    }
+    if (instr.op == Op::Call &&
+        (instr.a < 0 || std::size_t(instr.a) >= program.functions.size())) {
+      throw common::DeserializeError("call target out of bounds");
+    }
+    if ((instr.op == Op::Jmp || instr.op == Op::Jz || instr.op == Op::Jnz) &&
+        (instr.a < 0 || std::uint32_t(instr.a) > codeSize)) {
+      throw common::DeserializeError("jump target out of bounds");
+    }
+  }
+  return program;
+}
+
+} // namespace clc

@@ -1,0 +1,1182 @@
+#include "clc/vm.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "clc/builtins.h"
+
+namespace clc {
+
+namespace {
+
+// --- slot helpers ------------------------------------------------------------
+
+inline float slotF32(std::uint64_t s) noexcept {
+  float f;
+  const std::uint32_t b = static_cast<std::uint32_t>(s);
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+inline std::uint64_t f32Slot(float f) noexcept {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+inline double slotF64(std::uint64_t s) noexcept {
+  double d;
+  std::memcpy(&d, &s, 8);
+  return d;
+}
+
+inline std::uint64_t f64Slot(double d) noexcept {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+/// Canonicalizes an integer slot for its tag (sign/zero extension).
+inline std::uint64_t canon(std::uint64_t v, TypeTag tag) noexcept {
+  switch (tag) {
+    case TypeTag::I8: return std::uint64_t(std::int64_t(std::int8_t(v)));
+    case TypeTag::U8: return v & 0xffULL;
+    case TypeTag::I16: return std::uint64_t(std::int64_t(std::int16_t(v)));
+    case TypeTag::U16: return v & 0xffffULL;
+    case TypeTag::I32: return std::uint64_t(std::int64_t(std::int32_t(v)));
+    case TypeTag::U32: return v & 0xffffffffULL;
+    default: return v;
+  }
+}
+
+inline bool isSignedTag(TypeTag tag) noexcept {
+  switch (tag) {
+    case TypeTag::I8:
+    case TypeTag::I16:
+    case TypeTag::I32:
+    case TypeTag::I64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool isFloatTag(TypeTag tag) noexcept {
+  return tag == TypeTag::F32 || tag == TypeTag::F64;
+}
+
+inline unsigned tagBits(TypeTag tag) noexcept {
+  switch (tag) {
+    case TypeTag::I8:
+    case TypeTag::U8: return 8;
+    case TypeTag::I16:
+    case TypeTag::U16: return 16;
+    case TypeTag::I32:
+    case TypeTag::U32:
+    case TypeTag::F32: return 32;
+    default: return 64;
+  }
+}
+
+/// Safe float-to-integer conversion (clamps like hardware instead of UB).
+template <typename To, typename From>
+std::uint64_t floatToInt(From value) noexcept {
+  if (std::isnan(value)) {
+    return 0;
+  }
+  constexpr double lo = double(std::numeric_limits<To>::min());
+  constexpr double hi = double(std::numeric_limits<To>::max());
+  const double d = double(value);
+  if (d <= lo) return std::uint64_t(std::int64_t(std::numeric_limits<To>::min()));
+  if (d >= hi) return std::uint64_t(std::int64_t(std::numeric_limits<To>::max()));
+  return std::uint64_t(std::int64_t(To(value)));
+}
+
+std::uint64_t convert(std::uint64_t v, TypeTag from, TypeTag to) {
+  if (from == to) {
+    return v;
+  }
+  // Source value as double / i64 / u64 views.
+  if (isFloatTag(from)) {
+    const double d = from == TypeTag::F32 ? double(slotF32(v)) : slotF64(v);
+    switch (to) {
+      case TypeTag::F32: return f32Slot(float(d));
+      case TypeTag::F64: return f64Slot(d);
+      case TypeTag::I8: return floatToInt<std::int8_t>(d);
+      case TypeTag::U8: return canon(floatToInt<std::int64_t>(d), to);
+      case TypeTag::I16: return floatToInt<std::int16_t>(d);
+      case TypeTag::U16: return canon(floatToInt<std::int64_t>(d), to);
+      case TypeTag::I32: return floatToInt<std::int32_t>(d);
+      case TypeTag::U32: {
+        if (std::isnan(d) || d <= 0) return 0;
+        if (d >= 4294967295.0) return 0xffffffffULL;
+        return std::uint64_t(d);
+      }
+      case TypeTag::I64: return floatToInt<std::int64_t>(d);
+      case TypeTag::U64:
+      case TypeTag::Ptr: {
+        if (std::isnan(d) || d <= 0) return 0;
+        if (d >= 18446744073709551615.0) return ~0ULL;
+        return std::uint64_t(d);
+      }
+    }
+    return v;
+  }
+  // Integer source.
+  if (to == TypeTag::F32) {
+    return isSignedTag(from) ? f32Slot(float(std::int64_t(v)))
+                             : f32Slot(float(v));
+  }
+  if (to == TypeTag::F64) {
+    return isSignedTag(from) ? f64Slot(double(std::int64_t(v)))
+                             : f64Slot(double(v));
+  }
+  return canon(v, to);
+}
+
+// --- per-launch immutable context ---------------------------------------------
+
+struct LaunchContext {
+  const Program* program = nullptr;
+  const std::vector<Segment>* segments = nullptr;
+  const FunctionInfo* kernelFunc = nullptr;
+  const KernelInfo* kernel = nullptr;
+  const std::vector<KernelArgValue>* args = nullptr;
+  std::vector<std::uint32_t> localArgOffsets; // for LocalPtr args
+  std::uint32_t totalLocalSize = 0;
+  NDRange range;
+  std::size_t groupCount[3] = {1, 1, 1};
+};
+
+struct Frame {
+  std::uint32_t funcIndex = 0;
+  std::uint32_t returnPc = 0;
+  std::uint32_t frameBase = 0; // base of *this* frame in the private arena
+  std::uint32_t prevBase = 0;
+};
+
+enum class ItemStatus { Running, AtBarrier, Done };
+
+constexpr std::size_t kMaxPrivateArena = 1 << 20;  // 1 MiB per work-item
+constexpr std::size_t kMaxCallDepth = 64;
+constexpr std::size_t kMaxOperands = 4096;
+
+/// One work-item's execution state: a resumable interpreter.
+class ItemVM {
+public:
+  void init(const LaunchContext& ctx, std::uint8_t* localBase,
+            std::size_t localSize, const std::size_t globalId[3],
+            const std::size_t localId[3], const std::size_t groupId[3]) {
+    ctx_ = &ctx;
+    localBase_ = localBase;
+    localSize_ = localSize;
+    for (int d = 0; d < 3; ++d) {
+      globalId_[d] = globalId[d];
+      localId_[d] = localId[d];
+      groupId_[d] = groupId[d];
+    }
+    stack_.clear();
+    frames_.clear();
+    cycles_ = 0;
+    instructions_ = 0;
+    bytesRead_ = 0;
+    bytesWritten_ = 0;
+    atomics_ = 0;
+    status_ = ItemStatus::Running;
+
+    const FunctionInfo& f = *ctx.kernelFunc;
+    arena_.assign(f.frameSize, 0);
+    Frame frame;
+    frame.funcIndex = ctx.kernel->functionIndex;
+    frame.returnPc = ~0u;
+    frame.frameBase = 0;
+    frame.prevBase = 0;
+    frames_.push_back(frame);
+    pc_ = f.codeStart;
+    fillKernelArgs();
+  }
+
+  ItemStatus status() const noexcept { return status_; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  std::uint64_t instructions() const noexcept { return instructions_; }
+  std::uint64_t bytesRead() const noexcept { return bytesRead_; }
+  std::uint64_t bytesWritten() const noexcept { return bytesWritten_; }
+  std::uint64_t atomics() const noexcept { return atomics_; }
+
+  /// Runs until completion or the next barrier.
+  void resume() {
+    COMMON_CHECK(status_ != ItemStatus::Done);
+    status_ = ItemStatus::Running;
+    const std::vector<Instr>& code = ctx_->program->code;
+    for (;;) {
+      const Instr instr = code[pc_++];
+      ++instructions_;
+      cycles_ += opCycleCost(instr.op);
+      switch (instr.op) {
+        case Op::Nop:
+          break;
+        case Op::PushConst:
+          push(ctx_->program->constants[std::size_t(instr.a)]);
+          break;
+        case Op::PushFrameAddr:
+          push(packPointer(MemSpace::Private, 0,
+                           frames_.back().frameBase + std::uint64_t(instr.a)));
+          break;
+        case Op::PushLocalAddr:
+          push(packPointer(MemSpace::Local, 0, std::uint64_t(instr.a)));
+          break;
+        case Op::Dup: {
+          const std::uint64_t v = top();
+          push(v);
+          break;
+        }
+        case Op::Pop:
+          (void)pop();
+          break;
+        case Op::Swap: {
+          const std::uint64_t a = pop();
+          const std::uint64_t b = pop();
+          push(a);
+          push(b);
+          break;
+        }
+        case Op::Rot3: {
+          const std::uint64_t c = pop();
+          const std::uint64_t b = pop();
+          const std::uint64_t a = pop();
+          push(b);
+          push(c);
+          push(a);
+          break;
+        }
+        case Op::Load: {
+          const std::uint64_t ptr = pop();
+          const std::size_t size = typeTagSize(instr.tag);
+          const std::uint8_t* p = resolve(ptr, size, /*write=*/false);
+          std::uint64_t v = 0;
+          std::memcpy(&v, p, size);
+          push(canon(v, instr.tag));
+          break;
+        }
+        case Op::Store: {
+          const std::uint64_t v = pop();
+          const std::uint64_t ptr = pop();
+          const std::size_t size = typeTagSize(instr.tag);
+          std::uint8_t* p = resolve(ptr, size, /*write=*/true);
+          std::memcpy(p, &v, size);
+          break;
+        }
+        case Op::StoreKeep: {
+          const std::uint64_t v = pop();
+          const std::uint64_t ptr = pop();
+          const std::size_t size = typeTagSize(instr.tag);
+          std::uint8_t* p = resolve(ptr, size, /*write=*/true);
+          std::memcpy(p, &v, size);
+          push(v);
+          break;
+        }
+        case Op::MemCopy: {
+          const std::uint64_t src = pop();
+          const std::uint64_t dst = pop();
+          const auto size = std::size_t(instr.a);
+          const std::uint8_t* s = resolve(src, size, /*write=*/false);
+          std::uint8_t* d = resolve(dst, size, /*write=*/true);
+          std::memmove(d, s, size);
+          break;
+        }
+        case Op::Add:
+        case Op::Sub:
+        case Op::Mul:
+        case Op::Div:
+        case Op::Rem:
+        case Op::Shl:
+        case Op::Shr:
+        case Op::BitAnd:
+        case Op::BitOr:
+        case Op::BitXor: {
+          const std::uint64_t rhs = pop();
+          const std::uint64_t lhs = pop();
+          push(arith(instr.op, instr.tag, lhs, rhs));
+          break;
+        }
+        case Op::Neg: {
+          const std::uint64_t v = pop();
+          if (instr.tag == TypeTag::F32) {
+            push(f32Slot(-slotF32(v)));
+          } else if (instr.tag == TypeTag::F64) {
+            push(f64Slot(-slotF64(v)));
+          } else {
+            push(canon(0 - v, instr.tag));
+          }
+          break;
+        }
+        case Op::BitNot:
+          push(canon(~pop(), instr.tag));
+          break;
+        case Op::CmpEq:
+        case Op::CmpNe:
+        case Op::CmpLt:
+        case Op::CmpLe:
+        case Op::CmpGt:
+        case Op::CmpGe: {
+          const std::uint64_t rhs = pop();
+          const std::uint64_t lhs = pop();
+          push(compare(instr.op, instr.tag, lhs, rhs) ? 1 : 0);
+          break;
+        }
+        case Op::LogNot:
+          push(pop() == 0 ? 1 : 0);
+          break;
+        case Op::Conv: {
+          const auto from = TypeTag((instr.a >> 8) & 0xff);
+          const auto to = TypeTag(instr.a & 0xff);
+          push(convert(pop(), from, to));
+          break;
+        }
+        case Op::Jmp:
+          pc_ = std::uint32_t(instr.a);
+          break;
+        case Op::Jz:
+          if (pop() == 0) pc_ = std::uint32_t(instr.a);
+          break;
+        case Op::Jnz:
+          if (pop() != 0) pc_ = std::uint32_t(instr.a);
+          break;
+        case Op::Call:
+          doCall(std::uint32_t(instr.a));
+          break;
+        case Op::CallBuiltin:
+          doBuiltin(Builtin(instr.a), instr.tag);
+          break;
+        case Op::Barrier:
+          status_ = ItemStatus::AtBarrier;
+          return;
+        case Op::Ret:
+          if (doReturn()) return;
+          break;
+        case Op::RetVal: {
+          const std::uint64_t v = pop();
+          const bool done = doReturn();
+          push(v);
+          if (done) return;
+          break;
+        }
+        case Op::RetStruct: {
+          const std::uint64_t src = pop();
+          std::uint64_t sret = 0;
+          {
+            const std::uint8_t* p =
+                resolve(packPointer(MemSpace::Private, 0,
+                                    frames_.back().frameBase),
+                        8, /*write=*/false);
+            std::memcpy(&sret, p, 8);
+          }
+          const auto size = std::size_t(instr.a);
+          const std::uint8_t* s = resolve(src, size, /*write=*/false);
+          std::uint8_t* d = resolve(sret, size, /*write=*/true);
+          std::memmove(d, s, size);
+          if (doReturn()) return;
+          break;
+        }
+        case Op::Trap:
+          trap(instr.a == 1
+                   ? "control reached the end of a non-void function"
+                   : "kernel trap");
+          break;
+      }
+    }
+  }
+
+private:
+  [[noreturn]] void trap(const std::string& message) const {
+    throw TrapError("work-item (" + std::to_string(globalId_[0]) + "," +
+                    std::to_string(globalId_[1]) + "," +
+                    std::to_string(globalId_[2]) + ") in kernel '" +
+                    ctx_->kernel->name + "': " + message);
+  }
+
+  void push(std::uint64_t v) {
+    if (stack_.size() >= kMaxOperands) {
+      trap("operand stack overflow");
+    }
+    stack_.push_back(v);
+  }
+
+  std::uint64_t pop() {
+    COMMON_CHECK_MSG(!stack_.empty(), "operand stack underflow (VM bug)");
+    const std::uint64_t v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+
+  std::uint64_t top() const {
+    COMMON_CHECK(!stack_.empty());
+    return stack_.back();
+  }
+
+  /// Resolves a packed pointer to raw host memory, bounds-checking the
+  /// access. Also maintains the global traffic counters.
+  std::uint8_t* resolve(std::uint64_t ptr, std::size_t size, bool write) {
+    const MemSpace space = pointerSpace(ptr);
+    const std::uint64_t offset = pointerOffset(ptr);
+    switch (space) {
+      case MemSpace::Invalid:
+        trap(ptr == 0 ? "null pointer dereference"
+                      : "wild pointer dereference");
+      case MemSpace::Private: {
+        if (offset + size > arena_.size()) {
+          trap("private memory access out of bounds (offset " +
+               std::to_string(offset) + ", size " + std::to_string(size) +
+               ", arena " + std::to_string(arena_.size()) + ")");
+        }
+        return arena_.data() + offset;
+      }
+      case MemSpace::Local: {
+        if (offset + size > localSize_) {
+          trap("__local memory access out of bounds (offset " +
+               std::to_string(offset) + ", size " + std::to_string(size) +
+               ", local " + std::to_string(localSize_) + ")");
+        }
+        return localBase_ + offset;
+      }
+      case MemSpace::Global: {
+        const std::uint64_t seg = pointerSegment(ptr);
+        if (seg >= ctx_->segments->size()) {
+          trap("invalid __global pointer (null or stale?)");
+        }
+        const Segment& segment = (*ctx_->segments)[seg];
+        if (offset + size > segment.size) {
+          trap("__global memory access out of bounds (buffer " +
+               std::to_string(seg) + ", offset " + std::to_string(offset) +
+               ", size " + std::to_string(size) + ", buffer size " +
+               std::to_string(segment.size) + ")");
+        }
+        if (write) {
+          bytesWritten_ += size;
+        } else {
+          bytesRead_ += size;
+        }
+        cycles_ += 8; // global memory latency beyond the base op cost
+        return segment.base + offset;
+      }
+    }
+    trap("wild pointer");
+  }
+
+  std::uint64_t arith(Op op, TypeTag tag, std::uint64_t lhs,
+                      std::uint64_t rhs) {
+    if (tag == TypeTag::F32) {
+      const float a = slotF32(lhs);
+      const float b = slotF32(rhs);
+      switch (op) {
+        case Op::Add: return f32Slot(a + b);
+        case Op::Sub: return f32Slot(a - b);
+        case Op::Mul: return f32Slot(a * b);
+        case Op::Div: return f32Slot(a / b);
+        case Op::Rem: return f32Slot(std::fmod(a, b));
+        default: trap("float bitwise op");
+      }
+    }
+    if (tag == TypeTag::F64) {
+      const double a = slotF64(lhs);
+      const double b = slotF64(rhs);
+      switch (op) {
+        case Op::Add: return f64Slot(a + b);
+        case Op::Sub: return f64Slot(a - b);
+        case Op::Mul: return f64Slot(a * b);
+        case Op::Div: return f64Slot(a / b);
+        case Op::Rem: return f64Slot(std::fmod(a, b));
+        default: trap("float bitwise op");
+      }
+    }
+    const unsigned bits = tagBits(tag);
+    switch (op) {
+      case Op::Add: return canon(lhs + rhs, tag);
+      case Op::Sub: return canon(lhs - rhs, tag);
+      case Op::Mul: return canon(lhs * rhs, tag);
+      case Op::Div: {
+        if (rhs == 0) trap("integer division by zero");
+        if (isSignedTag(tag)) {
+          const auto a = std::int64_t(lhs);
+          const auto b = std::int64_t(rhs);
+          if (b == -1 && a == std::numeric_limits<std::int64_t>::min()) {
+            return canon(std::uint64_t(a), tag); // wraps, avoids host UB
+          }
+          return canon(std::uint64_t(a / b), tag);
+        }
+        return canon(lhs / rhs, tag);
+      }
+      case Op::Rem: {
+        if (rhs == 0) trap("integer remainder by zero");
+        if (isSignedTag(tag)) {
+          const auto a = std::int64_t(lhs);
+          const auto b = std::int64_t(rhs);
+          if (b == -1) return 0;
+          return canon(std::uint64_t(a % b), tag);
+        }
+        return canon(lhs % rhs, tag);
+      }
+      case Op::Shl: return canon(lhs << (rhs & (bits - 1)), tag);
+      case Op::Shr:
+        if (isSignedTag(tag)) {
+          return canon(std::uint64_t(std::int64_t(lhs) >>
+                                     (rhs & (bits - 1))),
+                       tag);
+        }
+        return canon((lhs & (bits == 64 ? ~0ULL : ((1ULL << bits) - 1))) >>
+                         (rhs & (bits - 1)),
+                     tag);
+      case Op::BitAnd: return canon(lhs & rhs, tag);
+      case Op::BitOr: return canon(lhs | rhs, tag);
+      case Op::BitXor: return canon(lhs ^ rhs, tag);
+      default:
+        trap("bad arithmetic op");
+    }
+  }
+
+  bool compare(Op op, TypeTag tag, std::uint64_t lhs, std::uint64_t rhs) {
+    if (tag == TypeTag::F32 || tag == TypeTag::F64) {
+      const double a = tag == TypeTag::F32 ? double(slotF32(lhs)) : slotF64(lhs);
+      const double b = tag == TypeTag::F32 ? double(slotF32(rhs)) : slotF64(rhs);
+      switch (op) {
+        case Op::CmpEq: return a == b;
+        case Op::CmpNe: return a != b;
+        case Op::CmpLt: return a < b;
+        case Op::CmpLe: return a <= b;
+        case Op::CmpGt: return a > b;
+        case Op::CmpGe: return a >= b;
+        default: break;
+      }
+    } else if (isSignedTag(tag)) {
+      const auto a = std::int64_t(lhs);
+      const auto b = std::int64_t(rhs);
+      switch (op) {
+        case Op::CmpEq: return a == b;
+        case Op::CmpNe: return a != b;
+        case Op::CmpLt: return a < b;
+        case Op::CmpLe: return a <= b;
+        case Op::CmpGt: return a > b;
+        case Op::CmpGe: return a >= b;
+        default: break;
+      }
+    } else {
+      switch (op) {
+        case Op::CmpEq: return lhs == rhs;
+        case Op::CmpNe: return lhs != rhs;
+        case Op::CmpLt: return lhs < rhs;
+        case Op::CmpLe: return lhs <= rhs;
+        case Op::CmpGt: return lhs > rhs;
+        case Op::CmpGe: return lhs >= rhs;
+        default: break;
+      }
+    }
+    trap("bad compare op");
+  }
+
+  void doCall(std::uint32_t funcIndex) {
+    if (frames_.size() >= kMaxCallDepth) {
+      trap("call stack overflow");
+    }
+    const FunctionInfo& f = ctx_->program->functions[funcIndex];
+    const std::uint32_t newBase =
+        std::uint32_t((arena_.size() + 7) / 8 * 8);
+    if (newBase + f.frameSize > kMaxPrivateArena) {
+      trap("private memory exhausted");
+    }
+    arena_.resize(newBase + f.frameSize, 0);
+
+    // Pop arguments in reverse into the callee frame.
+    for (std::size_t i = f.params.size(); i-- > 0;) {
+      const ParamInfo& p = f.params[i];
+      const std::uint64_t v = pop();
+      if (p.kind == ParamKind::Struct) {
+        const std::uint8_t* src = resolve(v, p.size, /*write=*/false);
+        std::memcpy(arena_.data() + newBase + p.frameOffset, src, p.size);
+      } else {
+        std::memcpy(arena_.data() + newBase + p.frameOffset, &v,
+                    std::min<std::size_t>(p.size, 8));
+      }
+    }
+    if (f.returnsStruct) {
+      const std::uint64_t sret = pop();
+      std::memcpy(arena_.data() + newBase, &sret, 8); // slot 0 = sret
+    }
+
+    Frame frame;
+    frame.funcIndex = funcIndex;
+    frame.returnPc = pc_;
+    frame.frameBase = newBase;
+    frame.prevBase = frames_.back().frameBase;
+    frames_.push_back(frame);
+    pc_ = f.codeStart;
+  }
+
+  /// Returns true when the kernel's top-level function returned.
+  bool doReturn() {
+    const Frame frame = frames_.back();
+    frames_.pop_back();
+    if (frames_.empty()) {
+      status_ = ItemStatus::Done;
+      return true;
+    }
+    arena_.resize(frame.frameBase);
+    pc_ = frame.returnPc;
+    return false;
+  }
+
+  void doBuiltin(Builtin id, TypeTag tag) {
+    cycles_ += builtinCycleCost(id);
+    switch (id) {
+      case Builtin::GetGlobalId: push(idQuery(globalId_)); return;
+      case Builtin::GetLocalId: push(idQuery(localId_)); return;
+      case Builtin::GetGroupId: push(idQuery(groupId_)); return;
+      case Builtin::GetGlobalSize: {
+        const std::uint64_t d = pop();
+        push(d < 3 ? ctx_->range.globalSize[d] : 1);
+        return;
+      }
+      case Builtin::GetLocalSize: {
+        const std::uint64_t d = pop();
+        push(d < 3 ? ctx_->range.localSize[d] : 1);
+        return;
+      }
+      case Builtin::GetNumGroups: {
+        const std::uint64_t d = pop();
+        push(d < 3 ? ctx_->groupCount[d] : 1);
+        return;
+      }
+      case Builtin::GetWorkDim:
+        push(ctx_->range.dims);
+        return;
+      case Builtin::Barrier:
+        COMMON_CHECK_MSG(false, "barrier must compile to Op::Barrier");
+        return;
+      default:
+        break;
+    }
+
+    if (id >= Builtin::AtomicAdd && id <= Builtin::AtomicAddFloat) {
+      doAtomic(id, tag);
+      return;
+    }
+
+    const std::uint8_t arity = builtinArity(id);
+    std::uint64_t a[3] = {0, 0, 0};
+    for (std::size_t i = arity; i-- > 0;) {
+      a[i] = pop();
+    }
+    const bool f64 = tag == TypeTag::F64;
+    const auto x = [&](int i) {
+      return f64 ? slotF64(a[i]) : double(slotF32(a[i]));
+    };
+    const auto ret = [&](double d) {
+      push(f64 ? f64Slot(d) : f32Slot(float(d)));
+    };
+    // For f32 operands compute in float precision where it matters
+    // (matches what a GPU would produce more closely).
+    const auto retf = [&](auto fn) {
+      if (f64) {
+        push(f64Slot(fn(slotF64(a[0]))));
+      } else {
+        push(f32Slot(fn(slotF32(a[0]))));
+      }
+    };
+    const auto retf2 = [&](auto fn) {
+      if (f64) {
+        push(f64Slot(fn(slotF64(a[0]), slotF64(a[1]))));
+      } else {
+        push(f32Slot(fn(slotF32(a[0]), slotF32(a[1]))));
+      }
+    };
+
+    switch (id) {
+      case Builtin::Sqrt: retf([](auto v) { return std::sqrt(v); }); return;
+      case Builtin::Rsqrt:
+        retf([](auto v) { return decltype(v)(1) / std::sqrt(v); });
+        return;
+      case Builtin::Sin: retf([](auto v) { return std::sin(v); }); return;
+      case Builtin::Cos: retf([](auto v) { return std::cos(v); }); return;
+      case Builtin::Tan: retf([](auto v) { return std::tan(v); }); return;
+      case Builtin::Asin: retf([](auto v) { return std::asin(v); }); return;
+      case Builtin::Acos: retf([](auto v) { return std::acos(v); }); return;
+      case Builtin::Atan: retf([](auto v) { return std::atan(v); }); return;
+      case Builtin::Exp: retf([](auto v) { return std::exp(v); }); return;
+      case Builtin::Exp2: retf([](auto v) { return std::exp2(v); }); return;
+      case Builtin::Log: retf([](auto v) { return std::log(v); }); return;
+      case Builtin::Log2: retf([](auto v) { return std::log2(v); }); return;
+      case Builtin::Log10: retf([](auto v) { return std::log10(v); }); return;
+      case Builtin::Fabs: retf([](auto v) { return std::fabs(v); }); return;
+      case Builtin::Floor: retf([](auto v) { return std::floor(v); }); return;
+      case Builtin::Ceil: retf([](auto v) { return std::ceil(v); }); return;
+      case Builtin::Round: retf([](auto v) { return std::round(v); }); return;
+      case Builtin::Trunc: retf([](auto v) { return std::trunc(v); }); return;
+      case Builtin::Pow:
+        retf2([](auto x_, auto y_) { return std::pow(x_, y_); });
+        return;
+      case Builtin::Atan2:
+        retf2([](auto x_, auto y_) { return std::atan2(x_, y_); });
+        return;
+      case Builtin::Fmod:
+        retf2([](auto x_, auto y_) { return std::fmod(x_, y_); });
+        return;
+      case Builtin::Fmin:
+        retf2([](auto x_, auto y_) { return std::fmin(x_, y_); });
+        return;
+      case Builtin::Fmax:
+        retf2([](auto x_, auto y_) { return std::fmax(x_, y_); });
+        return;
+      case Builtin::Hypot:
+        retf2([](auto x_, auto y_) { return std::hypot(x_, y_); });
+        return;
+      case Builtin::Copysign:
+        retf2([](auto x_, auto y_) { return std::copysign(x_, y_); });
+        return;
+      case Builtin::Mad:
+      case Builtin::Fma:
+        if (f64) {
+          push(f64Slot(std::fma(slotF64(a[0]), slotF64(a[1]), slotF64(a[2]))));
+        } else {
+          push(f32Slot(std::fma(slotF32(a[0]), slotF32(a[1]), slotF32(a[2]))));
+        }
+        return;
+      case Builtin::Mix:
+        ret(x(0) + (x(1) - x(0)) * x(2));
+        return;
+      case Builtin::Clamp:
+        ret(std::fmin(std::fmax(x(0), x(1)), x(2)));
+        return;
+      case Builtin::IClamp: {
+        const auto v = std::int64_t(a[0]);
+        const auto lo = std::int64_t(a[1]);
+        const auto hi = std::int64_t(a[2]);
+        push(std::uint64_t(std::min(std::max(v, lo), hi)));
+        return;
+      }
+      case Builtin::IMin:
+      case Builtin::IMax: {
+        const bool wantMin = id == Builtin::IMin;
+        if (isSignedTag(tag)) {
+          const auto l = std::int64_t(a[0]);
+          const auto r = std::int64_t(a[1]);
+          push(std::uint64_t(wantMin ? std::min(l, r) : std::max(l, r)));
+        } else {
+          push(wantMin ? std::min(a[0], a[1]) : std::max(a[0], a[1]));
+        }
+        return;
+      }
+      case Builtin::IAbs: {
+        const auto v = std::int64_t(a[0]);
+        push(canon(std::uint64_t(v < 0 ? -v : v), tag));
+        return;
+      }
+      case Builtin::AsInt:
+      case Builtin::AsUInt:
+      case Builtin::AsFloat:
+        // 32-bit reinterpretation: the slot already holds the bits.
+        push(id == Builtin::AsInt ? canon(a[0], TypeTag::I32)
+                                  : (a[0] & 0xffffffffULL));
+        return;
+      case Builtin::ConvertInt:
+        push(convert(a[0], tag, TypeTag::I32));
+        return;
+      case Builtin::ConvertUInt:
+        push(convert(a[0], tag, TypeTag::U32));
+        return;
+      case Builtin::ConvertFloat:
+        push(convert(a[0], tag, TypeTag::F32));
+        return;
+      default:
+        trap(std::string("builtin not implemented: ") + builtinName(id));
+    }
+  }
+
+  void doAtomic(Builtin id, TypeTag tag) {
+    ++atomics_;
+    const std::uint8_t arity = builtinArity(id);
+    std::uint64_t a[3] = {0, 0, 0};
+    for (std::size_t i = arity; i-- > 0;) {
+      a[i] = pop();
+    }
+    const std::uint64_t ptr = a[0];
+    const MemSpace space = pointerSpace(ptr);
+    std::uint8_t* p = resolve(ptr, 4, /*write=*/true);
+    if ((reinterpret_cast<std::uintptr_t>(p) & 3) != 0) {
+      trap("misaligned atomic access");
+    }
+    auto* word = reinterpret_cast<std::uint32_t*>(p);
+
+    // Global memory may be touched by several host threads (one per
+    // work-group); __local memory is single-threaded within the group.
+    const bool needAtomic = space == MemSpace::Global;
+
+    const auto rmw = [&](auto fn) -> std::uint32_t {
+      if (needAtomic) {
+        std::atomic_ref<std::uint32_t> ref(*word);
+        std::uint32_t expected = ref.load(std::memory_order_relaxed);
+        for (;;) {
+          const std::uint32_t desired = fn(expected);
+          if (ref.compare_exchange_weak(expected, desired,
+                                        std::memory_order_acq_rel)) {
+            return expected;
+          }
+        }
+      }
+      const std::uint32_t old = *word;
+      *word = fn(old);
+      return old;
+    };
+
+    const auto operand = std::uint32_t(a[1]);
+    std::uint32_t old = 0;
+    switch (id) {
+      case Builtin::AtomicAdd:
+        old = rmw([&](std::uint32_t v) { return v + operand; });
+        break;
+      case Builtin::AtomicSub:
+        old = rmw([&](std::uint32_t v) { return v - operand; });
+        break;
+      case Builtin::AtomicXchg:
+        old = rmw([&](std::uint32_t) { return operand; });
+        break;
+      case Builtin::AtomicMin:
+        if (isSignedTag(tag)) {
+          old = rmw([&](std::uint32_t v) {
+            return std::uint32_t(
+                std::min(std::int32_t(v), std::int32_t(operand)));
+          });
+        } else {
+          old = rmw([&](std::uint32_t v) { return std::min(v, operand); });
+        }
+        break;
+      case Builtin::AtomicMax:
+        if (isSignedTag(tag)) {
+          old = rmw([&](std::uint32_t v) {
+            return std::uint32_t(
+                std::max(std::int32_t(v), std::int32_t(operand)));
+          });
+        } else {
+          old = rmw([&](std::uint32_t v) { return std::max(v, operand); });
+        }
+        break;
+      case Builtin::AtomicAnd:
+        old = rmw([&](std::uint32_t v) { return v & operand; });
+        break;
+      case Builtin::AtomicOr:
+        old = rmw([&](std::uint32_t v) { return v | operand; });
+        break;
+      case Builtin::AtomicXor:
+        old = rmw([&](std::uint32_t v) { return v ^ operand; });
+        break;
+      case Builtin::AtomicInc:
+        old = rmw([&](std::uint32_t v) { return v + 1; });
+        break;
+      case Builtin::AtomicDec:
+        old = rmw([&](std::uint32_t v) { return v - 1; });
+        break;
+      case Builtin::AtomicCmpXchg: {
+        const auto cmp = std::uint32_t(a[1]);
+        const auto val = std::uint32_t(a[2]);
+        old = rmw([&](std::uint32_t v) { return v == cmp ? val : v; });
+        break;
+      }
+      case Builtin::AtomicAddFloat: {
+        const float add = slotF32(a[1]);
+        old = rmw([&](std::uint32_t v) {
+          float f;
+          std::memcpy(&f, &v, 4);
+          f += add;
+          std::uint32_t out;
+          std::memcpy(&out, &f, 4);
+          return out;
+        });
+        push(old & 0xffffffffULL);
+        return;
+      }
+      default:
+        trap("bad atomic builtin");
+    }
+    push(canon(old, tag == TypeTag::F32 ? TypeTag::U32 : tag));
+  }
+
+  std::uint64_t idQuery(const std::size_t ids[3]) {
+    const std::uint64_t d = pop();
+    return d < 3 ? ids[d] : 0;
+  }
+
+  void fillKernelArgs() {
+    const FunctionInfo& f = *ctx_->kernelFunc;
+    const auto& args = *ctx_->args;
+    COMMON_CHECK(args.size() == f.params.size());
+    std::size_t localArgIdx = 0;
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      const ParamInfo& p = f.params[i];
+      const KernelArgValue& arg = args[i];
+      std::uint64_t slot = 0;
+      switch (arg.kind) {
+        case KernelArgValue::Kind::Buffer:
+          slot = packPointer(MemSpace::Global, arg.segmentIndex, 0);
+          break;
+        case KernelArgValue::Kind::Local:
+          slot = packPointer(MemSpace::Local, 0,
+                             ctx_->localArgOffsets[localArgIdx++]);
+          break;
+        case KernelArgValue::Kind::Scalar:
+          slot = arg.scalar;
+          break;
+        case KernelArgValue::Kind::Struct:
+          COMMON_CHECK(arg.bytes.size() == p.size);
+          std::memcpy(arena_.data() + p.frameOffset, arg.bytes.data(),
+                      p.size);
+          continue;
+      }
+      if (p.kind == ParamKind::LocalPtr && arg.kind != KernelArgValue::Kind::Local) {
+        // Counting of local args must stay in sync; reaching here is a
+        // host-side bug caught earlier by ocl::Kernel::setArg.
+        COMMON_CHECK_MSG(false, "local param given non-local arg");
+      }
+      std::memcpy(arena_.data() + p.frameOffset, &slot,
+                  std::min<std::size_t>(p.size == 0 ? 8 : p.size, 8));
+    }
+  }
+
+  const LaunchContext* ctx_ = nullptr;
+  std::uint8_t* localBase_ = nullptr;
+  std::size_t localSize_ = 0;
+  std::size_t globalId_[3] = {0, 0, 0};
+  std::size_t localId_[3] = {0, 0, 0};
+  std::size_t groupId_[3] = {0, 0, 0};
+
+  std::vector<std::uint8_t> arena_;
+  std::vector<std::uint64_t> stack_;
+  std::vector<Frame> frames_;
+  std::uint32_t pc_ = 0;
+  ItemStatus status_ = ItemStatus::Running;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t bytesRead_ = 0;
+  std::uint64_t bytesWritten_ = 0;
+  std::uint64_t atomics_ = 0;
+};
+
+/// Per-group counters filled by the group runner.
+struct GroupResult {
+  GroupCost cost;
+  std::uint64_t instructions = 0;
+  std::uint64_t bytesRead = 0;
+  std::uint64_t bytesWritten = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t barrierWaits = 0;
+};
+
+void runGroup(const LaunchContext& ctx, std::size_t groupLinear,
+              GroupResult& result) {
+  const std::size_t gx = groupLinear % ctx.groupCount[0];
+  const std::size_t gy = (groupLinear / ctx.groupCount[0]) % ctx.groupCount[1];
+  const std::size_t gz = groupLinear / (ctx.groupCount[0] * ctx.groupCount[1]);
+  const std::size_t groupId[3] = {gx, gy, gz};
+
+  std::vector<std::uint8_t> localMem(ctx.totalLocalSize, 0);
+  const std::size_t itemCount = ctx.range.totalLocal();
+  std::vector<ItemVM> items(itemCount);
+
+  std::size_t idx = 0;
+  for (std::size_t lz = 0; lz < ctx.range.localSize[2]; ++lz) {
+    for (std::size_t ly = 0; ly < ctx.range.localSize[1]; ++ly) {
+      for (std::size_t lx = 0; lx < ctx.range.localSize[0]; ++lx) {
+        const std::size_t localId[3] = {lx, ly, lz};
+        const std::size_t globalId[3] = {
+            gx * ctx.range.localSize[0] + lx,
+            gy * ctx.range.localSize[1] + ly,
+            gz * ctx.range.localSize[2] + lz,
+        };
+        items[idx++].init(ctx, localMem.data(), localMem.size(), globalId,
+                          localId, groupId);
+      }
+    }
+  }
+
+  // Round-robin between barriers.
+  for (;;) {
+    std::size_t done = 0;
+    std::size_t atBarrier = 0;
+    for (ItemVM& item : items) {
+      if (item.status() == ItemStatus::Done) {
+        ++done;
+        continue;
+      }
+      item.resume();
+      if (item.status() == ItemStatus::Done) {
+        ++done;
+      } else {
+        ++atBarrier;
+      }
+    }
+    if (atBarrier == 0) {
+      break;
+    }
+    if (done != 0) {
+      throw TrapError(
+          "barrier divergence in kernel '" + ctx.kernel->name +
+          "': some work-items of a group finished while others wait at a "
+          "barrier");
+    }
+    ++result.barrierWaits;
+  }
+
+  for (const ItemVM& item : items) {
+    result.cost.sumCycles += item.cycles();
+    result.cost.maxCycles = std::max(result.cost.maxCycles, item.cycles());
+    result.instructions += item.instructions();
+    result.bytesRead += item.bytesRead();
+    result.bytesWritten += item.bytesWritten();
+    result.atomics += item.atomics();
+  }
+}
+
+} // namespace
+
+std::uint32_t opCycleCost(Op op) noexcept {
+  switch (op) {
+    case Op::Nop:
+    case Op::Dup:
+    case Op::Pop:
+    case Op::Swap:
+    case Op::Rot3:
+      return 0; // stack shuffling models register traffic: free
+    case Op::PushConst:
+    case Op::PushFrameAddr:
+    case Op::PushLocalAddr:
+      return 1;
+    case Op::Load:
+    case Op::Store:
+    case Op::StoreKeep:
+      return 2; // private/local latency; global adds +8 in resolve()
+    case Op::MemCopy:
+      return 4;
+    case Op::Div:
+    case Op::Rem:
+      return 8;
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Neg:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::BitAnd:
+    case Op::BitOr:
+    case Op::BitXor:
+    case Op::BitNot:
+    case Op::CmpEq:
+    case Op::CmpNe:
+    case Op::CmpLt:
+    case Op::CmpLe:
+    case Op::CmpGt:
+    case Op::CmpGe:
+    case Op::LogNot:
+    case Op::Conv:
+      return 1;
+    case Op::Jmp:
+    case Op::Jz:
+    case Op::Jnz:
+      return 1;
+    case Op::Call:
+    case Op::Ret:
+    case Op::RetVal:
+    case Op::RetStruct:
+      return 4;
+    case Op::CallBuiltin:
+      return 0; // builtinCycleCost covers it
+    case Op::Barrier:
+      return 16;
+    case Op::Trap:
+      return 0;
+  }
+  return 1;
+}
+
+LaunchStats executeKernel(const Program& program,
+                          const std::string& kernelName, const NDRange& range,
+                          const std::vector<KernelArgValue>& args,
+                          const std::vector<Segment>& segments,
+                          common::ThreadPool* pool) {
+  const KernelInfo* kernel = program.findKernel(kernelName);
+  if (kernel == nullptr) {
+    throw common::InvalidArgument("no kernel named '" + kernelName + "'");
+  }
+
+  LaunchContext ctx;
+  ctx.program = &program;
+  ctx.segments = &segments;
+  ctx.kernel = kernel;
+  ctx.kernelFunc = &program.functions[kernel->functionIndex];
+  ctx.args = &args;
+  ctx.range = range;
+
+  if (args.size() != ctx.kernelFunc->params.size()) {
+    throw common::InvalidArgument(
+        "kernel '" + kernelName + "' expects " +
+        std::to_string(ctx.kernelFunc->params.size()) + " arguments, got " +
+        std::to_string(args.size()));
+  }
+
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    if (range.localSize[d] == 0 || range.globalSize[d] == 0) {
+      throw common::InvalidArgument("ND-range sizes must be non-zero");
+    }
+    if (range.globalSize[d] % range.localSize[d] != 0) {
+      throw common::InvalidArgument(
+          "global size must be divisible by the work-group size "
+          "(OpenCL 1.1 rule); dimension " +
+          std::to_string(d) + ": " + std::to_string(range.globalSize[d]) +
+          " % " + std::to_string(range.localSize[d]) + " != 0");
+    }
+    ctx.groupCount[d] = range.globalSize[d] / range.localSize[d];
+  }
+
+  // Layout of one work-group's local memory: static __local declarations
+  // first, then each __local pointer argument's region.
+  std::uint32_t localTop = kernel->staticLocalSize;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (ctx.kernelFunc->params[i].kind == ParamKind::LocalPtr) {
+      if (args[i].kind != KernelArgValue::Kind::Local) {
+        throw common::InvalidArgument(
+            "kernel argument " + std::to_string(i) +
+            " is a __local pointer; the host must supply a size");
+      }
+      localTop = (localTop + 7) / 8 * 8;
+      ctx.localArgOffsets.push_back(localTop);
+      localTop += args[i].localSize;
+    }
+  }
+  ctx.totalLocalSize = localTop;
+
+  const std::size_t numGroups =
+      ctx.groupCount[0] * ctx.groupCount[1] * ctx.groupCount[2];
+  std::vector<GroupResult> results(numGroups);
+
+  const auto runOne = [&](std::size_t g) { runGroup(ctx, g, results[g]); };
+  if (pool != nullptr && numGroups > 1) {
+    pool->parallelFor(numGroups, runOne);
+  } else {
+    for (std::size_t g = 0; g < numGroups; ++g) {
+      runOne(g);
+    }
+  }
+
+  LaunchStats stats;
+  stats.groups.reserve(numGroups);
+  for (const GroupResult& r : results) {
+    stats.groups.push_back(r.cost);
+    stats.instructions += r.instructions;
+    stats.totalCycles += r.cost.sumCycles;
+    stats.globalBytesRead += r.bytesRead;
+    stats.globalBytesWritten += r.bytesWritten;
+    stats.atomicOps += r.atomics;
+    stats.barrierWaits += r.barrierWaits;
+  }
+  return stats;
+}
+
+} // namespace clc

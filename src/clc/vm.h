@@ -1,0 +1,94 @@
+// Bytecode VM: executes a compiled kernel over an OpenCL ND-range.
+//
+// Work-groups are independent and may run in parallel on a host thread
+// pool; work-items inside one group run cooperatively on one thread and
+// are scheduled round-robin between barriers, which gives real OpenCL
+// barrier semantics (all items reach the barrier before any proceeds).
+//
+// Every instruction is accounted: the per-item cycle counts and global
+// memory traffic feed the ocl timing model that converts a launch into
+// virtual device time (see ocl/timing_model.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clc/bytecode.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace clc {
+
+/// Raised when a kernel traps: out-of-bounds access, misaligned atomic,
+/// division fault, barrier divergence, stack overflow...
+class TrapError : public common::Error {
+public:
+  explicit TrapError(const std::string& what) : common::Error(what) {}
+};
+
+/// A region of host memory standing in for one __global allocation.
+struct Segment {
+  std::uint8_t* base = nullptr;
+  std::size_t size = 0;
+};
+
+/// One kernel argument as supplied by the host API.
+struct KernelArgValue {
+  enum class Kind { Buffer, Local, Scalar, Struct };
+  Kind kind = Kind::Scalar;
+  std::uint32_t segmentIndex = 0;     // Buffer: index into the segment table
+  std::uint64_t scalar = 0;           // Scalar: canonical 64-bit slot
+  std::vector<std::uint8_t> bytes;    // Struct: by-value contents
+  std::uint32_t localSize = 0;        // Local: per-group byte count
+};
+
+struct NDRange {
+  std::uint32_t dims = 1;
+  std::size_t globalSize[3] = {1, 1, 1};
+  std::size_t localSize[3] = {1, 1, 1};
+
+  std::size_t totalGlobal() const noexcept {
+    return globalSize[0] * globalSize[1] * globalSize[2];
+  }
+  std::size_t totalLocal() const noexcept {
+    return localSize[0] * localSize[1] * localSize[2];
+  }
+};
+
+/// Cost profile of one executed work-group.
+struct GroupCost {
+  std::uint64_t sumCycles = 0; // total cycles over all items in the group
+  std::uint64_t maxCycles = 0; // slowest single item (critical path)
+};
+
+/// Aggregate profile of a kernel launch, consumed by the timing model.
+struct LaunchStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t totalCycles = 0;
+  std::uint64_t globalBytesRead = 0;
+  std::uint64_t globalBytesWritten = 0;
+  std::uint64_t atomicOps = 0;
+  std::uint64_t barrierWaits = 0;
+  std::vector<GroupCost> groups;
+};
+
+/// Executes `kernelName` over `range`.
+///
+/// * `segments` is the launch's global-memory table; Buffer arguments and
+///   every global pointer in flight index into it.
+/// * `pool` runs work-groups in parallel when non-null.
+///
+/// OpenCL 1.1 rules are enforced: the global size must be divisible by the
+/// work-group size in every dimension. Throws TrapError on kernel faults
+/// and common::InvalidArgument on launch-configuration errors.
+LaunchStats executeKernel(const Program& program,
+                          const std::string& kernelName, const NDRange& range,
+                          const std::vector<KernelArgValue>& args,
+                          const std::vector<Segment>& segments,
+                          common::ThreadPool* pool);
+
+/// Per-opcode base cost in device cycles (exposed for tests/docs).
+std::uint32_t opCycleCost(Op op) noexcept;
+
+} // namespace clc

@@ -1,0 +1,58 @@
+#include "common/byte_stream.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace common {
+
+void writeFile(const std::string& path,
+               const std::vector<std::uint8_t>& bytes) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+  }
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot open for writing: " + tmp.string());
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw IoError("short write to: " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    throw IoError("rename failed: " + tmp.string() + " -> " + path + ": " +
+                  ec.message());
+  }
+}
+
+std::vector<std::uint8_t> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw IoError("cannot open for reading: " + path);
+  }
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) {
+    throw IoError("short read from: " + path);
+  }
+  return bytes;
+}
+
+bool fileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+} // namespace common

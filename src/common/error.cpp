@@ -1,0 +1,16 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace common::detail {
+
+void checkFailed(const char* condition, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d %s\n", condition, file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace common::detail

@@ -1,0 +1,64 @@
+// Error handling primitives shared by all modules.
+//
+// Follows the C++ Core Guidelines: errors that the caller can reasonably
+// handle are reported via exceptions derived from `common::Error`;
+// violations of internal invariants (bugs) abort via CHECK macros so they
+// are never silently swallowed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace common {
+
+/// Base class for every exception thrown by this project.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller passes an argument that violates a documented
+/// precondition (e.g. mismatched vector sizes passed to a Zip skeleton).
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (kernel cache files, trace dumps, ...).
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void checkFailed(const char* condition, const char* file,
+                              int line, const std::string& message);
+} // namespace detail
+
+} // namespace common
+
+/// Internal invariant check: aborts with a diagnostic when violated.
+/// Use for conditions that indicate a bug in *this* library, never for
+/// conditions a user of the library could trigger with bad input.
+#define COMMON_CHECK(cond)                                                     \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::common::detail::checkFailed(#cond, __FILE__, __LINE__, "");            \
+    }                                                                          \
+  } while (false)
+
+#define COMMON_CHECK_MSG(cond, msg)                                            \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::common::detail::checkFailed(#cond, __FILE__, __LINE__, (msg));         \
+    }                                                                          \
+  } while (false)
+
+/// Precondition check on public API boundaries: throws InvalidArgument.
+#define COMMON_EXPECTS(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      throw ::common::InvalidArgument(                                         \
+          std::string("precondition failed: ") + (msg));                       \
+    }                                                                          \
+  } while (false)

@@ -1,0 +1,53 @@
+// Hashing utilities.
+//
+// FNV-1a is used for fast in-memory hashing (e.g. hash tables keyed by
+// kernel source). SHA-256 is used where collision resistance matters: the
+// on-disk kernel cache keys compiled binaries by the SHA-256 of their
+// source text and build options, mirroring how real OpenCL binary caches
+// (and SkelCL's own disk cache) key entries.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace common {
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept;
+
+inline std::uint64_t fnv1a64(std::string_view s) noexcept {
+  return fnv1a64(s.data(), s.size());
+}
+
+/// Incremental SHA-256. Minimal, self-contained implementation (FIPS 180-4).
+class Sha256 {
+public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+  void update(std::string_view s) noexcept { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must be reset()
+  /// before further use.
+  std::array<std::uint8_t, 32> digest() noexcept;
+
+  /// Convenience: hex digest of a single buffer.
+  static std::string hexDigest(std::string_view data);
+
+private:
+  void processBlock(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t bufferLen_ = 0;
+  std::uint64_t totalLen_ = 0;
+};
+
+/// Lower-case hex encoding of a byte array.
+std::string toHex(const std::uint8_t* data, std::size_t size);
+
+} // namespace common

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace common {
+
+namespace {
+
+LogLevel initialLevel() {
+  const char* env = std::getenv("SKELCL_LOG");
+  if (env == nullptr) {
+    return LogLevel::Warn;
+  }
+  const std::string value = toLower(env);
+  if (value == "off" || value == "none") return LogLevel::Off;
+  if (value == "error") return LogLevel::Error;
+  if (value == "warn" || value == "warning") return LogLevel::Warn;
+  if (value == "info") return LogLevel::Info;
+  if (value == "debug") return LogLevel::Debug;
+  return LogLevel::Warn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initialLevel())};
+std::mutex g_outputMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Off: break;
+  }
+  return "?";
+}
+
+} // namespace
+
+void setLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel logLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void logLine(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_outputMutex);
+  std::fprintf(stderr, "[skelcl %s] %s\n", levelName(level), message.c_str());
+}
+
+} // namespace detail
+
+} // namespace common

@@ -1,0 +1,35 @@
+// Leveled logging. SkelCL itself shipped a logger; ours mirrors that:
+// severity filtering via SKELCL_LOG (error|warn|info|debug) or setLevel().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace common {
+
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Sets the global level; also read once from env SKELCL_LOG at startup.
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+namespace detail {
+void logLine(LogLevel level, const std::string& message);
+}
+
+#define COMMON_LOG(level, expr)                                                \
+  do {                                                                         \
+    if (static_cast<int>(level) <=                                             \
+        static_cast<int>(::common::logLevel())) {                              \
+      std::ostringstream common_log_stream_;                                   \
+      common_log_stream_ << expr;                                              \
+      ::common::detail::logLine(level, common_log_stream_.str());              \
+    }                                                                          \
+  } while (false)
+
+#define LOG_ERROR(expr) COMMON_LOG(::common::LogLevel::Error, expr)
+#define LOG_WARN(expr) COMMON_LOG(::common::LogLevel::Warn, expr)
+#define LOG_INFO(expr) COMMON_LOG(::common::LogLevel::Info, expr)
+#define LOG_DEBUG(expr) COMMON_LOG(::common::LogLevel::Debug, expr)
+
+} // namespace common

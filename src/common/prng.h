@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation (splitmix64 + xoshiro256**)
+// used by workload generators (PET event sampling, test data). Determinism
+// matters: every experiment in EXPERIMENTS.md must be re-runnable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace common {
+
+/// splitmix64: used to seed xoshiro and for cheap stateless mixing.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() noexcept {
+    return double(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float nextFloat() noexcept {
+    return float(next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds
+  /// (simple rejection-free scaling; bias is < 2^-32 for bound < 2^32).
+  std::uint64_t nextBelow(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : (next() % bound);
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+} // namespace common

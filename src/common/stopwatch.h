@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for host-side measurements (kernel build vs cache
+// load, benchmark wall time next to the simulator's virtual time).
+#pragma once
+
+#include <chrono>
+
+namespace common {
+
+class Stopwatch {
+public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  double elapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsedMillis() const noexcept { return elapsedSeconds() * 1e3; }
+  double elapsedMicros() const noexcept { return elapsedSeconds() * 1e6; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+} // namespace common

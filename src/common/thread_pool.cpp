@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace common {
+
+namespace {
+
+/// Heap-allocated state shared between the caller and queued helper
+/// tasks. Helpers may dequeue after parallelFor already returned (when
+/// the caller drained all indices itself); the shared_ptr keeps the job
+/// alive so such stragglers exit harmlessly.
+struct Job {
+  explicit Job(std::size_t count, std::function<void(std::size_t)> body)
+      : count(count), body(std::move(body)) {}
+
+  const std::size_t count;
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex errorMutex;
+  std::exception_ptr error;
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+
+  void run() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(errorMutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard lock(doneMutex);
+        doneCv.notify_all();
+      }
+    }
+  }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallelFor, so a pool on an
+  // N-core machine spawns N-1 workers.
+  for (std::size_t i = 1; i < threads; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>(count, body);
+  const std::size_t helpers = std::min(threads_.size(), count - 1);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.push([job] { job->run(); });
+    }
+  }
+  cv_.notify_all();
+
+  job->run(); // The caller works too.
+
+  {
+    std::unique_lock lock(job->doneMutex);
+    job->doneCv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
+  }
+
+  if (job->error) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+} // namespace common

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the ocl executor to run work-groups of a
+// kernel launch in parallel on the host.
+//
+// The pool degrades gracefully on single-core machines: with one worker,
+// parallelFor runs inline on the calling thread and no task ever blocks
+// waiting for a second core.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace common {
+
+class ThreadPool {
+public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return threads_.size(); }
+
+  /// Runs body(i) for i in [0, count), distributing chunks over the pool.
+  /// Blocks until every index has completed. Exceptions from the body are
+  /// rethrown on the calling thread (the first one captured wins).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Singleton pool shared by all simulated devices.
+  static ThreadPool& global();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+} // namespace common

@@ -1,0 +1,143 @@
+#include "cuda/runtime.h"
+
+namespace cuda {
+
+namespace {
+
+struct DeviceCtx {
+  ocl::Device device;
+  ocl::Context context;
+  ocl::CommandQueue queue;
+};
+
+std::vector<DeviceCtx> discoverContexts() {
+  std::vector<DeviceCtx> out;
+  for (const auto& platform : ocl::getPlatforms()) {
+    for (const auto& device : platform.devices(ocl::DeviceType::GPU)) {
+      DeviceCtx ctx;
+      ctx.device = device;
+      ctx.context = ocl::Context({device});
+      ctx.queue = ocl::CommandQueue(device, ocl::Backend::Cuda);
+      out.push_back(std::move(ctx));
+    }
+  }
+  return out;
+}
+
+std::vector<DeviceCtx>& contexts() {
+  static std::vector<DeviceCtx> ctxs = discoverContexts();
+  return ctxs;
+}
+
+thread_local int t_currentDevice = 0;
+
+DeviceCtx& current() {
+  auto& ctxs = contexts();
+  COMMON_EXPECTS(!ctxs.empty(), "no CUDA-capable (GPU) devices");
+  COMMON_EXPECTS(t_currentDevice >= 0 &&
+                     std::size_t(t_currentDevice) < ctxs.size(),
+                 "current device index out of range");
+  return ctxs[std::size_t(t_currentDevice)];
+}
+
+} // namespace
+
+void reset() {
+  contexts() = discoverContexts();
+  t_currentDevice = 0;
+}
+
+int getDeviceCount() { return int(contexts().size()); }
+
+void setDevice(int index) {
+  COMMON_EXPECTS(index >= 0 && index < getDeviceCount(),
+                 "cuda::setDevice index out of range");
+  t_currentDevice = index;
+}
+
+int getDevice() { return t_currentDevice; }
+
+DeviceMemory::DeviceMemory(std::size_t bytes)
+    : buffer_(current().context.createBuffer(current().device, bytes)) {}
+
+void memcpyHostToDevice(DeviceMemory& dst, const void* src,
+                        std::size_t bytes) {
+  memcpyHostToDevice(dst, 0, src, bytes);
+}
+
+void memcpyHostToDevice(DeviceMemory& dst, std::size_t dstOffset,
+                        const void* src, std::size_t bytes) {
+  // CUDA's plain cudaMemcpy is synchronous; keep that semantic.
+  ocl::CommandQueue queue(dst.buffer().device(), ocl::Backend::Cuda);
+  queue.enqueueWriteBuffer(dst.buffer(), dstOffset, bytes, src).wait();
+}
+
+void memcpyHostToDeviceAsync(DeviceMemory& dst, const void* src,
+                             std::size_t bytes) {
+  ocl::CommandQueue queue(dst.buffer().device(), ocl::Backend::Cuda);
+  queue.enqueueWriteBuffer(dst.buffer(), 0, bytes, src);
+}
+
+void memcpyDeviceToHost(void* dst, const DeviceMemory& src,
+                        std::size_t bytes) {
+  memcpyDeviceToHost(dst, src, 0, bytes);
+}
+
+void memcpyDeviceToHost(void* dst, const DeviceMemory& src,
+                        std::size_t srcOffset, std::size_t bytes) {
+  ocl::CommandQueue queue(src.buffer().device(), ocl::Backend::Cuda);
+  queue.enqueueReadBuffer(src.buffer(), srcOffset, bytes, dst,
+                          /*blocking=*/true);
+}
+
+void memcpyDeviceToDevice(DeviceMemory& dst, const DeviceMemory& src,
+                          std::size_t bytes) {
+  memcpyDeviceToDevice(dst, 0, src, 0, bytes);
+}
+
+void memcpyDeviceToDevice(DeviceMemory& dst, std::size_t dstOffset,
+                          const DeviceMemory& src, std::size_t srcOffset,
+                          std::size_t bytes) {
+  ocl::CommandQueue queue(dst.buffer().device(), ocl::Backend::Cuda);
+  queue.enqueueCopyBuffer(src.buffer(), srcOffset, dst.buffer(), dstOffset,
+                          bytes)
+      .wait();
+}
+
+void deviceSynchronize() { current().queue.finish(); }
+
+std::uint64_t clockNs() { return ocl::hostTimeNs(); }
+
+Module Module::compile(const std::string& source) {
+  Module module;
+  module.program_ = ocl::Program::fromSource(source);
+  module.program_.build();
+  return module;
+}
+
+KernelFunction Module::function(const std::string& name) const {
+  return KernelFunction(program_.createKernel(name));
+}
+
+namespace detail {
+
+void setLaunchArg(ocl::Kernel& kernel, std::size_t index,
+                  const DeviceMemory& mem) {
+  kernel.setArg(index, mem.buffer());
+}
+
+ocl::Event launchImpl(ocl::Kernel& kernel, Dim3 grid, Dim3 block) {
+  clc::NDRange range;
+  range.dims = (grid.z * block.z > 1) ? 3 : (grid.y * block.y > 1) ? 2 : 1;
+  range.globalSize[0] = std::size_t(grid.x) * block.x;
+  range.globalSize[1] = std::size_t(grid.y) * block.y;
+  range.globalSize[2] = std::size_t(grid.z) * block.z;
+  range.localSize[0] = block.x;
+  range.localSize[1] = block.y;
+  range.localSize[2] = block.z;
+  return current().queue.enqueueNDRange(kernel, range);
+}
+
+} // namespace detail
+
+} // namespace cuda

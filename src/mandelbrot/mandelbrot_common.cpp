@@ -1,0 +1,81 @@
+#include "mandelbrot/mandelbrot.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "ocl/device.h"
+
+namespace mandelbrot {
+
+FractalResult computeReference(const FractalParams& params) {
+  common::Stopwatch wall;
+  FractalResult result;
+  result.iterations.resize(params.pixels());
+  const float x0 = params.x0();
+  const float y0 = params.y0();
+  const float dx = params.dx();
+  const float dy = params.dy();
+  for (std::uint32_t py = 0; py < params.height; ++py) {
+    for (std::uint32_t px = 0; px < params.width; ++px) {
+      const float cx = x0 + float(px) * dx;
+      const float cy = y0 + float(py) * dy;
+      float zx = 0.0f;
+      float zy = 0.0f;
+      std::int32_t n = 0;
+      while (zx * zx + zy * zy <= 4.0f &&
+             n < std::int32_t(params.maxIterations)) {
+        const float t = zx * zx - zy * zy + cx;
+        zy = 2.0f * zx * zy + cy;
+        zx = t;
+        ++n;
+      }
+      result.iterations[std::size_t(py) * params.width + px] = n;
+    }
+  }
+  result.wallSeconds = wall.elapsedSeconds();
+  result.virtualSeconds = 0; // host reference has no device time
+  return result;
+}
+
+void writePpm(const std::string& path, const FractalParams& params,
+              const std::vector<std::int32_t>& iterations) {
+  COMMON_EXPECTS(iterations.size() == params.pixels(),
+                 "iteration buffer does not match the image size");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw common::IoError("cannot open " + path);
+  }
+  out << "P6\n" << params.width << " " << params.height << "\n255\n";
+  const auto maxIter = std::int32_t(params.maxIterations);
+  for (const std::int32_t n : iterations) {
+    unsigned char rgb[3];
+    if (n >= maxIter) {
+      rgb[0] = rgb[1] = rgb[2] = 0; // members of the set are black
+    } else {
+      // Simple smooth-ish coloring by iteration count.
+      const double t = double(n) / double(maxIter);
+      rgb[0] = static_cast<unsigned char>(9 * (1 - t) * t * t * t * 255);
+      rgb[1] = static_cast<unsigned char>(
+          15 * (1 - t) * (1 - t) * t * t * 255);
+      rgb[2] = static_cast<unsigned char>(
+          8.5 * (1 - t) * (1 - t) * (1 - t) * t * 255);
+    }
+    out.write(reinterpret_cast<const char*>(rgb), 3);
+  }
+}
+
+std::vector<LocEntry> locEntries() {
+  const std::string dir = std::string(SKELCL_REPRO_SOURCE_DIR) +
+                          "/src/mandelbrot/";
+  return {
+      {"CUDA", dir + "kernels/mandelbrot_cuda.cl",
+       dir + "mandelbrot_cuda.cpp"},
+      {"OpenCL", dir + "kernels/mandelbrot_opencl.cl",
+       dir + "mandelbrot_opencl.cpp"},
+      {"SkelCL", dir + "kernels/mandelbrot_skelcl.cl",
+       dir + "mandelbrot_skelcl.cpp"},
+  };
+}
+
+} // namespace mandelbrot

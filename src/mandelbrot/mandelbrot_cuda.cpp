@@ -1,0 +1,40 @@
+// CUDA-style Mandelbrot host program (paper Sec. IV-A). The kernel is
+// compiled ahead of the run (the nvcc model) and launched with the
+// paper's 16x16 work-groups ("thread blocks").
+#include "mandelbrot/mandelbrot.h"
+
+#include "common/stopwatch.h"
+#include "cuda/runtime.h"
+#include "mandelbrot_cuda_source.h"
+
+namespace mandelbrot {
+
+FractalResult computeCuda(const FractalParams& params) {
+  common::Stopwatch wall;
+  const auto virtualStart = cuda::clockNs();
+
+  cuda::setDevice(0);
+  static cuda::Module module = cuda::Module::compile(kMandelbrotCudaSource);
+  auto kernel = module.function("mandelbrot");
+
+  const std::size_t bytes = params.pixels() * sizeof(std::int32_t);
+  cuda::DeviceMemory out(bytes);
+
+  const cuda::Dim3 block(16, 16);
+  const cuda::Dim3 grid((params.width + 15) / 16, (params.height + 15) / 16);
+  cuda::launch(kernel, grid, block, out, std::int32_t(params.width),
+               std::int32_t(params.height), params.x0(), params.y0(),
+               params.dx(), params.dy(),
+               std::int32_t(params.maxIterations));
+  cuda::deviceSynchronize();
+
+  FractalResult result;
+  result.iterations.resize(params.pixels());
+  cuda::memcpyDeviceToHost(result.iterations.data(), out, bytes);
+
+  result.virtualSeconds = double(cuda::clockNs() - virtualStart) * 1e-9;
+  result.wallSeconds = wall.elapsedSeconds();
+  return result;
+}
+
+} // namespace mandelbrot

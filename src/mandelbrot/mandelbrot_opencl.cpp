@@ -1,0 +1,80 @@
+// Plain OpenCL-style Mandelbrot host program (paper Sec. IV-A): carries
+// the full boilerplate a real OpenCL application needs — platform and
+// device discovery, context and queue setup, runtime program build with
+// error-log handling, explicit buffer management and transfers, explicit
+// kernel argument binding, and an explicit 16x16 work-group geometry.
+#include "mandelbrot/mandelbrot.h"
+
+#include <iostream>
+
+#include "common/stopwatch.h"
+#include "mandelbrot_opencl_source.h"
+#include "ocl/ocl.h"
+
+namespace mandelbrot {
+
+FractalResult computeOpenCl(const FractalParams& params) {
+  common::Stopwatch wall;
+  const auto virtualStart = ocl::hostTimeNs();
+
+  // Platform / device discovery.
+  const auto platforms = ocl::getPlatforms();
+  if (platforms.empty()) {
+    throw common::Error("no OpenCL platforms found");
+  }
+  const auto gpus = platforms.front().devices(ocl::DeviceType::GPU);
+  if (gpus.empty()) {
+    throw common::Error("no GPU devices found");
+  }
+  const ocl::Device device = gpus.front();
+
+  // Context and command queue.
+  ocl::Context context({device});
+  ocl::CommandQueue queue(device, ocl::Backend::OpenCL);
+
+  // Build the program from source at runtime.
+  ocl::Program program = context.createProgram(kMandelbrotOpenClSource);
+  try {
+    program.build();
+  } catch (const ocl::BuildError& e) {
+    std::cerr << "OpenCL build failed:\n" << e.log() << std::endl;
+    throw;
+  }
+  ocl::Kernel kernel = program.createKernel("mandelbrot");
+
+  // Device buffer for the iteration counts.
+  const std::size_t bytes = params.pixels() * sizeof(std::int32_t);
+  ocl::Buffer out = context.createBuffer(device, bytes);
+
+  // Bind the kernel arguments one by one.
+  kernel.setArg(0, out);
+  kernel.setArg(1, std::int32_t(params.width));
+  kernel.setArg(2, std::int32_t(params.height));
+  kernel.setArg(3, params.x0());
+  kernel.setArg(4, params.y0());
+  kernel.setArg(5, params.dx());
+  kernel.setArg(6, params.dy());
+  kernel.setArg(7, std::int32_t(params.maxIterations));
+
+  // Launch with explicit 16x16 work-groups, padding the global size.
+  clc::NDRange range;
+  range.dims = 2;
+  range.localSize[0] = 16;
+  range.localSize[1] = 16;
+  range.globalSize[0] = (params.width + 15) / 16 * 16;
+  range.globalSize[1] = (params.height + 15) / 16 * 16;
+  queue.enqueueNDRange(kernel, range);
+  queue.finish();
+
+  // Download the result.
+  FractalResult result;
+  result.iterations.resize(params.pixels());
+  queue.enqueueReadBuffer(out, 0, bytes, result.iterations.data(),
+                          /*blocking=*/true);
+
+  result.virtualSeconds = double(ocl::hostTimeNs() - virtualStart) * 1e-9;
+  result.wallSeconds = wall.elapsedSeconds();
+  return result;
+}
+
+} // namespace mandelbrot

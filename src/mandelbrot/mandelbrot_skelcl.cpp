@@ -1,0 +1,57 @@
+// SkelCL Mandelbrot (paper Sec. IV-A): a Map skeleton over a vector of
+// pixel coordinates. SkelCL hides device discovery, buffer management,
+// transfers, and launch geometry; specifying a work-group size is
+// optional.
+#include "mandelbrot/mandelbrot.h"
+
+#include "common/stopwatch.h"
+#include "mandelbrot_skelcl_source.h"
+#include "skelcl/skelcl.h"
+
+namespace mandelbrot {
+
+namespace {
+
+struct PixelPos {
+  float re;
+  float im;
+};
+
+} // namespace
+
+FractalResult computeSkelCl(const FractalParams& params,
+                            std::size_t workGroupSize) {
+  common::Stopwatch wall;
+  const auto virtualStart = ocl::hostTimeNs();
+
+  skelcl::registerType<PixelPos>(
+      "PixelPos", "typedef struct { float re; float im; } PixelPos;");
+
+  skelcl::Map<PixelPos, std::int32_t> mandelbrotMap(kMandelbrotSkelClSource);
+  if (workGroupSize != 0) {
+    mandelbrotMap.setWorkGroupSize(workGroupSize);
+  }
+
+  // A vector of complex numbers, one per pixel of the fractal.
+  std::vector<PixelPos> positions(params.pixels());
+  for (std::uint32_t py = 0; py < params.height; ++py) {
+    for (std::uint32_t px = 0; px < params.width; ++px) {
+      positions[std::size_t(py) * params.width + px] = PixelPos{
+          params.x0() + float(px) * params.dx(),
+          params.y0() + float(py) * params.dy()};
+    }
+  }
+  skelcl::Vector<PixelPos> input(std::move(positions));
+
+  skelcl::Arguments args;
+  args.push(std::int32_t(params.maxIterations));
+  skelcl::Vector<std::int32_t> output = mandelbrotMap(input, args);
+
+  FractalResult result;
+  result.iterations = output.hostData();
+  result.virtualSeconds = double(ocl::hostTimeNs() - virtualStart) * 1e-9;
+  result.wallSeconds = wall.elapsedSeconds();
+  return result;
+}
+
+} // namespace mandelbrot

@@ -1,0 +1,24 @@
+#include "ocl/context.h"
+
+namespace ocl {
+
+Context::Context(std::vector<Device> devices) : devices_(std::move(devices)) {
+  COMMON_EXPECTS(!devices_.empty(), "a context needs at least one device");
+  for (const Device& d : devices_) {
+    COMMON_EXPECTS(d.valid(), "invalid device passed to Context");
+  }
+}
+
+Buffer Context::createBuffer(const Device& device, std::size_t bytes) const {
+  bool found = false;
+  for (const Device& d : devices_) {
+    if (d == device) {
+      found = true;
+      break;
+    }
+  }
+  COMMON_EXPECTS(found, "device does not belong to this context");
+  return Buffer(std::make_shared<BufferState>(device, bytes));
+}
+
+} // namespace ocl

@@ -1,0 +1,38 @@
+// Context: groups the devices an application uses and creates the
+// resources shared between them (clCreateContext analogue).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ocl/buffer.h"
+#include "ocl/program.h"
+
+namespace ocl {
+
+class Context {
+public:
+  Context() = default;
+  explicit Context(std::vector<Device> devices);
+
+  bool valid() const noexcept { return !devices_.empty(); }
+  const std::vector<Device>& devices() const noexcept { return devices_; }
+
+  /// Allocates `bytes` of device memory on `device` (which must belong to
+  /// this context). Throws when the device's memory is exhausted.
+  Buffer createBuffer(const Device& device, std::size_t bytes) const;
+
+  /// clCreateProgramWithSource / clCreateProgramWithBinary analogues.
+  Program createProgram(std::string source) const {
+    return Program::fromSource(std::move(source));
+  }
+  Program createProgramFromBinary(
+      const std::vector<std::uint8_t>& binary) const {
+    return Program::fromBinary(binary);
+  }
+
+private:
+  std::vector<Device> devices_;
+};
+
+} // namespace ocl

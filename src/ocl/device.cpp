@@ -1,0 +1,148 @@
+#include "ocl/device.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace ocl {
+
+const char* deviceTypeName(DeviceType type) noexcept {
+  switch (type) {
+    case DeviceType::GPU: return "GPU";
+    case DeviceType::CPU: return "CPU";
+    case DeviceType::All: return "ALL";
+  }
+  return "?";
+}
+
+DeviceSpec DeviceSpec::teslaT10() {
+  DeviceSpec spec;
+  spec.name = "Tesla T10 (simulated)";
+  spec.vendor = "NVIDIA (simulated)";
+  spec.type = DeviceType::GPU;
+  spec.computeUnits = 30;
+  spec.pesPerUnit = 8; // 30 SMs x 8 SPs = 240 cores
+  spec.clockGHz = 1.44;
+  spec.globalMemBytes = 4ull << 30;
+  spec.memBandwidthGBs = 102.0;
+  spec.pcieLatencyUs = 8.0;
+  spec.pcieBandwidthGBs = 5.2;
+  spec.maxWorkGroupSize = 512;
+  spec.localMemBytes = 16 << 10;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::xeonE5520() {
+  DeviceSpec spec;
+  spec.name = "Intel Xeon E5520 (simulated)";
+  spec.vendor = "Intel (simulated)";
+  spec.type = DeviceType::CPU;
+  spec.computeUnits = 4;
+  spec.pesPerUnit = 4; // SSE lanes
+  spec.clockGHz = 2.26;
+  spec.globalMemBytes = 12ull << 30;
+  spec.memBandwidthGBs = 25.6;
+  spec.pcieLatencyUs = 0.1; // host memory is local
+  spec.pcieBandwidthGBs = 12.0;
+  spec.maxWorkGroupSize = 1024;
+  spec.localMemBytes = 32 << 10;
+  return spec;
+}
+
+SystemConfig SystemConfig::teslaS1070(std::uint32_t gpus) {
+  SystemConfig config;
+  config.platformName = "clc-sim OpenCL (Tesla S1070 testbed)";
+  for (std::uint32_t i = 0; i < gpus; ++i) {
+    config.devices.push_back(DeviceSpec::teslaT10());
+  }
+  config.devices.push_back(DeviceSpec::xeonE5520());
+  return config;
+}
+
+void DeviceState::allocate(std::uint64_t bytes) {
+  if (allocated_ + bytes > spec_.globalMemBytes) {
+    throw common::Error("device '" + spec_.name +
+                        "' out of memory: allocated " +
+                        std::to_string(allocated_) + " + requested " +
+                        std::to_string(bytes) + " exceeds " +
+                        std::to_string(spec_.globalMemBytes));
+  }
+  allocated_ += bytes;
+}
+
+void DeviceState::release(std::uint64_t bytes) noexcept {
+  allocated_ = bytes > allocated_ ? 0 : allocated_ - bytes;
+}
+
+std::vector<Device> Platform::devices(DeviceType type) const {
+  if (type == DeviceType::All) {
+    return devices_;
+  }
+  std::vector<Device> out;
+  for (const Device& d : devices_) {
+    if (d.type() == type) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct System {
+  std::string platformName;
+  std::vector<std::shared_ptr<DeviceState>> devices;
+  std::atomic<std::uint64_t> hostNs{0};
+};
+
+std::mutex g_systemMutex;
+std::unique_ptr<System> g_system;
+
+System& system() {
+  std::lock_guard lock(g_systemMutex);
+  if (g_system == nullptr) {
+    g_system = std::make_unique<System>();
+    const SystemConfig config = SystemConfig::teslaS1070();
+    g_system->platformName = config.platformName;
+    for (std::size_t i = 0; i < config.devices.size(); ++i) {
+      g_system->devices.push_back(std::make_shared<DeviceState>(
+          config.devices[i], std::uint32_t(i)));
+    }
+  }
+  return *g_system;
+}
+
+} // namespace
+
+void configureSystem(const SystemConfig& config) {
+  {
+    std::lock_guard lock(g_systemMutex);
+    g_system = std::make_unique<System>();
+    g_system->platformName = config.platformName;
+    for (std::size_t i = 0; i < config.devices.size(); ++i) {
+      g_system->devices.push_back(std::make_shared<DeviceState>(
+          config.devices[i], std::uint32_t(i)));
+    }
+  }
+}
+
+std::vector<Platform> getPlatforms() {
+  System& sys = system();
+  std::vector<Device> devices;
+  for (const auto& state : sys.devices) {
+    devices.emplace_back(state);
+  }
+  return {Platform(sys.platformName, std::move(devices))};
+}
+
+std::uint64_t hostTimeNs() { return system().hostNs.load(); }
+
+void advanceHostTimeNs(std::uint64_t ns) { system().hostNs.fetch_add(ns); }
+
+void syncHostTimeToNs(std::uint64_t ns) {
+  auto& clock = system().hostNs;
+  std::uint64_t current = clock.load();
+  while (current < ns && !clock.compare_exchange_weak(current, ns)) {
+  }
+}
+
+} // namespace ocl

@@ -1,0 +1,138 @@
+// Simulated OpenCL platform & device model.
+//
+// The "machine" the runtime exposes is configurable: tests and benchmarks
+// instantiate the paper's testbed (a Tesla S1070 — four Tesla T10 GPUs —
+// attached to a Xeon E5520 host) or any other topology. Each device owns a
+// virtual timeline; the timing model (timing_model.h) converts executed
+// work into nanoseconds on that timeline.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ocl {
+
+enum class DeviceType { GPU, CPU, All };
+
+const char* deviceTypeName(DeviceType type) noexcept;
+
+/// Static description of a device's hardware capabilities.
+struct DeviceSpec {
+  std::string name = "Simulated Device";
+  std::string vendor = "clc-sim";
+  DeviceType type = DeviceType::GPU;
+  std::uint32_t computeUnits = 30;   // CUs (SMs)
+  std::uint32_t pesPerUnit = 8;      // processing elements per CU
+  double clockGHz = 1.44;            // PE clock
+  std::uint64_t globalMemBytes = 4ull << 30;
+  double memBandwidthGBs = 102.0;    // on-device global memory bandwidth
+  double pcieLatencyUs = 8.0;        // host<->device transfer latency
+  double pcieBandwidthGBs = 5.2;     // host<->device bandwidth
+  std::uint32_t maxWorkGroupSize = 512;
+  std::uint64_t localMemBytes = 16 << 10;
+
+  /// One GPU of the NVIDIA Tesla S1070 computing system used in the
+  /// paper's evaluation: 240 streaming processor cores @ 1.44 GHz,
+  /// 4 GB @ 102 GB/s.
+  static DeviceSpec teslaT10();
+
+  /// The paper's host CPU (Intel Xeon E5520, 2.26 GHz quad core), exposed
+  /// as an OpenCL CPU device.
+  static DeviceSpec xeonE5520();
+};
+
+/// Live per-device simulation state: allocation tracking + virtual
+/// timeline. Shared by all handles to the same device.
+class DeviceState {
+public:
+  explicit DeviceState(DeviceSpec spec, std::uint32_t index)
+      : spec_(std::move(spec)), index_(index) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+  std::uint32_t index() const noexcept { return index_; }
+
+  std::uint64_t readyTimeNs() const noexcept { return readyNs_; }
+  void setReadyTimeNs(std::uint64_t t) noexcept { readyNs_ = t; }
+
+  std::uint64_t allocatedBytes() const noexcept { return allocated_; }
+  void allocate(std::uint64_t bytes);
+  void release(std::uint64_t bytes) noexcept;
+
+private:
+  DeviceSpec spec_;
+  std::uint32_t index_;
+  std::uint64_t readyNs_ = 0;
+  std::uint64_t allocated_ = 0;
+};
+
+/// Lightweight device handle (copyable; equality = same device).
+class Device {
+public:
+  Device() = default;
+  explicit Device(std::shared_ptr<DeviceState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  const DeviceSpec& spec() const { return state().spec(); }
+  const std::string& name() const { return state().spec().name; }
+  DeviceType type() const { return state().spec().type; }
+  std::uint32_t index() const { return state().index(); }
+  std::uint64_t globalMemBytes() const { return state().spec().globalMemBytes; }
+  std::uint32_t maxWorkGroupSize() const {
+    return state().spec().maxWorkGroupSize;
+  }
+
+  DeviceState& state() const {
+    COMMON_CHECK_MSG(state_ != nullptr, "use of an invalid Device handle");
+    return *state_;
+  }
+
+  friend bool operator==(const Device& a, const Device& b) noexcept {
+    return a.state_ == b.state_;
+  }
+
+private:
+  std::shared_ptr<DeviceState> state_;
+};
+
+/// Description of the simulated machine.
+struct SystemConfig {
+  std::string platformName = "clc-sim OpenCL (simulated)";
+  std::vector<DeviceSpec> devices;
+
+  /// The paper's testbed: 4x Tesla T10 GPUs + the Xeon host CPU device.
+  static SystemConfig teslaS1070(std::uint32_t gpus = 4);
+};
+
+class Platform {
+public:
+  Platform(std::string name, std::vector<Device> devices)
+      : name_(std::move(name)), devices_(std::move(devices)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  std::vector<Device> devices(DeviceType type = DeviceType::All) const;
+
+private:
+  std::string name_;
+  std::vector<Device> devices_;
+};
+
+/// (Re)configures the simulated machine. Resets every device timeline and
+/// the host clock; outstanding Buffers keep working but no longer count
+/// against the new devices. Tests call this freely.
+void configureSystem(const SystemConfig& config);
+
+/// Platform discovery, mirroring clGetPlatformIDs. The default machine
+/// (if configureSystem was never called) is the paper's Tesla S1070.
+std::vector<Platform> getPlatforms();
+
+/// The simulated host clock (virtual nanoseconds since configureSystem).
+std::uint64_t hostTimeNs();
+void advanceHostTimeNs(std::uint64_t ns);
+void syncHostTimeToNs(std::uint64_t ns); // host = max(host, ns)
+
+} // namespace ocl

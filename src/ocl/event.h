@@ -1,0 +1,48 @@
+// Events carry the virtual-time profile of one enqueued command,
+// mirroring clGetEventProfilingInfo.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ocl/device.h"
+
+namespace ocl {
+
+struct EventState {
+  std::uint64_t queuedNs = 0;
+  std::uint64_t startNs = 0;
+  std::uint64_t endNs = 0;
+};
+
+class Event {
+public:
+  Event() = default;
+  explicit Event(std::shared_ptr<const EventState> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Blocks the (virtual) host until the command completes: advances the
+  /// host clock to the command's end time.
+  void wait() const {
+    if (state_ != nullptr) {
+      syncHostTimeToNs(state_->endNs);
+    }
+  }
+
+  std::uint64_t queuedNs() const { return state().queuedNs; }
+  std::uint64_t startNs() const { return state().startNs; }
+  std::uint64_t endNs() const { return state().endNs; }
+  std::uint64_t durationNs() const { return state().endNs - state().startNs; }
+
+private:
+  const EventState& state() const {
+    COMMON_CHECK_MSG(state_ != nullptr, "use of an invalid Event handle");
+    return *state_;
+  }
+
+  std::shared_ptr<const EventState> state_;
+};
+
+} // namespace ocl

@@ -1,0 +1,16 @@
+// Umbrella header for the simulated OpenCL runtime.
+//
+// The host API mirrors OpenCL 1.1's object model (platforms, devices,
+// contexts, command queues, buffers, programs built from source at
+// runtime, kernels, events with profiling) with C++ RAII handles instead
+// of the C API. Kernels are interpreted by the clc VM; durations are
+// virtual time from the calibrated timing model — see DESIGN.md.
+#pragma once
+
+#include "ocl/buffer.h"
+#include "ocl/context.h"
+#include "ocl/device.h"
+#include "ocl/event.h"
+#include "ocl/program.h"
+#include "ocl/queue.h"
+#include "ocl/timing_model.h"

@@ -1,0 +1,263 @@
+#include "ocl/program.h"
+
+#include <cstring>
+
+#include "clc/codegen.h"
+#include "clc/diag.h"
+#include "clc/serialize.h"
+
+namespace ocl {
+
+Program Program::fromSource(std::string source) {
+  Program p;
+  p.impl_ = std::make_shared<Impl>();
+  p.impl_->source = std::move(source);
+  return p;
+}
+
+Program Program::fromBinary(const std::vector<std::uint8_t>& binary) {
+  Program p;
+  p.impl_ = std::make_shared<Impl>();
+  p.impl_->program = clc::deserializeProgram(binary);
+  p.impl_->built = true;
+  p.impl_->buildLog = "(loaded from binary)";
+  return p;
+}
+
+void Program::build(const std::string& options) {
+  (void)options;
+  COMMON_CHECK_MSG(impl_ != nullptr, "build on invalid Program");
+  if (impl_->built) {
+    return;
+  }
+  try {
+    impl_->program = clc::compile(impl_->source);
+    impl_->built = true;
+    impl_->buildLog = "build successful";
+  } catch (const clc::CompileError& e) {
+    impl_->buildLog =
+        clc::renderContext(impl_->source, e.loc(), e.message());
+    throw BuildError("program build failed: " + std::string(e.what()),
+                     impl_->buildLog);
+  }
+}
+
+bool Program::isBuilt() const {
+  return impl_ != nullptr && impl_->built;
+}
+
+const std::string& Program::buildLog() const {
+  COMMON_CHECK(impl_ != nullptr);
+  return impl_->buildLog;
+}
+
+const std::string& Program::source() const {
+  COMMON_CHECK(impl_ != nullptr);
+  return impl_->source;
+}
+
+std::vector<std::uint8_t> Program::binary() const {
+  COMMON_EXPECTS(isBuilt(), "binary() requires a built program");
+  return clc::serializeProgram(impl_->program);
+}
+
+const clc::Program& Program::compiled() const {
+  COMMON_EXPECTS(isBuilt(), "program is not built");
+  return impl_->program;
+}
+
+std::vector<std::string> Program::kernelNames() const {
+  COMMON_EXPECTS(isBuilt(), "program is not built");
+  std::vector<std::string> names;
+  for (const auto& k : impl_->program.kernels) {
+    names.push_back(k.name);
+  }
+  return names;
+}
+
+Kernel Program::createKernel(const std::string& name) const {
+  COMMON_EXPECTS(isBuilt(), "createKernel requires a built program");
+  // Alias the shared_ptr so the kernel keeps the program alive.
+  auto compiledPtr = std::shared_ptr<const clc::Program>(
+      impl_, &impl_->program);
+  return Kernel(std::move(compiledPtr), name);
+}
+
+Kernel::Kernel(std::shared_ptr<const clc::Program> program, std::string name)
+    : program_(std::move(program)), name_(std::move(name)) {
+  kernel_ = program_->findKernel(name_);
+  if (kernel_ == nullptr) {
+    throw common::InvalidArgument("no kernel named '" + name_ +
+                                  "' in program");
+  }
+  func_ = &program_->functions[kernel_->functionIndex];
+  args_.resize(func_->params.size());
+}
+
+std::size_t Kernel::argCount() const {
+  return func_ == nullptr ? 0 : func_->params.size();
+}
+
+const clc::ParamInfo& Kernel::param(std::size_t index) const {
+  COMMON_EXPECTS(func_ != nullptr, "use of an invalid Kernel handle");
+  if (index >= func_->params.size()) {
+    throw common::InvalidArgument(
+        "kernel '" + name_ + "' has " +
+        std::to_string(func_->params.size()) + " arguments; index " +
+        std::to_string(index) + " is out of range");
+  }
+  return func_->params[index];
+}
+
+void Kernel::setArg(std::size_t index, const Buffer& buffer) {
+  const clc::ParamInfo& p = param(index);
+  if (p.kind != clc::ParamKind::GlobalPtr) {
+    throw common::InvalidArgument(
+        "kernel '" + name_ + "' argument " + std::to_string(index) + " ('" +
+        p.name + "') is not a __global pointer");
+  }
+  StagedArg arg;
+  arg.set = true;
+  arg.value.kind = clc::KernelArgValue::Kind::Buffer;
+  arg.buffer = buffer;
+  args_[index] = std::move(arg);
+}
+
+void Kernel::setScalar(std::size_t index, std::uint64_t canonical,
+                       clc::TypeTag sourceTag) {
+  const clc::ParamInfo& p = param(index);
+  if (p.kind != clc::ParamKind::Scalar) {
+    throw common::InvalidArgument(
+        "kernel '" + name_ + "' argument " + std::to_string(index) + " ('" +
+        p.name + "') is not a scalar");
+  }
+  StagedArg arg;
+  arg.set = true;
+  arg.value.kind = clc::KernelArgValue::Kind::Scalar;
+  // Convert the host value to the parameter's declared type, so e.g.
+  // setArg(i, 2) on a float parameter passes 2.0f.
+  arg.value.scalar = [&] {
+    // Reuse the VM's conversion table via a tiny local re-implementation:
+    // integers <-> floats of matching width.
+    if (sourceTag == p.scalarTag) {
+      return canonical;
+    }
+    // Route through double for numeric correctness.
+    double v = 0;
+    switch (sourceTag) {
+      case clc::TypeTag::F32: {
+        float f;
+        const auto bits = std::uint32_t(canonical);
+        std::memcpy(&f, &bits, 4);
+        v = f;
+        break;
+      }
+      case clc::TypeTag::F64: {
+        double d;
+        std::memcpy(&d, &canonical, 8);
+        v = d;
+        break;
+      }
+      case clc::TypeTag::U32:
+      case clc::TypeTag::U64:
+        v = double(canonical);
+        break;
+      default:
+        v = double(std::int64_t(canonical));
+        break;
+    }
+    switch (p.scalarTag) {
+      case clc::TypeTag::F32: {
+        const float f = float(v);
+        std::uint32_t bits;
+        std::memcpy(&bits, &f, 4);
+        return std::uint64_t(bits);
+      }
+      case clc::TypeTag::F64: {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        return bits;
+      }
+      case clc::TypeTag::U8: return std::uint64_t(std::uint8_t(v));
+      case clc::TypeTag::I8:
+        return std::uint64_t(std::int64_t(std::int8_t(v)));
+      case clc::TypeTag::U16: return std::uint64_t(std::uint16_t(v));
+      case clc::TypeTag::I16:
+        return std::uint64_t(std::int64_t(std::int16_t(v)));
+      case clc::TypeTag::U32: return std::uint64_t(std::uint32_t(v));
+      case clc::TypeTag::I32:
+        return std::uint64_t(std::int64_t(std::int32_t(v)));
+      default:
+        return sourceTag == clc::TypeTag::U64 || sourceTag == clc::TypeTag::I64
+                   ? canonical
+                   : std::uint64_t(std::int64_t(v));
+    }
+  }();
+  args_[index] = std::move(arg);
+}
+
+void Kernel::setArg(std::size_t index, float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, 4);
+  setScalar(index, bits, clc::TypeTag::F32);
+}
+
+void Kernel::setArg(std::size_t index, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  setScalar(index, bits, clc::TypeTag::F64);
+}
+
+void Kernel::setArg(std::size_t index, std::int32_t value) {
+  setScalar(index, std::uint64_t(std::int64_t(value)), clc::TypeTag::I32);
+}
+
+void Kernel::setArg(std::size_t index, std::uint32_t value) {
+  setScalar(index, value, clc::TypeTag::U32);
+}
+
+void Kernel::setArg(std::size_t index, std::int64_t value) {
+  setScalar(index, std::uint64_t(value), clc::TypeTag::I64);
+}
+
+void Kernel::setArg(std::size_t index, std::uint64_t value) {
+  setScalar(index, value, clc::TypeTag::U64);
+}
+
+void Kernel::setArgBytes(std::size_t index, const void* data,
+                         std::size_t size) {
+  const clc::ParamInfo& p = param(index);
+  if (p.kind != clc::ParamKind::Struct) {
+    throw common::InvalidArgument(
+        "kernel '" + name_ + "' argument " + std::to_string(index) + " ('" +
+        p.name + "') is not a by-value struct");
+  }
+  if (size != p.size) {
+    throw common::InvalidArgument(
+        "kernel '" + name_ + "' argument " + std::to_string(index) +
+        " expects " + std::to_string(p.size) + " bytes, got " +
+        std::to_string(size));
+  }
+  StagedArg arg;
+  arg.set = true;
+  arg.value.kind = clc::KernelArgValue::Kind::Struct;
+  arg.value.bytes.resize(size);
+  std::memcpy(arg.value.bytes.data(), data, size);
+  args_[index] = std::move(arg);
+}
+
+void Kernel::setArgLocal(std::size_t index, std::size_t bytes) {
+  const clc::ParamInfo& p = param(index);
+  if (p.kind != clc::ParamKind::LocalPtr) {
+    throw common::InvalidArgument(
+        "kernel '" + name_ + "' argument " + std::to_string(index) + " ('" +
+        p.name + "') is not a __local pointer");
+  }
+  StagedArg arg;
+  arg.set = true;
+  arg.value.kind = clc::KernelArgValue::Kind::Local;
+  arg.value.localSize = std::uint32_t(bytes);
+  args_[index] = std::move(arg);
+}
+
+} // namespace ocl

@@ -1,0 +1,130 @@
+// Programs and kernels.
+//
+// As in real OpenCL, programs are created from *source strings* and built
+// at runtime (clCreateProgramWithSource / clBuildProgram), or created from
+// a previously exported binary (clCreateProgramWithBinary) — the fast path
+// behind SkelCL's on-disk kernel cache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clc/bytecode.h"
+#include "clc/vm.h"
+#include "ocl/buffer.h"
+
+namespace ocl {
+
+/// Thrown by Program::build on compile errors; carries the build log a
+/// real driver would return for CL_PROGRAM_BUILD_LOG.
+class BuildError : public common::Error {
+public:
+  BuildError(const std::string& what, std::string log)
+      : common::Error(what), log_(std::move(log)) {}
+
+  const std::string& log() const noexcept { return log_; }
+
+private:
+  std::string log_;
+};
+
+class Kernel;
+
+class Program {
+public:
+  Program() = default;
+
+  /// clCreateProgramWithSource analogue.
+  static Program fromSource(std::string source);
+
+  /// clCreateProgramWithBinary analogue; throws common::DeserializeError
+  /// for corrupted binaries.
+  static Program fromBinary(const std::vector<std::uint8_t>& binary);
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+
+  /// Compiles the source (no-op for binary programs). Throws BuildError.
+  /// `options` is accepted for API fidelity and folded into nothing —
+  /// clc has no build options yet.
+  void build(const std::string& options = "");
+
+  bool isBuilt() const;
+  const std::string& buildLog() const;
+  const std::string& source() const;
+
+  /// Exports the compiled binary (clGetProgramInfo CL_PROGRAM_BINARIES).
+  std::vector<std::uint8_t> binary() const;
+
+  /// Creates a kernel handle; throws common::InvalidArgument for unknown
+  /// kernel names or an unbuilt program.
+  Kernel createKernel(const std::string& name) const;
+
+  /// Names of all kernels in the program.
+  std::vector<std::string> kernelNames() const;
+
+  const clc::Program& compiled() const;
+
+private:
+  struct Impl {
+    std::string source;
+    std::string buildLog;
+    bool built = false;
+    clc::Program program;
+  };
+
+  std::shared_ptr<Impl> impl_;
+};
+
+/// A kernel handle plus its staged arguments (clSetKernelArg analogue).
+class Kernel {
+public:
+  Kernel() = default;
+  Kernel(std::shared_ptr<const clc::Program> program, std::string name);
+
+  bool valid() const noexcept { return program_ != nullptr; }
+  const std::string& name() const noexcept { return name_; }
+
+  std::size_t argCount() const;
+
+  /// Buffer argument (__global pointer parameter).
+  void setArg(std::size_t index, const Buffer& buffer);
+
+  /// Scalar argument. The value is converted to the parameter's declared
+  /// type, so setArg(i, 5) on a float parameter does the right thing.
+  void setArg(std::size_t index, float value);
+  void setArg(std::size_t index, double value);
+  void setArg(std::size_t index, std::int32_t value);
+  void setArg(std::size_t index, std::uint32_t value);
+  void setArg(std::size_t index, std::int64_t value);
+  void setArg(std::size_t index, std::uint64_t value);
+
+  /// By-value struct argument: raw bytes, must match the declared size.
+  void setArgBytes(std::size_t index, const void* data, std::size_t size);
+
+  /// __local pointer argument: the per-work-group byte count.
+  void setArgLocal(std::size_t index, std::size_t bytes);
+
+  /// Launch-time introspection used by the command queue.
+  struct StagedArg {
+    bool set = false;
+    clc::KernelArgValue value;
+    Buffer buffer; // keeps buffer alive; valid when value.kind == Buffer
+  };
+  const std::vector<StagedArg>& stagedArgs() const noexcept { return args_; }
+  const clc::Program& program() const { return *program_; }
+  const clc::FunctionInfo& functionInfo() const { return *func_; }
+
+private:
+  void setScalar(std::size_t index, std::uint64_t canonical,
+                 clc::TypeTag sourceTag);
+  const clc::ParamInfo& param(std::size_t index) const;
+
+  std::shared_ptr<const clc::Program> program_;
+  std::string name_;
+  const clc::KernelInfo* kernel_ = nullptr;
+  const clc::FunctionInfo* func_ = nullptr;
+  std::vector<StagedArg> args_;
+};
+
+} // namespace ocl

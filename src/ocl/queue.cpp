@@ -1,0 +1,154 @@
+#include "ocl/queue.h"
+
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace ocl {
+
+CommandQueue::CommandQueue(Device device, Backend backend)
+    : device_(std::move(device)),
+      backend_(backend),
+      model_(device_.spec(), backend) {}
+
+std::uint64_t CommandQueue::commandStartNs(
+    const std::vector<Event>& deps) const {
+  std::uint64_t start = std::max(hostTimeNs(), device_.state().readyTimeNs());
+  for (const Event& e : deps) {
+    if (e.valid()) {
+      start = std::max(start, e.endNs());
+    }
+  }
+  return start;
+}
+
+Event CommandQueue::retire(std::uint64_t startNs, std::uint64_t durationNs) {
+  auto state = std::make_shared<EventState>();
+  state->queuedNs = hostTimeNs();
+  state->startNs = startNs;
+  state->endNs = startNs + durationNs;
+  device_.state().setReadyTimeNs(state->endNs);
+  advanceHostTimeNs(model_.enqueueOverheadNs());
+  return Event(std::move(state));
+}
+
+Event CommandQueue::enqueueWriteBuffer(const Buffer& buffer,
+                                       std::size_t offset, std::size_t bytes,
+                                       const void* src,
+                                       const std::vector<Event>& deps) {
+  COMMON_EXPECTS(buffer.valid(), "write to invalid buffer");
+  COMMON_EXPECTS(buffer.device() == device_,
+                 "buffer belongs to a different device than the queue");
+  COMMON_EXPECTS(offset + bytes <= buffer.size(),
+                 "write exceeds buffer size");
+  std::memcpy(buffer.state().data() + offset, src, bytes);
+  return retire(commandStartNs(deps), model_.transferDurationNs(bytes));
+}
+
+Event CommandQueue::enqueueReadBuffer(const Buffer& buffer,
+                                      std::size_t offset, std::size_t bytes,
+                                      void* dst, bool blocking,
+                                      const std::vector<Event>& deps) {
+  COMMON_EXPECTS(buffer.valid(), "read from invalid buffer");
+  COMMON_EXPECTS(buffer.device() == device_,
+                 "buffer belongs to a different device than the queue");
+  COMMON_EXPECTS(offset + bytes <= buffer.size(),
+                 "read exceeds buffer size");
+  std::memcpy(dst, buffer.state().data() + offset, bytes);
+  Event event =
+      retire(commandStartNs(deps), model_.transferDurationNs(bytes));
+  if (blocking) {
+    event.wait();
+  }
+  return event;
+}
+
+Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
+                                      std::size_t srcOffset,
+                                      const Buffer& dst,
+                                      std::size_t dstOffset,
+                                      std::size_t bytes,
+                                      const std::vector<Event>& deps) {
+  COMMON_EXPECTS(src.valid() && dst.valid(), "copy with invalid buffer");
+  COMMON_EXPECTS(srcOffset + bytes <= src.size(),
+                 "copy source range exceeds buffer");
+  COMMON_EXPECTS(dstOffset + bytes <= dst.size(),
+                 "copy destination range exceeds buffer");
+  std::memcpy(dst.state().data() + dstOffset,
+              src.state().data() + srcOffset, bytes);
+
+  std::uint64_t start = commandStartNs(deps);
+  std::uint64_t duration;
+  if (src.device() == dst.device()) {
+    // On-device copy runs at memory bandwidth (read + write).
+    const double bw = device_.spec().memBandwidthGBs * 1e9;
+    duration = std::uint64_t(double(2 * bytes) / bw * 1e9);
+  } else {
+    // Cross-device: staged over PCIe (down from src, up to dst). Both
+    // devices are busy for the whole transfer.
+    const TimingModel srcModel(src.device().spec(), backend_);
+    const TimingModel dstModel(dst.device().spec(), backend_);
+    start = std::max(start, src.device().state().readyTimeNs());
+    start = std::max(start, dst.device().state().readyTimeNs());
+    duration = srcModel.transferDurationNs(bytes) +
+               dstModel.transferDurationNs(bytes);
+    src.device().state().setReadyTimeNs(start + duration);
+    dst.device().state().setReadyTimeNs(start + duration);
+  }
+  return retire(start, duration);
+}
+
+Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
+                                   const std::vector<Event>& deps) {
+  COMMON_EXPECTS(kernel.valid(), "launch of invalid kernel");
+
+  // Assemble the launch's segment table and argument values.
+  std::vector<clc::Segment> segments;
+  std::vector<clc::KernelArgValue> args;
+  const auto& staged = kernel.stagedArgs();
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    if (!staged[i].set) {
+      throw common::InvalidArgument(
+          "kernel '" + kernel.name() + "' argument " + std::to_string(i) +
+          " was never set");
+    }
+    clc::KernelArgValue value = staged[i].value;
+    if (value.kind == clc::KernelArgValue::Kind::Buffer) {
+      COMMON_EXPECTS(staged[i].buffer.device() == device_,
+                     "kernel argument buffer lives on a different device");
+      clc::Segment seg;
+      seg.base = staged[i].buffer.state().data();
+      seg.size = staged[i].buffer.size();
+      value.segmentIndex = std::uint32_t(segments.size());
+      segments.push_back(seg);
+    }
+    args.push_back(std::move(value));
+  }
+
+  if (range.totalLocal() > device_.spec().maxWorkGroupSize) {
+    throw common::InvalidArgument(
+        "work-group size " + std::to_string(range.totalLocal()) +
+        " exceeds the device maximum of " +
+        std::to_string(device_.spec().maxWorkGroupSize));
+  }
+
+  lastStats_ = clc::executeKernel(kernel.program(), kernel.name(), range,
+                                  args, segments,
+                                  &common::ThreadPool::global());
+  return retire(commandStartNs(deps), model_.kernelDurationNs(lastStats_));
+}
+
+Event CommandQueue::enqueueNDRange(Kernel& kernel, NDRange1D range,
+                                   const std::vector<Event>& deps) {
+  clc::NDRange full;
+  full.dims = 1;
+  full.globalSize[0] = range.global;
+  full.localSize[0] = range.local;
+  return enqueueNDRange(kernel, full, deps);
+}
+
+void CommandQueue::finish() {
+  syncHostTimeToNs(device_.state().readyTimeNs());
+}
+
+} // namespace ocl

@@ -1,0 +1,74 @@
+// In-order command queue: the only way work reaches a device.
+//
+// Each enqueue executes the command's real effect immediately (memcpy,
+// kernel interpretation) and places it on the device's *virtual* timeline:
+//   start = max(device ready, host now, dependencies' end)
+//   end   = start + modeled duration
+// Blocking variants advance the host clock to the command's end, exactly
+// like clFinish / blocking clEnqueueReadBuffer would stall a real host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ocl/event.h"
+#include "ocl/program.h"
+#include "ocl/timing_model.h"
+
+namespace ocl {
+
+struct NDRange1D {
+  std::size_t global = 0;
+  std::size_t local = 0;
+};
+
+class CommandQueue {
+public:
+  CommandQueue() = default;
+  CommandQueue(Device device, Backend backend = Backend::OpenCL);
+
+  bool valid() const noexcept { return device_.valid(); }
+  Device device() const noexcept { return device_; }
+  Backend backend() const noexcept { return backend_; }
+
+  /// Host -> device. Non-blocking in virtual time (data is staged now).
+  Event enqueueWriteBuffer(const Buffer& buffer, std::size_t offset,
+                           std::size_t bytes, const void* src,
+                           const std::vector<Event>& deps = {});
+
+  /// Device -> host. `blocking` advances the host clock to completion.
+  Event enqueueReadBuffer(const Buffer& buffer, std::size_t offset,
+                          std::size_t bytes, void* dst, bool blocking = true,
+                          const std::vector<Event>& deps = {});
+
+  /// Device -> device copy (possibly across devices, staged via PCIe).
+  Event enqueueCopyBuffer(const Buffer& src, std::size_t srcOffset,
+                          const Buffer& dst, std::size_t dstOffset,
+                          std::size_t bytes,
+                          const std::vector<Event>& deps = {});
+
+  /// ND-range kernel launch (1D convenience below).
+  Event enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
+                       const std::vector<Event>& deps = {});
+  Event enqueueNDRange(Kernel& kernel, NDRange1D range,
+                       const std::vector<Event>& deps = {});
+
+  /// Blocks the virtual host until every enqueued command has completed.
+  void finish();
+
+  /// Profile of the last kernel launch (for tests and benchmarks).
+  const clc::LaunchStats& lastLaunchStats() const noexcept {
+    return lastStats_;
+  }
+
+private:
+  std::uint64_t commandStartNs(const std::vector<Event>& deps) const;
+  Event retire(std::uint64_t startNs, std::uint64_t durationNs);
+
+  Device device_;
+  Backend backend_ = Backend::OpenCL;
+  TimingModel model_{DeviceSpec{}, Backend::OpenCL};
+  clc::LaunchStats lastStats_;
+};
+
+} // namespace ocl

@@ -1,0 +1,63 @@
+#include "ocl/timing_model.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ocl {
+
+const char* backendName(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::OpenCL: return "OpenCL";
+    case Backend::Cuda: return "CUDA";
+  }
+  return "?";
+}
+
+BackendProfile BackendProfile::forBackend(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Cuda:
+      // Mature toolchain: better scheduling/codegen, cheap launches.
+      return BackendProfile{1.0, 5'000, 1'000};
+    case Backend::OpenCL:
+      // The gap the paper observes and attributes to compiler maturity.
+      return BackendProfile{1.0 / 1.30, 12'000, 2'000};
+  }
+  return BackendProfile{1.0, 5'000, 1'000};
+}
+
+std::uint64_t TimingModel::kernelDurationNs(
+    const clc::LaunchStats& stats) const {
+  // Schedule work-groups round-robin onto compute units.
+  const std::size_t cus = std::max<std::size_t>(1, spec_.computeUnits);
+  std::vector<std::uint64_t> cuCycles(cus, 0);
+  const double pes = double(std::max<std::uint32_t>(1, spec_.pesPerUnit));
+  for (std::size_t g = 0; g < stats.groups.size(); ++g) {
+    const clc::GroupCost& group = stats.groups[g];
+    const auto throughputCycles =
+        std::uint64_t(double(group.sumCycles) / pes);
+    const std::uint64_t groupCycles =
+        std::max(throughputCycles, group.maxCycles);
+    cuCycles[g % cus] += groupCycles;
+  }
+  const std::uint64_t critical =
+      *std::max_element(cuCycles.begin(), cuCycles.end());
+
+  const double hz = spec_.clockGHz * 1e9 * profile_.efficiency;
+  const double computeNs = double(critical) / hz * 1e9;
+
+  const double bytes =
+      double(stats.globalBytesRead + stats.globalBytesWritten);
+  const double memNs = bytes / (spec_.memBandwidthGBs * 1e9) * 1e9;
+
+  return profile_.launchOverheadNs +
+         std::uint64_t(std::max(computeNs, memNs));
+}
+
+std::uint64_t TimingModel::transferDurationNs(std::uint64_t bytes) const {
+  const double latencyNs = spec_.pcieLatencyUs * 1e3;
+  const double transferNs =
+      double(bytes) / (spec_.pcieBandwidthGBs * 1e9) * 1e9;
+  return std::uint64_t(latencyNs + transferNs);
+}
+
+} // namespace ocl

@@ -1,0 +1,66 @@
+// Virtual-time cost model: converts executed work (VM launch statistics,
+// transfer sizes) into nanoseconds on a device's timeline.
+//
+// Calibration
+// -----------
+// The machine running this reproduction has no GPU, so runtimes reported
+// by benchmarks are *virtual* seconds computed from real executed work:
+//
+//   kernel   = launch_overhead
+//            + max(compute, memory)                       (roofline)
+//   compute  = max over CUs of (sum of its groups' cycles)
+//              / (clock * backend_efficiency)
+//   group    = max(sum_item_cycles / PEs_per_CU, slowest_item)
+//   memory   = global bytes moved / device bandwidth
+//   transfer = pcie_latency + bytes / pcie_bandwidth
+//
+// Cycle counts come from the VM's per-instruction accounting. The one
+// deliberately calibrated constant pair is the backend efficiency /
+// launch overhead difference between the "CUDA" and "OpenCL" backends:
+// the paper (Sec. IV-A, citing Kong et al. [8]) attributes CUDA's edge to
+// toolchain maturity, which a functional simulator cannot reproduce from
+// first principles. We model it as CUDA retiring VM cycles ~30% faster
+// with a lower launch overhead; DESIGN.md documents this substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "clc/vm.h"
+#include "ocl/device.h"
+
+namespace ocl {
+
+enum class Backend { OpenCL, Cuda };
+
+const char* backendName(Backend backend) noexcept;
+
+struct BackendProfile {
+  double efficiency;          // fraction of peak the backend retires
+  std::uint64_t launchOverheadNs;
+  std::uint64_t enqueueOverheadNs; // host-side cost of an enqueue call
+
+  static BackendProfile forBackend(Backend backend) noexcept;
+};
+
+class TimingModel {
+public:
+  TimingModel(const DeviceSpec& spec, Backend backend) noexcept
+      : spec_(spec), profile_(BackendProfile::forBackend(backend)) {}
+
+  /// Duration of a kernel launch with the given execution profile.
+  std::uint64_t kernelDurationNs(const clc::LaunchStats& stats) const;
+
+  /// Duration of a host<->device transfer of `bytes`.
+  std::uint64_t transferDurationNs(std::uint64_t bytes) const;
+
+  /// Host-side cost of submitting one command.
+  std::uint64_t enqueueOverheadNs() const noexcept {
+    return profile_.enqueueOverheadNs;
+  }
+
+private:
+  DeviceSpec spec_;
+  BackendProfile profile_;
+};
+
+} // namespace ocl

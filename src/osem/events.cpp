@@ -1,0 +1,110 @@
+#include "osem/osem.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace osem {
+
+namespace {
+
+/// Samples an emission voxel proportional to phantom activity via
+/// rejection sampling (simple, deterministic, and fast enough for the
+/// dataset sizes used here).
+std::size_t sampleEmissionVoxel(const std::vector<float>& phantom,
+                                float maxActivity,
+                                common::Xoshiro256& rng) {
+  for (;;) {
+    const auto voxel = std::size_t(rng.nextBelow(phantom.size()));
+    if (phantom[voxel] <= 0.0f) {
+      continue;
+    }
+    if (float(rng.nextDouble()) * maxActivity <= phantom[voxel]) {
+      return voxel;
+    }
+  }
+}
+
+} // namespace
+
+Dataset generateDataset(const OsemParams& params) {
+  COMMON_EXPECTS(params.numSubsets > 0, "numSubsets must be positive");
+  COMMON_EXPECTS(params.numEvents > 0, "numEvents must be positive");
+
+  Dataset dataset;
+  dataset.vol = params.vol;
+  dataset.numSubsets = params.numSubsets;
+  dataset.numIterations = params.numIterations;
+  dataset.phantom = makePhantom(params.vol);
+
+  float maxActivity = 0.0f;
+  for (const float a : dataset.phantom) {
+    maxActivity = std::max(maxActivity, a);
+  }
+  COMMON_EXPECTS(maxActivity > 0.0f, "phantom has no activity");
+
+  common::Xoshiro256 rng(params.seed);
+  const VolumeDims& vol = params.vol;
+  // Endpoints land on a sphere comfortably containing the volume, which
+  // stands in for the detector ring; the traversal clips to the volume.
+  const float radius =
+      0.75f * vol.voxelSize *
+      std::sqrt(float(vol.nx * vol.nx + vol.ny * vol.ny + vol.nz * vol.nz));
+
+  dataset.events.reserve(params.numEvents);
+  while (dataset.events.size() < params.numEvents) {
+    const std::size_t voxel =
+        sampleEmissionVoxel(dataset.phantom, maxActivity, rng);
+    const auto ix = std::int32_t(voxel % std::size_t(vol.nx));
+    const auto iy =
+        std::int32_t((voxel / std::size_t(vol.nx)) % std::size_t(vol.ny));
+    const auto iz =
+        std::int32_t(voxel / (std::size_t(vol.nx) * std::size_t(vol.ny)));
+
+    // Emission point: jittered within the voxel, volume-centered coords.
+    const float px =
+        (float(ix) + float(rng.nextDouble()) - float(vol.nx) / 2.0f) *
+        vol.voxelSize;
+    const float py =
+        (float(iy) + float(rng.nextDouble()) - float(vol.ny) / 2.0f) *
+        vol.voxelSize;
+    const float pz =
+        (float(iz) + float(rng.nextDouble()) - float(vol.nz) / 2.0f) *
+        vol.voxelSize;
+
+    // Isotropic direction.
+    const float u = 2.0f * float(rng.nextDouble()) - 1.0f;
+    const float phi = 2.0f * 3.14159265358979f * float(rng.nextDouble());
+    const float s = std::sqrt(std::max(0.0f, 1.0f - u * u));
+    const float dx = s * std::cos(phi);
+    const float dy = s * std::sin(phi);
+    const float dz = u;
+
+    Event event;
+    event.x1 = px + radius * dx;
+    event.y1 = py + radius * dy;
+    event.z1 = pz + radius * dz;
+    event.x2 = px - radius * dx;
+    event.y2 = py - radius * dy;
+    event.z2 = pz - radius * dz;
+    dataset.events.push_back(event);
+  }
+  return dataset;
+}
+
+double relativeRmse(const std::vector<float>& reference,
+                    const std::vector<float>& image) {
+  COMMON_EXPECTS(reference.size() == image.size(),
+                 "image size mismatch in relativeRmse");
+  double diff2 = 0;
+  double ref2 = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = double(reference[i]) - double(image[i]);
+    diff2 += d * d;
+    ref2 += double(reference[i]) * double(reference[i]);
+  }
+  return ref2 == 0 ? std::sqrt(diff2) : std::sqrt(diff2 / ref2);
+}
+
+} // namespace osem

@@ -1,0 +1,15 @@
+#include "osem/osem.h"
+
+namespace osem {
+
+std::vector<LocEntry> locEntries() {
+  const std::string dir = std::string(SKELCL_REPRO_SOURCE_DIR) +
+                          "/src/osem/";
+  return {
+      {"CUDA", dir + "kernels/osem_cuda.cl", dir + "osem_cuda.cpp"},
+      {"OpenCL", dir + "kernels/osem_opencl.cl", dir + "osem_opencl.cpp"},
+      {"SkelCL", dir + "kernels/osem_skelcl.cl", dir + "osem_skelcl.cpp"},
+  };
+}
+
+} // namespace osem

@@ -1,0 +1,50 @@
+#include "osem/osem.h"
+
+namespace osem {
+
+std::vector<float> makePhantom(const VolumeDims& vol) {
+  // A warm cylinder filling most of the FOV, a hot ellipsoid off-center,
+  // and a cold spherical core — the standard shapes used to exercise
+  // emission reconstruction.
+  std::vector<float> phantom(vol.voxels(), 0.0f);
+  const float cx = float(vol.nx) / 2.0f;
+  const float cy = float(vol.ny) / 2.0f;
+  const float cz = float(vol.nz) / 2.0f;
+  const float cylinderR = 0.45f * float(std::min(vol.nx, vol.ny));
+  const float hotA = 0.22f * float(vol.nx);
+  const float hotB = 0.15f * float(vol.ny);
+  const float hotC = 0.3f * float(vol.nz);
+  const float coldR = 0.12f * float(std::min(vol.nx, vol.ny));
+
+  std::size_t index = 0;
+  for (std::int32_t z = 0; z < vol.nz; ++z) {
+    for (std::int32_t y = 0; y < vol.ny; ++y) {
+      for (std::int32_t x = 0; x < vol.nx; ++x, ++index) {
+        const float dx = float(x) + 0.5f - cx;
+        const float dy = float(y) + 0.5f - cy;
+        const float dz = float(z) + 0.5f - cz;
+        float activity = 0.0f;
+        if (dx * dx + dy * dy <= cylinderR * cylinderR &&
+            float(z) > 0.1f * float(vol.nz) &&
+            float(z) < 0.9f * float(vol.nz)) {
+          activity = 1.0f; // warm background
+        }
+        const float ex = (dx + 0.2f * cx) / hotA;
+        const float ey = (dy - 0.15f * cy) / hotB;
+        const float ez = dz / hotC;
+        if (ex * ex + ey * ey + ez * ez <= 1.0f) {
+          activity = 4.0f; // hot lesion
+        }
+        const float sx = dx - 0.25f * cx;
+        const float sy = dy + 0.2f * cy;
+        if (sx * sx + sy * sy + dz * dz <= coldR * coldR) {
+          activity = 0.1f; // cold core
+        }
+        phantom[index] = activity;
+      }
+    }
+  }
+  return phantom;
+}
+
+} // namespace osem

@@ -1,0 +1,119 @@
+// Siddon-style incremental ray traversal (host reference).
+//
+// Computes the voxel intersection path of a line of response through the
+// volume — the `compute_path` step of paper Listing 3. The device kernels
+// implement the same algorithm in OpenCL-C / CUDA dialect.
+#include <cmath>
+#include <limits>
+
+#include "osem/osem.h"
+
+namespace osem {
+
+std::size_t computePath(const VolumeDims& vol, const Event& event,
+                        PathElement* out, std::size_t maxElements) {
+  const float ox = event.x1;
+  const float oy = event.y1;
+  const float oz = event.z1;
+  const float dx = event.x2 - event.x1;
+  const float dy = event.y2 - event.y1;
+  const float dz = event.z2 - event.z1;
+  const float length = std::sqrt(dx * dx + dy * dy + dz * dz);
+  if (length == 0.0f) {
+    return 0;
+  }
+
+  const float lox = -float(vol.nx) * vol.voxelSize / 2.0f;
+  const float loy = -float(vol.ny) * vol.voxelSize / 2.0f;
+  const float loz = -float(vol.nz) * vol.voxelSize / 2.0f;
+  const float hix = -lox;
+  const float hiy = -loy;
+  const float hiz = -loz;
+
+  // Clip the parametric range [0,1] against the volume slabs.
+  float tmin = 0.0f;
+  float tmax = 1.0f;
+  const auto clip = [&](float o, float d, float lo, float hi) {
+    if (d == 0.0f) {
+      return o >= lo && o <= hi;
+    }
+    float t1 = (lo - o) / d;
+    float t2 = (hi - o) / d;
+    if (t1 > t2) {
+      std::swap(t1, t2);
+    }
+    tmin = std::max(tmin, t1);
+    tmax = std::min(tmax, t2);
+    return true;
+  };
+  if (!clip(ox, dx, lox, hix) || !clip(oy, dy, loy, hiy) ||
+      !clip(oz, dz, loz, hiz) || tmin >= tmax) {
+    return 0;
+  }
+
+  // Entry voxel (nudged inside to stabilise the floor at the boundary).
+  const float tEnter = tmin + 1e-6f;
+  const auto voxelOf = [&](float p, float lo, std::int32_t n) {
+    auto i = std::int32_t(std::floor((p - lo) / vol.voxelSize));
+    return std::min(std::max(i, std::int32_t(0)), n - 1);
+  };
+  std::int32_t ix = voxelOf(ox + tEnter * dx, lox, vol.nx);
+  std::int32_t iy = voxelOf(oy + tEnter * dy, loy, vol.ny);
+  std::int32_t iz = voxelOf(oz + tEnter * dz, loz, vol.nz);
+
+  const float inf = std::numeric_limits<float>::infinity();
+  const auto axisSetup = [&](float o, float d, float lo, std::int32_t i,
+                             float& tNext, float& tDelta,
+                             std::int32_t& step) {
+    if (d > 0.0f) {
+      step = 1;
+      tDelta = vol.voxelSize / d;
+      tNext = (lo + float(i + 1) * vol.voxelSize - o) / d;
+    } else if (d < 0.0f) {
+      step = -1;
+      tDelta = -vol.voxelSize / d;
+      tNext = (lo + float(i) * vol.voxelSize - o) / d;
+    } else {
+      step = 0;
+      tDelta = inf;
+      tNext = inf;
+    }
+  };
+  float tx, ty, tz, dtx, dty, dtz;
+  std::int32_t sx, sy, sz;
+  axisSetup(ox, dx, lox, ix, tx, dtx, sx);
+  axisSetup(oy, dy, loy, iy, ty, dty, sy);
+  axisSetup(oz, dz, loz, iz, tz, dtz, sz);
+
+  std::size_t count = 0;
+  float t = tmin;
+  while (t < tmax && count < maxElements) {
+    const float tn = std::min(std::min(tx, ty), std::min(tz, tmax));
+    const float len = (tn - t) * length;
+    if (len > 0.0f) {
+      out[count].voxel = ix + vol.nx * (iy + vol.ny * iz);
+      out[count].length = len;
+      ++count;
+    }
+    if (tn >= tmax) {
+      break;
+    }
+    if (tx <= ty && tx <= tz) {
+      ix += sx;
+      tx += dtx;
+      if (ix < 0 || ix >= vol.nx) break;
+    } else if (ty <= tz) {
+      iy += sy;
+      ty += dty;
+      if (iy < 0 || iy >= vol.ny) break;
+    } else {
+      iz += sz;
+      tz += dtz;
+      if (iz < 0 || iz >= vol.nz) break;
+    }
+    t = tn;
+  }
+  return count;
+}
+
+} // namespace osem

@@ -1,0 +1,108 @@
+#include "skelcl/detail/runtime.h"
+
+#include "common/logging.h"
+#include "skelcl/distribution.h"
+
+namespace skelcl {
+
+const char* distributionName(Distribution d) noexcept {
+  switch (d) {
+    case Distribution::Single: return "single";
+    case Distribution::Copy: return "copy";
+    case Distribution::Block: return "block";
+  }
+  return "?";
+}
+
+namespace detail {
+
+Runtime& Runtime::instance() {
+  static Runtime runtime;
+  return runtime;
+}
+
+void Runtime::init(const DeviceSelection& selection) {
+  if (initialized_) {
+    terminate();
+  }
+  devices_.clear();
+  for (const auto& platform : ocl::getPlatforms()) {
+    for (const auto& device : platform.devices(selection.type)) {
+      devices_.push_back(device);
+      if (selection.count != 0 && devices_.size() == selection.count) {
+        break;
+      }
+    }
+    if (selection.count != 0 && devices_.size() == selection.count) {
+      break;
+    }
+  }
+  COMMON_EXPECTS(!devices_.empty(),
+                 "SkelCL init: no matching devices available");
+  if (selection.count != 0 && devices_.size() < selection.count) {
+    throw common::InvalidArgument(
+        "SkelCL init: requested " + std::to_string(selection.count) +
+        " devices, only " + std::to_string(devices_.size()) + " available");
+  }
+  context_ = std::make_unique<ocl::Context>(devices_);
+  queues_.clear();
+  for (const auto& device : devices_) {
+    queues_.emplace_back(device, ocl::Backend::OpenCL);
+  }
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<KernelCache>();
+  }
+  initialized_ = true;
+  LOG_INFO("SkelCL initialized with " << devices_.size() << " device(s)");
+}
+
+void Runtime::terminate() {
+  queues_.clear();
+  context_.reset();
+  devices_.clear();
+  initialized_ = false;
+}
+
+void Runtime::requireInit() const {
+  if (!initialized_) {
+    throw common::Error(
+        "SkelCL is not initialized; call skelcl::init() first");
+  }
+}
+
+const std::vector<ocl::Device>& Runtime::devices() const {
+  requireInit();
+  return devices_;
+}
+
+ocl::Context& Runtime::context() {
+  requireInit();
+  return *context_;
+}
+
+ocl::CommandQueue& Runtime::queue(std::size_t deviceIndex) {
+  requireInit();
+  COMMON_CHECK(deviceIndex < queues_.size());
+  return queues_[deviceIndex];
+}
+
+KernelCache& Runtime::kernelCache() {
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<KernelCache>();
+  }
+  return *cache_;
+}
+
+} // namespace detail
+
+void init(const DeviceSelection& selection) {
+  detail::Runtime::instance().init(selection);
+}
+
+void terminate() { detail::Runtime::instance().terminate(); }
+
+std::size_t deviceCount() {
+  return detail::Runtime::instance().deviceCount();
+}
+
+} // namespace skelcl

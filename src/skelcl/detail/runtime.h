@@ -1,0 +1,72 @@
+// Global SkelCL runtime: the devices selected at init(), one command
+// queue per device, and the shared on-disk kernel cache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ocl/ocl.h"
+#include "skelcl/kernel_cache.h"
+
+namespace skelcl {
+
+/// Which devices init() should claim.
+struct DeviceSelection {
+  ocl::DeviceType type = ocl::DeviceType::GPU;
+  std::size_t count = 0; // 0 = all matching devices
+
+  static DeviceSelection allGPUs() { return {ocl::DeviceType::GPU, 0}; }
+  static DeviceSelection nGPUs(std::size_t n) {
+    return {ocl::DeviceType::GPU, n};
+  }
+  static DeviceSelection allDevices() { return {ocl::DeviceType::All, 0}; }
+};
+
+namespace detail {
+
+class Runtime {
+public:
+  static Runtime& instance();
+
+  void init(const DeviceSelection& selection);
+  void terminate();
+  bool initialized() const noexcept { return initialized_; }
+
+  /// Throws unless init() ran; every public entry point calls this.
+  void requireInit() const;
+
+  const std::vector<ocl::Device>& devices() const;
+  std::size_t deviceCount() const { return devices().size(); }
+  ocl::Context& context();
+  ocl::CommandQueue& queue(std::size_t deviceIndex);
+  KernelCache& kernelCache();
+
+  /// SkelCL's default work-group size (the paper: "SkelCL uses its
+  /// default work-group size of 256").
+  std::size_t defaultWorkGroupSize() const noexcept { return 256; }
+
+private:
+  Runtime() = default;
+
+  bool initialized_ = false;
+  std::vector<ocl::Device> devices_;
+  std::unique_ptr<ocl::Context> context_;
+  std::vector<ocl::CommandQueue> queues_;
+  std::unique_ptr<KernelCache> cache_;
+};
+
+} // namespace detail
+
+/// Initializes SkelCL (paper Listing 1: "SkelCL::init();"). Claims the
+/// selected devices — by default every GPU in the system.
+void init(const DeviceSelection& selection = DeviceSelection::allGPUs());
+
+/// Releases all devices. Vectors created before terminate() must not be
+/// used afterwards.
+void terminate();
+
+/// Number of devices SkelCL is using.
+std::size_t deviceCount();
+
+} // namespace skelcl

@@ -1,0 +1,48 @@
+// Shared machinery for the skeleton implementations: generated-program
+// memoization on top of the on-disk kernel cache, and launch geometry.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "skelcl/detail/runtime.h"
+#include "skelcl/detail/source_utils.h"
+
+namespace skelcl::detail {
+
+/// Per-skeleton-instance memo: the same generated source is built once
+/// per process (the disk cache then makes *cross-process* reuse cheap,
+/// which is the effect the paper measures).
+class ProgramMemo {
+public:
+  ocl::Program& get(const std::string& source) {
+    auto it = programs_.find(source);
+    if (it == programs_.end()) {
+      auto& runtime = Runtime::instance();
+      ocl::Program program =
+          runtime.kernelCache().getOrBuild(runtime.context(), source);
+      it = programs_.emplace(source, std::move(program)).first;
+    }
+    return it->second;
+  }
+
+private:
+  std::unordered_map<std::string, ocl::Program> programs_;
+};
+
+inline std::size_t roundUp(std::size_t n, std::size_t multiple) {
+  return (n + multiple - 1) / multiple * multiple;
+}
+
+/// Resolves the effective work-group size for a launch: the user's
+/// explicit choice if set, otherwise SkelCL's default (256), clamped to
+/// the device limit.
+inline std::size_t effectiveWorkGroupSize(std::size_t userChoice,
+                                          const ocl::Device& device) {
+  auto& runtime = Runtime::instance();
+  const std::size_t wanted =
+      userChoice != 0 ? userChoice : runtime.defaultWorkGroupSize();
+  return std::min<std::size_t>(wanted, device.maxWorkGroupSize());
+}
+
+} // namespace skelcl::detail

@@ -1,0 +1,70 @@
+#include "skelcl/detail/source_utils.h"
+
+#include "clc/lexer.h"
+#include "skelcl/detail/runtime.h"
+#include "skelcl/type_name.h"
+
+namespace skelcl::detail {
+
+std::string userFunctionName(const std::string& source) {
+  std::vector<clc::Token> tokens;
+  try {
+    tokens = clc::lexAndPreprocess(source);
+  } catch (const clc::CompileError& e) {
+    throw common::InvalidArgument(
+        std::string("cannot parse user function: ") + e.what());
+  }
+  // The customizing function is the *last* function defined at the top
+  // level; earlier definitions are helpers it may call.
+  std::string last;
+  int depth = 0;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const clc::Token& tok = tokens[i];
+    if (tok.kind == clc::TokKind::LBrace) ++depth;
+    if (tok.kind == clc::TokKind::RBrace) --depth;
+    if (depth == 0 && tok.kind == clc::TokKind::Identifier &&
+        tokens[i + 1].kind == clc::TokKind::LParen) {
+      // A *definition* has '{' after its parameter list's closing ')'.
+      int parens = 0;
+      std::size_t j = i + 1;
+      for (; j < tokens.size(); ++j) {
+        if (tokens[j].kind == clc::TokKind::LParen) ++parens;
+        if (tokens[j].kind == clc::TokKind::RParen && --parens == 0) {
+          break;
+        }
+      }
+      if (j + 1 < tokens.size() &&
+          tokens[j + 1].kind == clc::TokKind::LBrace) {
+        last = tok.text;
+      }
+    }
+  }
+  if (last.empty()) {
+    throw common::InvalidArgument(
+        "no function definition found in user source: " + source);
+  }
+  return last;
+}
+
+std::string registeredTypeDefinitions() {
+  return TypeRegistry::instance().definitions();
+}
+
+ocl::Program buildCombineProgram(const std::string& elementType,
+                                 const std::string& combineSource) {
+  const std::string name = userFunctionName(combineSource);
+  std::string source = registeredTypeDefinitions();
+  source += combineSource;
+  source += "\n__kernel void skelcl_combine(__global " + elementType +
+            "* dst, __global const " + elementType +
+            "* src, uint n) {\n"
+            "  size_t i = get_global_id(0);\n"
+            "  if (i < n) dst[i] = " +
+            name +
+            "(dst[i], src[i]);\n"
+            "}\n";
+  auto& runtime = Runtime::instance();
+  return runtime.kernelCache().getOrBuild(runtime.context(), source);
+}
+
+} // namespace skelcl::detail

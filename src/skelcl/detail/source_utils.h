@@ -1,0 +1,30 @@
+// Helpers for handling user-supplied OpenCL-C function strings.
+#pragma once
+
+#include <string>
+
+#include "ocl/ocl.h"
+
+namespace skelcl::detail {
+
+/// Extracts the name of the (first) function defined in `source` — the
+/// identifier directly before the first top-level '('. SkelCL users pass
+/// customizing functions as plain strings (paper Listing 1); the code
+/// generator needs the name to call it from the skeleton kernel.
+/// Throws common::InvalidArgument when no function definition is found.
+std::string userFunctionName(const std::string& source);
+
+/// Builds (with kernel-cache support) the element-wise combine program
+///   __kernel void skelcl_combine(__global T* dst, __global const T* src,
+///                                uint n) { dst[i] = f(dst[i], src[i]); }
+/// used when collapsing a copy-distribution into a block-distribution
+/// with a user combine operator (paper Sec. IV-B: "reduce (element-wise
+/// add) all copies of error image").
+ocl::Program buildCombineProgram(const std::string& elementType,
+                                 const std::string& combineSource);
+
+/// The concatenated OpenCL-side definitions of every registered user
+/// struct type, prepended to all generated kernels.
+std::string registeredTypeDefinitions();
+
+} // namespace skelcl::detail

@@ -1,0 +1,17 @@
+// Vector data distributions across the devices of a multi-GPU system
+// (paper, Sec. III-D): a vector is either on one device (single), fully
+// copied to every device (copy), or evenly divided into one part per
+// device (block).
+#pragma once
+
+namespace skelcl {
+
+enum class Distribution {
+  Single, // whole vector on one device (the default before any setting)
+  Copy,   // full copy on every device
+  Block,  // contiguous, evenly sized part per device
+};
+
+const char* distributionName(Distribution d) noexcept;
+
+} // namespace skelcl

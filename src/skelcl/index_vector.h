@@ -1,0 +1,22 @@
+// IndexVector — a convenience container of [0, n) indices.
+//
+// The list-mode OSEM implementation maps over "a vector of 512 indices"
+// referring to disjoint sub-subsets of events (paper Sec. IV-B). Later
+// SkelCL publications promoted this pattern into a first-class index
+// container; this reproduction provides it as a thin helper.
+#pragma once
+
+#include <numeric>
+
+#include "skelcl/vector.h"
+
+namespace skelcl {
+
+/// Builds a Vector<int> holding 0, 1, ..., n-1.
+inline Vector<int> indexVector(std::size_t n) {
+  std::vector<int> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  return Vector<int>(std::move(indices));
+}
+
+} // namespace skelcl

@@ -1,0 +1,79 @@
+#include "skelcl/kernel_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/byte_stream.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace skelcl {
+
+namespace {
+
+std::string defaultDirectory() {
+  if (const char* env = std::getenv("SKELCL_CACHE_DIR")) {
+    return env;
+  }
+  if (const char* home = std::getenv("HOME")) {
+    return std::string(home) + "/.skelcl/cache";
+  }
+  return (std::filesystem::temp_directory_path() / "skelcl-cache").string();
+}
+
+} // namespace
+
+KernelCache::KernelCache(std::string directory)
+    : directory_(directory.empty() ? defaultDirectory()
+                                   : std::move(directory)) {}
+
+std::string KernelCache::entryPath(const std::string& source) const {
+  return directory_ + "/" + common::Sha256::hexDigest(source) + ".clcbin";
+}
+
+ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
+                                     const std::string& source) {
+  const std::string path = entryPath(source);
+  if (enabled_ && common::fileExists(path)) {
+    try {
+      common::Stopwatch timer;
+      ocl::Program program =
+          context.createProgramFromBinary(common::readFile(path));
+      stats_.loadSeconds += timer.elapsedSeconds();
+      ++stats_.hits;
+      return program;
+    } catch (const common::Error& e) {
+      // Corrupted or version-mismatched entry: rebuild below.
+      LOG_WARN("kernel cache entry unusable (" << e.what()
+                                               << "); rebuilding");
+    }
+  }
+
+  common::Stopwatch timer;
+  ocl::Program program = context.createProgram(source);
+  program.build();
+  stats_.buildSeconds += timer.elapsedSeconds();
+  ++stats_.misses;
+
+  if (enabled_) {
+    try {
+      common::writeFile(path, program.binary());
+    } catch (const common::IoError& e) {
+      LOG_WARN("cannot store kernel cache entry: " << e.what());
+    }
+  }
+  return program;
+}
+
+void KernelCache::clear() {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".clcbin") {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+} // namespace skelcl

@@ -1,0 +1,54 @@
+// On-disk kernel cache (paper, Sec. III-B):
+//
+//   "Compiling the source code every time from source is a time-consuming
+//    task [...] Therefore, SkelCL saves already compiled kernels on disk.
+//    They can be loaded later if the same kernel is used again."
+//
+// Entries are keyed by the SHA-256 of the kernel source (plus the
+// bytecode format version, implicitly, since mismatched binaries fail to
+// deserialize and fall back to a rebuild).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ocl/ocl.h"
+
+namespace skelcl {
+
+class KernelCache {
+public:
+  /// `directory`: cache location; empty selects $SKELCL_CACHE_DIR or
+  /// $HOME/.skelcl/cache (created on first store).
+  explicit KernelCache(std::string directory = "");
+
+  /// Returns a *built* program for `source`: loaded from disk when a
+  /// valid entry exists, compiled (and stored) otherwise.
+  ocl::Program getOrBuild(const ocl::Context& context,
+                          const std::string& source);
+
+  void setEnabled(bool enabled) noexcept { enabled_ = enabled; }
+  bool enabled() const noexcept { return enabled_; }
+  const std::string& directory() const noexcept { return directory_; }
+
+  /// Removes every cache entry in the directory.
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    double loadSeconds = 0;  // time spent loading cached binaries
+    double buildSeconds = 0; // time spent building from source
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = Stats{}; }
+
+private:
+  std::string entryPath(const std::string& source) const;
+
+  std::string directory_;
+  bool enabled_ = true;
+  Stats stats_;
+};
+
+} // namespace skelcl

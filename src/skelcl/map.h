@@ -1,0 +1,174 @@
+// The Map skeleton (paper Sec. III-B, Eq. 1):
+//
+//   map f [x0, ..., xn-1] = [f(x0), ..., f(xn-1)]
+//
+// Customized by a unary function given as OpenCL-C source. Additional
+// arguments (Sec. III-C) extend the function's parameter list; a
+// Map<T, void> produces no output vector and works purely through
+// side-effects on vector arguments — the form list-mode OSEM uses.
+#pragma once
+
+#include <string>
+
+#include "skelcl/arguments.h"
+#include "skelcl/detail/skeleton_common.h"
+#include "skelcl/vector.h"
+
+namespace skelcl {
+
+template <typename Tin, typename Tout = Tin>
+class Map {
+public:
+  /// `source` is the customizing function, e.g.
+  ///   Map<float> dbl("float f(float x) { return 2.0f * x; }");
+  explicit Map(std::string source)
+      : source_(std::move(source)),
+        funcName_(detail::userFunctionName(source_)) {}
+
+  /// Optional tuning knob; the paper notes the work-group size "can have
+  /// a considerable impact on performance". 0 = SkelCL default (256).
+  void setWorkGroupSize(std::size_t size) { workGroupSize_ = size; }
+
+  Vector<Tout> operator()(const Vector<Tin>& input) {
+    return (*this)(input, Arguments{});
+  }
+
+  Vector<Tout> operator()(const Vector<Tin>& input, const Arguments& args) {
+    Vector<Tout> output;
+    run(input, args, output);
+    return output;
+  }
+
+  /// Explicit-output form; `output` may alias `input`.
+  void operator()(const Vector<Tin>& input, const Arguments& args,
+                  Vector<Tout>& output) {
+    run(input, args, output);
+  }
+
+private:
+  void run(const Vector<Tin>& input, const Arguments& args,
+           Vector<Tout>& output) {
+    auto& runtime = detail::Runtime::instance();
+    runtime.requireInit();
+
+    input.state().ensureOnDevices();
+    args.prepare();
+
+    const bool aliased =
+        static_cast<const void*>(&output.state()) ==
+        static_cast<const void*>(&input.state());
+    if (!aliased) {
+      output.state().allocateLike(input.state());
+    }
+
+    ocl::Program& program = program_(args);
+    for (const detail::Chunk& chunk : input.state().chunks()) {
+      if (chunk.count == 0) {
+        continue;
+      }
+      const auto& device = runtime.devices()[chunk.deviceIndex];
+      ocl::Kernel kernel = program.createKernel("skelcl_map");
+      std::size_t arg = 0;
+      kernel.setArg(arg++, chunk.buffer);
+      kernel.setArg(
+          arg++,
+          output.state().chunkForDevice(chunk.deviceIndex).buffer);
+      kernel.setArg(arg++, std::uint32_t(chunk.count));
+      args.apply(kernel, arg, chunk.deviceIndex);
+
+      const std::size_t wg =
+          detail::effectiveWorkGroupSize(workGroupSize_, device);
+      runtime.queue(chunk.deviceIndex)
+          .enqueueNDRange(kernel,
+                          ocl::NDRange1D{detail::roundUp(chunk.count, wg),
+                                         wg});
+    }
+    output.state().markDevicesModified();
+  }
+
+  ocl::Program& program_(const Arguments& args) {
+    const std::string source =
+        detail::registeredTypeDefinitions() + source_ +
+        "\n__kernel void skelcl_map(__global const " + typeName<Tin>() +
+        "* skelcl_in, __global " + typeName<Tout>() +
+        "* skelcl_out, uint skelcl_n" + args.declSuffix() +
+        ") {\n"
+        "  size_t skelcl_i = get_global_id(0);\n"
+        "  if (skelcl_i < skelcl_n) {\n"
+        "    skelcl_out[skelcl_i] = " +
+        funcName_ + "(skelcl_in[skelcl_i]" + args.callSuffix() +
+        ");\n"
+        "  }\n"
+        "}\n";
+    return memo_.get(source);
+  }
+
+  std::string source_;
+  std::string funcName_;
+  std::size_t workGroupSize_ = 0;
+  detail::ProgramMemo memo_;
+};
+
+/// Map without an output vector: the user function returns void and works
+/// through side effects on Arguments vectors (paper Sec. IV-B).
+template <typename Tin>
+class Map<Tin, void> {
+public:
+  explicit Map(std::string source)
+      : source_(std::move(source)),
+        funcName_(detail::userFunctionName(source_)) {}
+
+  void setWorkGroupSize(std::size_t size) { workGroupSize_ = size; }
+
+  void operator()(const Vector<Tin>& input, const Arguments& args) {
+    auto& runtime = detail::Runtime::instance();
+    runtime.requireInit();
+
+    input.state().ensureOnDevices();
+    args.prepare();
+
+    ocl::Program& program = program_(args);
+    for (const detail::Chunk& chunk : input.state().chunks()) {
+      if (chunk.count == 0) {
+        continue;
+      }
+      const auto& device = runtime.devices()[chunk.deviceIndex];
+      ocl::Kernel kernel = program.createKernel("skelcl_map");
+      std::size_t arg = 0;
+      kernel.setArg(arg++, chunk.buffer);
+      kernel.setArg(arg++, std::uint32_t(chunk.count));
+      args.apply(kernel, arg, chunk.deviceIndex);
+
+      const std::size_t wg =
+          detail::effectiveWorkGroupSize(workGroupSize_, device);
+      runtime.queue(chunk.deviceIndex)
+          .enqueueNDRange(kernel,
+                          ocl::NDRange1D{detail::roundUp(chunk.count, wg),
+                                         wg});
+    }
+  }
+
+private:
+  ocl::Program& program_(const Arguments& args) {
+    const std::string source =
+        detail::registeredTypeDefinitions() + source_ +
+        "\n__kernel void skelcl_map(__global const " + typeName<Tin>() +
+        "* skelcl_in, uint skelcl_n" + args.declSuffix() +
+        ") {\n"
+        "  size_t skelcl_i = get_global_id(0);\n"
+        "  if (skelcl_i < skelcl_n) {\n"
+        "    " +
+        funcName_ + "(skelcl_in[skelcl_i]" + args.callSuffix() +
+        ");\n"
+        "  }\n"
+        "}\n";
+    return memo_.get(source);
+  }
+
+  std::string source_;
+  std::string funcName_;
+  std::size_t workGroupSize_ = 0;
+  detail::ProgramMemo memo_;
+};
+
+} // namespace skelcl

@@ -1,0 +1,187 @@
+// The Reduce skeleton (paper Sec. III-B, Eq. 3):
+//
+//   reduce (+) [x0, ..., xn-1] = x0 + ... + xn-1
+//
+// "SkelCL requires the operator to be associative, such that it can be
+//  applied to arbitrarily sized subranges of the input vector in
+//  parallel. [...] To improve the performance, SkelCL saves the
+//  intermediate results in the device's fast local memory."
+//
+// The implementation is associativity-only (no commutativity needed):
+// every work-item reduces a *contiguous* subrange, and the local-memory
+// tree combines adjacent partial results in element order. On a block-
+// distributed vector each device reduces its block; the per-device
+// results are combined with one final launch on device 0.
+#pragma once
+
+#include <string>
+
+#include "skelcl/detail/skeleton_common.h"
+#include "skelcl/scalar.h"
+#include "skelcl/vector.h"
+
+namespace skelcl {
+
+template <typename T>
+class Reduce {
+public:
+  explicit Reduce(std::string source)
+      : source_(std::move(source)),
+        funcName_(detail::userFunctionName(source_)) {}
+
+  Scalar<T> operator()(const Vector<T>& input) {
+    auto& runtime = detail::Runtime::instance();
+    runtime.requireInit();
+    COMMON_EXPECTS(input.size() > 0, "Reduce of an empty vector");
+
+    input.state().ensureOnDevices();
+    ocl::Program& program = memo_.get(generateSource());
+
+    // Per-device partial reduction. Under the copy distribution every
+    // device holds the whole vector, so reducing one copy suffices.
+    struct Partial {
+      ocl::Buffer buffer;
+      std::size_t deviceIndex;
+    };
+    std::vector<Partial> partials;
+    const auto& chunks = input.state().chunks();
+    const bool copyDist =
+        input.state().distribution() == Distribution::Copy;
+    for (const detail::Chunk& chunk : chunks) {
+      if (chunk.count == 0) {
+        continue;
+      }
+      partials.push_back(Partial{
+          reduceOnDevice(program, chunk.buffer, chunk.count,
+                         chunk.deviceIndex),
+          chunk.deviceIndex});
+      if (copyDist) {
+        break;
+      }
+    }
+    COMMON_CHECK(!partials.empty());
+
+    if (partials.size() == 1) {
+      Vector<T> holder;
+      holder.state().adoptDeviceBuffer(partials[0].buffer, 1,
+                                       partials[0].deviceIndex);
+      return Scalar<T>(std::move(holder));
+    }
+
+    // Combine the per-device results on device 0. Device order equals
+    // element order, so associativity is still all we need.
+    std::vector<T> values(partials.size());
+    for (std::size_t i = 0; i < partials.size(); ++i) {
+      runtime.queue(partials[i].deviceIndex)
+          .enqueueReadBuffer(partials[i].buffer, 0, sizeof(T), &values[i],
+                             /*blocking=*/true);
+    }
+    const auto& device0 = runtime.devices()[0];
+    ocl::Buffer staging = runtime.context().createBuffer(
+        device0, values.size() * sizeof(T));
+    runtime.queue(0).enqueueWriteBuffer(staging, 0,
+                                        values.size() * sizeof(T),
+                                        values.data());
+    ocl::Buffer result =
+        reduceOnDevice(program, staging, values.size(), 0);
+    Vector<T> holder;
+    holder.state().adoptDeviceBuffer(std::move(result), 1, 0);
+    return Scalar<T>(std::move(holder));
+  }
+
+private:
+  static constexpr std::size_t kWg = 256;     // power of two for the tree
+  static constexpr std::size_t kMaxGroups = 64;
+
+  /// Reduces `count` elements of `buffer` (on device `deviceIndex`) down
+  /// to a single element; returns the one-element result buffer.
+  ocl::Buffer reduceOnDevice(ocl::Program& program, ocl::Buffer buffer,
+                             std::size_t count, std::size_t deviceIndex) {
+    auto& runtime = detail::Runtime::instance();
+    auto& queue = runtime.queue(deviceIndex);
+    const auto& device = runtime.devices()[deviceIndex];
+
+    ocl::Buffer in = std::move(buffer);
+    while (count > 1) {
+      const std::size_t groups =
+          std::min(kMaxGroups, (count + kWg - 1) / kWg);
+      ocl::Buffer out =
+          runtime.context().createBuffer(device, groups * sizeof(T));
+      ocl::Kernel kernel = program.createKernel("skelcl_reduce");
+      kernel.setArg(0, in);
+      kernel.setArg(1, out);
+      kernel.setArg(2, std::uint32_t(count));
+      queue.enqueueNDRange(kernel, ocl::NDRange1D{groups * kWg, kWg});
+      in = std::move(out);
+      count = groups;
+    }
+    return in;
+  }
+
+  std::string generateSource() const {
+    const std::string t = typeName<T>();
+    const std::string wg = std::to_string(kWg);
+    return detail::registeredTypeDefinitions() + source_ +
+           "\n__kernel void skelcl_reduce(__global const " + t +
+           "* skelcl_in, __global " + t +
+           "* skelcl_out, uint skelcl_n) {\n"
+           "  __local " + t + " skelcl_scratch[" + wg + "];\n"
+           "  __local int skelcl_flags[" + wg + "];\n"
+           "  uint skelcl_lid = (uint)get_local_id(0);\n"
+           // Contiguous span per group, contiguous sub-chunk per item:
+           // ranges combine strictly in element order (associativity
+           // suffices). The group count is chosen host-side so that no
+           // group's span is empty.
+           "  size_t skelcl_groups = get_num_groups(0);\n"
+           "  size_t skelcl_span =\n"
+           "      (skelcl_n + skelcl_groups - 1) / skelcl_groups;\n"
+           "  size_t skelcl_gstart = get_group_id(0) * skelcl_span;\n"
+           "  size_t skelcl_gend = min(skelcl_gstart + skelcl_span,\n"
+           "                           (size_t)skelcl_n);\n"
+           "  size_t skelcl_chunk = (skelcl_span + " + wg + " - 1) / " + wg +
+           ";\n"
+           "  size_t skelcl_start = skelcl_gstart + skelcl_lid * skelcl_chunk;\n"
+           "  size_t skelcl_end = min(skelcl_start + skelcl_chunk,\n"
+           "                          skelcl_gend);\n"
+           "  int skelcl_have = 0;\n"
+           "  " + t + " skelcl_acc;\n"
+           "  for (size_t i = skelcl_start; i < skelcl_end; ++i) {\n"
+           "    if (skelcl_have) {\n"
+           "      skelcl_acc = " + funcName_ + "(skelcl_acc, skelcl_in[i]);\n"
+           "    } else {\n"
+           "      skelcl_acc = skelcl_in[i];\n"
+           "      skelcl_have = 1;\n"
+           "    }\n"
+           "  }\n"
+           "  skelcl_flags[skelcl_lid] = skelcl_have;\n"
+           "  if (skelcl_have) skelcl_scratch[skelcl_lid] = skelcl_acc;\n"
+           "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+           // Adjacent-pair tree: associativity-only combination.
+           "  for (uint s = 1; s < " + wg + "; s <<= 1) {\n"
+           "    if (skelcl_lid % (2 * s) == 0 &&\n"
+           "        skelcl_lid + s < " + wg + ") {\n"
+           "      if (skelcl_flags[skelcl_lid + s]) {\n"
+           "        if (skelcl_flags[skelcl_lid]) {\n"
+           "          skelcl_scratch[skelcl_lid] = " + funcName_ +
+           "(skelcl_scratch[skelcl_lid], skelcl_scratch[skelcl_lid + s]);\n"
+           "        } else {\n"
+           "          skelcl_scratch[skelcl_lid] =\n"
+           "              skelcl_scratch[skelcl_lid + s];\n"
+           "          skelcl_flags[skelcl_lid] = 1;\n"
+           "        }\n"
+           "      }\n"
+           "    }\n"
+           "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+           "  }\n"
+           "  if (skelcl_lid == 0) {\n"
+           "    skelcl_out[get_group_id(0)] = skelcl_scratch[0];\n"
+           "  }\n"
+           "}\n";
+  }
+
+  std::string source_;
+  std::string funcName_;
+  detail::ProgramMemo memo_;
+};
+
+} // namespace skelcl

@@ -1,0 +1,34 @@
+// skelcl::Scalar<T> — the result of a Reduce skeleton (paper Listing 1):
+//
+//   SkelCL::Scalar<float> C = sum( mult( A, B ) );
+//   float c = C.getValue();
+//
+// The value stays on the device until getValue() forces the download —
+// the same lazy-copying rule Vector follows.
+#pragma once
+
+#include "skelcl/vector.h"
+
+namespace skelcl {
+
+template <typename T>
+class Scalar {
+public:
+  Scalar() = default;
+
+  /// Wraps a one-element vector whose data lives on a device.
+  explicit Scalar(Vector<T> holder) : holder_(std::move(holder)) {
+    COMMON_EXPECTS(holder_.size() == 1,
+                   "Scalar requires a one-element vector");
+  }
+
+  /// Downloads (if necessary) and returns the value.
+  T getValue() const { return holder_[0]; }
+
+  operator T() const { return getValue(); } // NOLINT(google-explicit-*)
+
+private:
+  Vector<T> holder_;
+};
+
+} // namespace skelcl

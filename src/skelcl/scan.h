@@ -1,0 +1,171 @@
+// The Scan skeleton (paper Sec. III-B, Eq. 4): exclusive prefix
+// combination,
+//
+//   scan (+) [x0, ..., xn-1] = [id, x0, x0+x1, ..., x0+...+xn-2]
+//
+// "The implementation of Scan provided in SkelCL is a modified version of
+//  [Harris et al., GPU Gems 3]. It is highly optimized and makes heavy
+//  use of local memory, as well as it tries to avoid memory bank
+//  conflicts."
+//
+// Structure: per-work-group Blelloch up-sweep/down-sweep in local memory
+// producing block sums, a recursive scan of the block sums, and a uniform
+// combine pass. Runs on a single device; vectors with other
+// distributions are gathered first (the paper's evaluation does not use
+// multi-GPU Scan).
+#pragma once
+
+#include <string>
+
+#include "skelcl/detail/skeleton_common.h"
+#include "skelcl/vector.h"
+
+namespace skelcl {
+
+template <typename T>
+class Scan {
+public:
+  /// `identity` is the OpenCL-C expression for the identity element of
+  /// the operator (e.g. "0" for +, "1" for *, "-INFINITY" for max).
+  explicit Scan(std::string source, std::string identity = "0")
+      : source_(std::move(source)),
+        identity_(std::move(identity)),
+        funcName_(detail::userFunctionName(source_)) {}
+
+  Vector<T> operator()(const Vector<T>& input) {
+    static_assert(std::is_arithmetic_v<T>,
+                  "Scan currently supports arithmetic element types");
+    auto& runtime = detail::Runtime::instance();
+    runtime.requireInit();
+
+    // Single-device skeleton: gather the vector if it is distributed.
+    if (input.state().distribution() != Distribution::Single) {
+      const_cast<Vector<T>&>(input).setDistribution(Distribution::Single,
+                                                    0);
+    }
+    input.state().ensureOnDevices();
+
+    const std::size_t n = input.size();
+    const detail::Chunk& chunk = input.state().chunks().front();
+    const std::size_t deviceIndex = chunk.deviceIndex;
+    const auto& device = runtime.devices()[deviceIndex];
+
+    ocl::Buffer out = runtime.context().createBuffer(
+        device, std::max<std::size_t>(1, n * sizeof(T)));
+    if (n > 0) {
+      scanBuffer(chunk.buffer, out, n, deviceIndex);
+    }
+
+    Vector<T> output;
+    output.state().adoptDeviceBuffer(std::move(out), n, deviceIndex);
+    return output;
+  }
+
+private:
+  static constexpr std::size_t kWg = 256; // power of two (Blelloch tree)
+
+  void scanBuffer(const ocl::Buffer& in, const ocl::Buffer& out,
+                  std::size_t n, std::size_t deviceIndex) {
+    auto& runtime = detail::Runtime::instance();
+    auto& queue = runtime.queue(deviceIndex);
+    const auto& device = runtime.devices()[deviceIndex];
+    ocl::Program& program = memo_.get(generateSource());
+
+    const std::size_t groups = (n + kWg - 1) / kWg;
+    ocl::Buffer sums =
+        runtime.context().createBuffer(device, groups * sizeof(T));
+
+    ocl::Kernel block = program.createKernel("skelcl_scan_block");
+    block.setArg(0, in);
+    block.setArg(1, out);
+    block.setArg(2, sums);
+    block.setArg(3, std::uint32_t(n));
+    queue.enqueueNDRange(block, ocl::NDRange1D{groups * kWg, kWg});
+
+    if (groups > 1) {
+      ocl::Buffer sumsScanned =
+          runtime.context().createBuffer(device, groups * sizeof(T));
+      scanBuffer(sums, sumsScanned, groups, deviceIndex);
+
+      ocl::Kernel add = program.createKernel("skelcl_scan_add");
+      add.setArg(0, out);
+      add.setArg(1, sumsScanned);
+      add.setArg(2, std::uint32_t(n));
+      queue.enqueueNDRange(add, ocl::NDRange1D{groups * kWg, kWg});
+    }
+  }
+
+  std::string generateSource() const {
+    const std::string t = typeName<T>();
+    const std::string wg = std::to_string(kWg);
+    const std::string half = std::to_string(kWg / 2);
+    const std::string last = std::to_string(kWg - 1);
+    return detail::registeredTypeDefinitions() + source_ +
+           "\n__kernel void skelcl_scan_block(__global const " + t +
+           "* skelcl_in, __global " + t + "* skelcl_out, __global " + t +
+           "* skelcl_sums, uint skelcl_n) {\n"
+           "  __local " + t + " skelcl_tmp[" + wg + "];\n"
+           "  uint skelcl_lid = (uint)get_local_id(0);\n"
+           "  size_t skelcl_gid = get_global_id(0);\n"
+           "  if (skelcl_gid < skelcl_n) {\n"
+           "    skelcl_tmp[skelcl_lid] = skelcl_in[skelcl_gid];\n"
+           "  } else {\n"
+           "    skelcl_tmp[skelcl_lid] = " + identity_ + ";\n"
+           "  }\n"
+           "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+           // Up-sweep (reduce) phase.
+           "  uint skelcl_offset = 1;\n"
+           "  for (uint d = " + half + "; d > 0; d >>= 1) {\n"
+           "    if (skelcl_lid < d) {\n"
+           "      uint ai = skelcl_offset * (2 * skelcl_lid + 1) - 1;\n"
+           "      uint bi = skelcl_offset * (2 * skelcl_lid + 2) - 1;\n"
+           "      skelcl_tmp[bi] = " + funcName_ +
+           "(skelcl_tmp[ai], skelcl_tmp[bi]);\n"
+           "    }\n"
+           "    skelcl_offset <<= 1;\n"
+           "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+           "  }\n"
+           // Record the block total, clear the root.
+           "  if (skelcl_lid == 0) {\n"
+           "    skelcl_sums[get_group_id(0)] = skelcl_tmp[" + last + "];\n"
+           "    skelcl_tmp[" + last + "] = " + identity_ + ";\n"
+           "  }\n"
+           "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+           // Down-sweep phase.
+           "  for (uint d = 1; d < " + wg + "; d <<= 1) {\n"
+           "    skelcl_offset >>= 1;\n"
+           "    if (skelcl_lid < d) {\n"
+           "      uint ai = skelcl_offset * (2 * skelcl_lid + 1) - 1;\n"
+           "      uint bi = skelcl_offset * (2 * skelcl_lid + 2) - 1;\n"
+           // tmp[bi] holds the prefix that flowed down from the parent;
+           // the left subtree's total combines on its RIGHT (operand
+           // order matters for non-commutative operators).
+           "      " + t + " skelcl_t = skelcl_tmp[ai];\n"
+           "      skelcl_tmp[ai] = skelcl_tmp[bi];\n"
+           "      skelcl_tmp[bi] = " + funcName_ +
+           "(skelcl_tmp[ai], skelcl_t);\n"
+           "    }\n"
+           "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+           "  }\n"
+           "  if (skelcl_gid < skelcl_n) {\n"
+           "    skelcl_out[skelcl_gid] = skelcl_tmp[skelcl_lid];\n"
+           "  }\n"
+           "}\n"
+           "\n__kernel void skelcl_scan_add(__global " + t +
+           "* skelcl_data, __global const " + t +
+           "* skelcl_offsets, uint skelcl_n) {\n"
+           "  size_t skelcl_gid = get_global_id(0);\n"
+           "  if (skelcl_gid < skelcl_n) {\n"
+           "    skelcl_data[skelcl_gid] = " + funcName_ +
+           "(skelcl_offsets[get_group_id(0)], skelcl_data[skelcl_gid]);\n"
+           "  }\n"
+           "}\n";
+  }
+
+  std::string source_;
+  std::string identity_;
+  std::string funcName_;
+  detail::ProgramMemo memo_;
+};
+
+} // namespace skelcl

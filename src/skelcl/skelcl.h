@@ -1,0 +1,34 @@
+// SkelCL — umbrella header.
+//
+// A reproduction of the library from:
+//   M. Steuwer, P. Kegel, S. Gorlatch,
+//   "SkelCL — A Portable Skeleton Library for High-Level GPU
+//    Programming", IPDPS 2011.
+//
+// Quick start (paper Listing 1):
+//
+//   skelcl::init();
+//   skelcl::Reduce<float> sum("float sum(float x,float y){return x+y;}");
+//   skelcl::Zip<float> mult("float mult(float x,float y){return x*y;}");
+//   skelcl::Vector<float> A(a_ptr, n), B(b_ptr, n);
+//   skelcl::Scalar<float> C = sum(mult(A, B));
+//   float c = C.getValue();
+//
+// The namespace alias `SkelCL` matches the paper's spelling.
+#pragma once
+
+#include "skelcl/arguments.h"
+#include "skelcl/detail/runtime.h"
+#include "skelcl/distribution.h"
+#include "skelcl/index_vector.h"
+#include "skelcl/kernel_cache.h"
+#include "skelcl/map.h"
+#include "skelcl/map_reduce.h"
+#include "skelcl/reduce.h"
+#include "skelcl/scalar.h"
+#include "skelcl/scan.h"
+#include "skelcl/type_name.h"
+#include "skelcl/vector.h"
+#include "skelcl/zip.h"
+
+namespace SkelCL = skelcl;

@@ -1,0 +1,135 @@
+// Mapping from C++ element types to OpenCL-C type names.
+//
+// SkelCL's Vector is "a generic container class that is capable of storing
+// data items of any primitive C/C++ data type as well as user-defined data
+// structures (structs)" (paper, Sec. III-A). Primitive types map directly;
+// user structs are registered once with their OpenCL-side definition,
+// which the code generator prepends to every kernel.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace skelcl {
+
+namespace detail {
+
+struct TypeRegistryEntry {
+  std::string name;       // OpenCL-side type name
+  std::string definition; // e.g. "typedef struct { ... } Event;"
+};
+
+class TypeRegistry {
+public:
+  static TypeRegistry& instance() {
+    static TypeRegistry registry;
+    return registry;
+  }
+
+  void add(std::type_index type, std::string name, std::string definition) {
+    std::lock_guard lock(mutex_);
+    const auto it = byType_.find(type);
+    if (it != byType_.end()) {
+      COMMON_EXPECTS(it->second.name == name,
+                     "type registered twice with different names");
+      return;
+    }
+    byType_.emplace(type, TypeRegistryEntry{name, definition});
+    order_.push_back(type);
+  }
+
+  const TypeRegistryEntry* find(std::type_index type) const {
+    std::lock_guard lock(mutex_);
+    const auto it = byType_.find(type);
+    return it == byType_.end() ? nullptr : &it->second;
+  }
+
+  /// All struct definitions, in registration order, concatenated — the
+  /// prelude the code generator puts in front of generated kernels.
+  std::string definitions() const {
+    std::lock_guard lock(mutex_);
+    std::string out;
+    for (const auto& type : order_) {
+      const auto& entry = byType_.at(type);
+      if (!entry.definition.empty()) {
+        out += entry.definition;
+        out += "\n";
+      }
+    }
+    return out;
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::type_index, TypeRegistryEntry> byType_;
+  std::vector<std::type_index> order_;
+};
+
+template <typename T>
+struct BuiltinTypeName;
+
+#define SKELCL_BUILTIN_TYPE(cxxType, clName)                                  \
+  template <>                                                                 \
+  struct BuiltinTypeName<cxxType> {                                           \
+    static constexpr const char* value = clName;                              \
+  }
+
+SKELCL_BUILTIN_TYPE(float, "float");
+SKELCL_BUILTIN_TYPE(double, "double");
+SKELCL_BUILTIN_TYPE(std::int8_t, "char");
+SKELCL_BUILTIN_TYPE(std::uint8_t, "uchar");
+SKELCL_BUILTIN_TYPE(std::int16_t, "short");
+SKELCL_BUILTIN_TYPE(std::uint16_t, "ushort");
+SKELCL_BUILTIN_TYPE(std::int32_t, "int");
+SKELCL_BUILTIN_TYPE(std::uint32_t, "uint");
+SKELCL_BUILTIN_TYPE(std::int64_t, "long");
+SKELCL_BUILTIN_TYPE(std::uint64_t, "ulong");
+// `long long` is a distinct type from int64_t (= long) on LP64 targets.
+SKELCL_BUILTIN_TYPE(long long, "long");
+SKELCL_BUILTIN_TYPE(unsigned long long, "ulong");
+
+#undef SKELCL_BUILTIN_TYPE
+
+template <typename T, typename = void>
+struct HasBuiltinName : std::false_type {};
+template <typename T>
+struct HasBuiltinName<T, std::void_t<decltype(BuiltinTypeName<T>::value)>>
+    : std::true_type {};
+
+} // namespace detail
+
+/// Registers a user-defined struct for use as a Vector element or kernel
+/// argument type. `definition` is the OpenCL-side declaration; its layout
+/// must match the host struct byte-for-byte (same field order and types).
+template <typename T>
+void registerType(const std::string& name, const std::string& definition) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SkelCL element types must be trivially copyable");
+  detail::TypeRegistry::instance().add(std::type_index(typeid(T)), name,
+                                       definition);
+}
+
+/// OpenCL-side name of T; throws for unregistered non-primitive types.
+template <typename T>
+std::string typeName() {
+  if constexpr (detail::HasBuiltinName<T>::value) {
+    return detail::BuiltinTypeName<T>::value;
+  } else {
+    const auto* entry =
+        detail::TypeRegistry::instance().find(std::type_index(typeid(T)));
+    if (entry == nullptr) {
+      throw common::InvalidArgument(
+          std::string("type '") + typeid(T).name() +
+          "' is not registered; call skelcl::registerType<T>() first");
+    }
+    return entry->name;
+  }
+}
+
+} // namespace skelcl

@@ -1,0 +1,460 @@
+// skelcl::Vector<T> — the paper's abstract vector data type (Sec. III-A):
+//
+//  * a unified abstraction for memory accessible by both CPU and GPU(s);
+//  * implicit, *lazy* data transfers: data moves only when the side that
+//    reads it holds a stale copy ("Before every data transfer, the vector
+//    implementation checks whether the data transfer is necessary; only
+//    then the data is actually transferred");
+//  * multi-device distributions (single / copy / block) with automatic
+//    redistribution, including a user combine function when collapsing
+//    copies into blocks (Sec. III-D, used by list-mode OSEM).
+//
+// Copying a Vector is shallow: handles share the underlying state, which
+// is what makes `update(f, c, f)`-style aliased skeleton calls work.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skelcl/detail/runtime.h"
+#include "skelcl/detail/source_utils.h"
+#include "skelcl/distribution.h"
+#include "skelcl/type_name.h"
+
+namespace skelcl {
+
+namespace detail {
+
+/// One device's share of a vector.
+struct Chunk {
+  ocl::Buffer buffer;
+  std::size_t deviceIndex = 0;
+  std::size_t offset = 0; // element offset into the full vector
+  std::size_t count = 0;  // element count on this device
+};
+
+/// Type-erased interface so Arguments can hold vectors of any element
+/// type (paper Sec. III-C: "It is particularly easy to pass vectors as
+/// arguments").
+class VectorStateBase {
+public:
+  virtual ~VectorStateBase() = default;
+  virtual std::size_t size() const = 0;
+  virtual Distribution distribution() const = 0;
+  virtual void ensureOnDevices() = 0;
+  virtual const Chunk& chunkForDevice(std::size_t deviceIndex) const = 0;
+  virtual void markDevicesModified() = 0;
+  virtual std::string elementTypeName() const = 0;
+};
+
+template <typename T>
+class VectorState final : public VectorStateBase {
+public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Vector element types must be trivially copyable");
+
+  VectorState() = default;
+  explicit VectorState(std::vector<T> data) : host_(std::move(data)) {}
+
+  // --- host access ------------------------------------------------------
+
+  std::size_t size() const override { return host_.size(); }
+
+  std::vector<T>& hostForWrite() {
+    ensureOnHost();
+    hostDirty_ = true;
+    devicesDirty_ = false;
+    return host_;
+  }
+
+  const std::vector<T>& hostForRead() {
+    ensureOnHost();
+    return host_;
+  }
+
+  /// Host storage without any synchronization (size queries etc.).
+  const std::vector<T>& rawHost() const { return host_; }
+
+  void resizeHost(std::size_t n) {
+    ensureOnHost();
+    host_.resize(n);
+    dropChunks();
+    hostDirty_ = true;
+  }
+
+  /// Overwrites every element on the host side without downloading any
+  /// stale device data first (unlike hostForWrite, which preserves it).
+  void fillHost(const T& value) {
+    host_.assign(host_.size(), value);
+    hostDirty_ = true;
+    devicesDirty_ = false;
+  }
+
+  // --- distribution -----------------------------------------------------
+
+  Distribution distribution() const override { return dist_; }
+  std::size_t singleDeviceIndex() const { return singleDevice_; }
+
+  void setDistribution(Distribution dist, std::size_t singleDevice = 0) {
+    auto& runtime = Runtime::instance();
+    runtime.requireInit();
+    if (dist == dist_ &&
+        (dist != Distribution::Single || singleDevice == singleDevice_)) {
+      return;
+    }
+    // Generic path: stage through the host lazily. The data currently on
+    // the devices is downloaded only if it is newer than the host copy.
+    ensureOnHost();
+    dropChunks();
+    dist_ = dist;
+    singleDevice_ = singleDevice;
+    hostDirty_ = true;
+  }
+
+  /// Redistribution copy -> block with a user combine function: device i
+  /// keeps its own portion and element-wise combines every other
+  /// device's portion into it — entirely device-side (paper Sec. IV-B).
+  void setDistributionCombine(const std::string& combineSource) {
+    auto& runtime = Runtime::instance();
+    runtime.requireInit();
+    COMMON_EXPECTS(dist_ == Distribution::Copy,
+                   "combine redistribution requires a copy distribution");
+    if (chunks_.empty() || !devicesDirty_) {
+      // Copies are not newer than the host: plain redistribution.
+      setDistribution(Distribution::Block);
+      return;
+    }
+    const std::size_t devices = runtime.deviceCount();
+    if (devices == 1) {
+      // Single device: the copy already is the (whole) block.
+      chunks_[0].offset = 0;
+      dist_ = Distribution::Block;
+      return;
+    }
+
+    ocl::Program program =
+        buildCombineProgram(typeName<T>(), combineSource);
+
+    std::vector<Chunk> blocks = blockLayout(devices);
+    for (Chunk& block : blocks) {
+      const std::size_t d = block.deviceIndex;
+      auto& queue = runtime.queue(d);
+      const auto& device = runtime.devices()[d];
+      block.buffer = runtime.context().createBuffer(
+          device, std::max<std::size_t>(1, block.count * sizeof(T)));
+      // Own portion seeds the block.
+      queue.enqueueCopyBuffer(chunks_[d].buffer, block.offset * sizeof(T),
+                              block.buffer, 0, block.count * sizeof(T));
+      // Fold in every other device's copy of the same region.
+      ocl::Buffer temp = runtime.context().createBuffer(
+          device, std::max<std::size_t>(1, block.count * sizeof(T)));
+      for (std::size_t j = 0; j < devices; ++j) {
+        if (j == d || block.count == 0) {
+          continue;
+        }
+        queue.enqueueCopyBuffer(chunks_[j].buffer,
+                                block.offset * sizeof(T), temp, 0,
+                                block.count * sizeof(T));
+        ocl::Kernel kernel = program.createKernel("skelcl_combine");
+        kernel.setArg(0, block.buffer);
+        kernel.setArg(1, temp);
+        kernel.setArg(2, std::uint32_t(block.count));
+        const std::size_t wg = std::min<std::size_t>(
+            runtime.defaultWorkGroupSize(), device.maxWorkGroupSize());
+        const std::size_t global = (block.count + wg - 1) / wg * wg;
+        queue.enqueueNDRange(kernel, ocl::NDRange1D{global, wg});
+      }
+    }
+    chunks_ = std::move(blocks);
+    dist_ = Distribution::Block;
+    devicesDirty_ = true;
+  }
+
+  // --- device access ----------------------------------------------------
+
+  void ensureOnDevices() override {
+    auto& runtime = Runtime::instance();
+    runtime.requireInit();
+    if (chunks_.empty()) {
+      allocateChunks();
+      upload();
+      hostDirty_ = false;
+      return;
+    }
+    if (hostDirty_) {
+      upload();
+      hostDirty_ = false;
+    }
+  }
+
+  const Chunk& chunkForDevice(std::size_t deviceIndex) const override {
+    for (const Chunk& chunk : chunks_) {
+      if (chunk.deviceIndex == deviceIndex) {
+        return chunk;
+      }
+    }
+    throw common::InvalidArgument(
+        "vector has no data on device " + std::to_string(deviceIndex) +
+        " (distribution: " + distributionName(dist_) + ")");
+  }
+
+  const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  void markDevicesModified() override {
+    COMMON_EXPECTS(!chunks_.empty(),
+                   "dataOnDevicesModified: vector has no device data");
+    devicesDirty_ = true;
+  }
+
+  void markHostModified() {
+    hostDirty_ = true;
+    devicesDirty_ = false;
+  }
+
+  bool devicesDirty() const { return devicesDirty_; }
+  bool hostDirty() const { return hostDirty_; }
+  bool hasDeviceData() const { return !chunks_.empty(); }
+
+  std::string elementTypeName() const override { return typeName<T>(); }
+
+  /// Adopts an existing device buffer as this vector's single-device
+  /// contents (used by Reduce/Scan to wrap their result buffers without
+  /// a round-trip through the host).
+  void adoptDeviceBuffer(ocl::Buffer buffer, std::size_t count,
+                         std::size_t deviceIndex) {
+    host_.assign(count, T{});
+    Chunk chunk;
+    chunk.buffer = std::move(buffer);
+    chunk.deviceIndex = deviceIndex;
+    chunk.offset = 0;
+    chunk.count = count;
+    chunks_ = {std::move(chunk)};
+    dist_ = Distribution::Single;
+    singleDevice_ = deviceIndex;
+    hostDirty_ = false;
+    devicesDirty_ = true;
+  }
+
+  /// Allocates device chunks for an *output* vector mirroring the chunk
+  /// geometry of an input (same distribution and size, fresh buffers).
+  /// The input's element type may differ (Map<Tin, Tout>).
+  template <typename U>
+  void allocateLike(const VectorState<U>& input) {
+    dropChunks();
+    dist_ = input.distribution();
+    singleDevice_ = input.singleDeviceIndex();
+    host_.resize(input.size());
+    allocateChunks();
+    hostDirty_ = false;
+  }
+
+  void ensureOnHost() {
+    if (!devicesDirty_ || chunks_.empty()) {
+      return;
+    }
+    auto& runtime = Runtime::instance();
+    // Enqueue every download non-blocking so transfers from different
+    // devices overlap on their own PCIe links; wait on all at the end.
+    std::vector<ocl::Event> pending;
+    switch (dist_) {
+      case Distribution::Single:
+      case Distribution::Block:
+        for (const Chunk& chunk : chunks_) {
+          if (chunk.count == 0) continue;
+          pending.push_back(
+              runtime.queue(chunk.deviceIndex)
+                  .enqueueReadBuffer(chunk.buffer, 0,
+                                     chunk.count * sizeof(T),
+                                     host_.data() + chunk.offset,
+                                     /*blocking=*/false));
+        }
+        break;
+      case Distribution::Copy:
+        // All copies are equal by definition; read the first.
+        if (!host_.empty()) {
+          const Chunk& chunk = chunks_.front();
+          pending.push_back(
+              runtime.queue(chunk.deviceIndex)
+                  .enqueueReadBuffer(chunk.buffer, 0,
+                                     chunk.count * sizeof(T), host_.data(),
+                                     /*blocking=*/false));
+        }
+        break;
+    }
+    for (const ocl::Event& event : pending) {
+      event.wait();
+    }
+    devicesDirty_ = false;
+  }
+
+private:
+  std::vector<Chunk> blockLayout(std::size_t devices) const {
+    std::vector<Chunk> layout;
+    const std::size_t n = host_.size();
+    const std::size_t base = n / devices;
+    const std::size_t extra = n % devices;
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < devices; ++d) {
+      Chunk chunk;
+      chunk.deviceIndex = d;
+      chunk.offset = offset;
+      chunk.count = base + (d < extra ? 1 : 0);
+      offset += chunk.count;
+      layout.push_back(chunk);
+    }
+    return layout;
+  }
+
+  void allocateChunks() {
+    auto& runtime = Runtime::instance();
+    const std::size_t devices = runtime.deviceCount();
+    const std::size_t n = host_.size();
+    switch (dist_) {
+      case Distribution::Single: {
+        Chunk chunk;
+        chunk.deviceIndex = singleDevice_;
+        chunk.offset = 0;
+        chunk.count = n;
+        chunk.buffer = runtime.context().createBuffer(
+            runtime.devices()[singleDevice_],
+            std::max<std::size_t>(1, n * sizeof(T)));
+        chunks_ = {std::move(chunk)};
+        break;
+      }
+      case Distribution::Copy: {
+        chunks_.clear();
+        for (std::size_t d = 0; d < devices; ++d) {
+          Chunk chunk;
+          chunk.deviceIndex = d;
+          chunk.offset = 0;
+          chunk.count = n;
+          chunk.buffer = runtime.context().createBuffer(
+              runtime.devices()[d], std::max<std::size_t>(1, n * sizeof(T)));
+          chunks_.push_back(std::move(chunk));
+        }
+        break;
+      }
+      case Distribution::Block: {
+        chunks_ = blockLayout(devices);
+        for (Chunk& chunk : chunks_) {
+          chunk.buffer = runtime.context().createBuffer(
+              runtime.devices()[chunk.deviceIndex],
+              std::max<std::size_t>(1, chunk.count * sizeof(T)));
+        }
+        break;
+      }
+    }
+  }
+
+  void upload() {
+    auto& runtime = Runtime::instance();
+    for (const Chunk& chunk : chunks_) {
+      if (chunk.count == 0) continue;
+      runtime.queue(chunk.deviceIndex)
+          .enqueueWriteBuffer(chunk.buffer, 0, chunk.count * sizeof(T),
+                              host_.data() + chunk.offset);
+    }
+  }
+
+  void dropChunks() { chunks_.clear(); }
+
+  std::vector<T> host_;
+  std::vector<Chunk> chunks_;
+  Distribution dist_ = Distribution::Single;
+  std::size_t singleDevice_ = 0;
+  bool hostDirty_ = true;     // host copy newer than device copies
+  bool devicesDirty_ = false; // device copies newer than host
+};
+
+} // namespace detail
+
+template <typename T>
+class Vector {
+public:
+  using value_type = T;
+
+  Vector() : state_(std::make_shared<detail::VectorState<T>>()) {}
+
+  explicit Vector(std::size_t n)
+      : state_(std::make_shared<detail::VectorState<T>>(std::vector<T>(n))) {}
+
+  Vector(std::size_t n, const T& value)
+      : state_(std::make_shared<detail::VectorState<T>>(
+            std::vector<T>(n, value))) {}
+
+  /// Paper Listing 1: Vector<float> A(a_ptr, ARRAY_SIZE);
+  Vector(const T* data, std::size_t n)
+      : state_(std::make_shared<detail::VectorState<T>>(
+            std::vector<T>(data, data + n))) {}
+
+  explicit Vector(std::vector<T> data)
+      : state_(std::make_shared<detail::VectorState<T>>(std::move(data))) {}
+
+  template <typename InputIt>
+  Vector(InputIt first, InputIt last)
+      : state_(std::make_shared<detail::VectorState<T>>(
+            std::vector<T>(first, last))) {}
+
+  // --- size & host element access ---------------------------------------
+
+  std::size_t size() const { return state_->size(); }
+  bool empty() const { return size() == 0; }
+  void resize(std::size_t n) { state_->resizeHost(n); }
+
+  /// Reading host access: downloads first when devices hold newer data.
+  const T& operator[](std::size_t i) const {
+    return state_->hostForRead()[i];
+  }
+  /// Writing host access: marks the host copy as the newest.
+  T& operator[](std::size_t i) { return state_->hostForWrite()[i]; }
+
+  /// Whole-vector host views.
+  const std::vector<T>& hostData() const { return state_->hostForRead(); }
+  std::vector<T>& hostDataForWriting() { return state_->hostForWrite(); }
+
+  /// Sets every element to `value` (cheaper than writing through
+  /// hostDataForWriting(): no download of stale device data happens).
+  void fill(const T& value) { state_->fillHost(value); }
+
+  auto begin() const { return state_->hostForRead().begin(); }
+  auto end() const { return state_->hostForRead().end(); }
+
+  // --- distribution & synchronization ------------------------------------
+
+  Distribution distribution() const { return state_->distribution(); }
+
+  void setDistribution(Distribution dist, std::size_t singleDevice = 0) {
+    state_->setDistribution(dist, singleDevice);
+  }
+
+  /// Redistribution with a combine operator (copy -> block), e.g.
+  ///   c.setDistribution(Distribution::Block, addSource);
+  void setDistribution(Distribution dist, const std::string& combineSource) {
+    COMMON_EXPECTS(dist == Distribution::Block,
+                   "combine redistribution targets the block distribution");
+    state_->setDistributionCombine(combineSource);
+  }
+
+  /// Paper Sec. IV-B: after a skeleton that updates a vector by
+  /// side-effect (through Arguments), tell SkelCL the device data is
+  /// newer than the host copy.
+  void dataOnDevicesModified() { state_->markDevicesModified(); }
+  void dataOnHostModified() { state_->markHostModified(); }
+
+  /// Deep copy (the copy constructor shares state).
+  Vector clone() const {
+    return Vector(state_->hostForRead());
+  }
+
+  detail::VectorState<T>& state() const { return *state_; }
+  std::shared_ptr<detail::VectorStateBase> stateHandle() const {
+    return state_;
+  }
+
+private:
+  std::shared_ptr<detail::VectorState<T>> state_;
+};
+
+} // namespace skelcl

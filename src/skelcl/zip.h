@@ -1,0 +1,132 @@
+// The Zip skeleton (paper Sec. III-B, Eq. 2):
+//
+//   zip (+) [x0, ...], [y0, ...] = [x0 + y0, ...]
+//
+// "Thus, it is a generalized dyadic form of Map. By chaining Zip
+//  skeletons, variadic forms of Map can be implemented."
+#pragma once
+
+#include <string>
+
+#include "skelcl/arguments.h"
+#include "skelcl/detail/skeleton_common.h"
+#include "skelcl/vector.h"
+
+namespace skelcl {
+
+template <typename Tin, typename Tout = Tin>
+class Zip {
+public:
+  explicit Zip(std::string source)
+      : source_(std::move(source)),
+        funcName_(detail::userFunctionName(source_)) {}
+
+  void setWorkGroupSize(std::size_t size) { workGroupSize_ = size; }
+
+  Vector<Tout> operator()(const Vector<Tin>& left,
+                          const Vector<Tin>& right) {
+    return (*this)(left, right, Arguments{});
+  }
+
+  Vector<Tout> operator()(const Vector<Tin>& left, const Vector<Tin>& right,
+                          const Arguments& args) {
+    Vector<Tout> output;
+    run(left, right, args, output);
+    return output;
+  }
+
+  /// Explicit-output form, e.g. the OSEM update step `update(f, c, f)`
+  /// where the output aliases the left input.
+  void operator()(const Vector<Tin>& left, const Vector<Tin>& right,
+                  Vector<Tout>& output) {
+    run(left, right, Arguments{}, output);
+  }
+
+  void operator()(const Vector<Tin>& left, const Vector<Tin>& right,
+                  const Arguments& args, Vector<Tout>& output) {
+    run(left, right, args, output);
+  }
+
+private:
+  void run(const Vector<Tin>& left, const Vector<Tin>& right,
+           const Arguments& args, Vector<Tout>& output) {
+    auto& runtime = detail::Runtime::instance();
+    runtime.requireInit();
+    COMMON_EXPECTS(left.size() == right.size(),
+                   "Zip requires equally sized input vectors");
+
+    // Align the right operand's distribution with the left's.
+    if (right.state().distribution() != left.state().distribution() &&
+        static_cast<const void*>(&right.state()) !=
+            static_cast<const void*>(&left.state())) {
+      const_cast<Vector<Tin>&>(right).setDistribution(
+          left.state().distribution(), left.state().singleDeviceIndex());
+    }
+
+    left.state().ensureOnDevices();
+    right.state().ensureOnDevices();
+    args.prepare();
+
+    const bool aliasesLeft =
+        static_cast<const void*>(&output.state()) ==
+        static_cast<const void*>(&left.state());
+    const bool aliasesRight =
+        static_cast<const void*>(&output.state()) ==
+        static_cast<const void*>(&right.state());
+    if (!aliasesLeft && !aliasesRight) {
+      output.state().allocateLike(left.state());
+    }
+
+    ocl::Program& program = program_(args);
+    for (const detail::Chunk& chunk : left.state().chunks()) {
+      if (chunk.count == 0) {
+        continue;
+      }
+      const auto& device = runtime.devices()[chunk.deviceIndex];
+      ocl::Kernel kernel = program.createKernel("skelcl_zip");
+      std::size_t arg = 0;
+      kernel.setArg(arg++, chunk.buffer);
+      kernel.setArg(arg++,
+                    right.state().chunkForDevice(chunk.deviceIndex).buffer);
+      kernel.setArg(
+          arg++,
+          output.state().chunkForDevice(chunk.deviceIndex).buffer);
+      kernel.setArg(arg++, std::uint32_t(chunk.count));
+      args.apply(kernel, arg, chunk.deviceIndex);
+
+      const std::size_t wg =
+          detail::effectiveWorkGroupSize(workGroupSize_, device);
+      runtime.queue(chunk.deviceIndex)
+          .enqueueNDRange(kernel,
+                          ocl::NDRange1D{detail::roundUp(chunk.count, wg),
+                                         wg});
+    }
+    output.state().markDevicesModified();
+  }
+
+  ocl::Program& program_(const Arguments& args) {
+    const std::string source =
+        detail::registeredTypeDefinitions() + source_ +
+        "\n__kernel void skelcl_zip(__global const " + typeName<Tin>() +
+        "* skelcl_left, __global const " + typeName<Tin>() +
+        "* skelcl_right, __global " + typeName<Tout>() +
+        "* skelcl_out, uint skelcl_n" + args.declSuffix() +
+        ") {\n"
+        "  size_t skelcl_i = get_global_id(0);\n"
+        "  if (skelcl_i < skelcl_n) {\n"
+        "    skelcl_out[skelcl_i] = " +
+        funcName_ + "(skelcl_left[skelcl_i], skelcl_right[skelcl_i]" +
+        args.callSuffix() +
+        ");\n"
+        "  }\n"
+        "}\n";
+    return memo_.get(source);
+  }
+
+  std::string source_;
+  std::string funcName_;
+  std::size_t workGroupSize_ = 0;
+  detail::ProgramMemo memo_;
+};
+
+} // namespace skelcl

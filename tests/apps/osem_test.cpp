@@ -1,0 +1,215 @@
+// List-mode OSEM: substrate correctness (Siddon, events, phantom) and
+// cross-implementation consistency of the reconstruction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/byte_stream.h"
+
+#include "cuda/runtime.h"
+#include "osem/osem.h"
+#include "skelcl/skelcl.h"
+
+namespace {
+
+class OsemSubstrate : public ::testing::Test {
+protected:
+  osem::VolumeDims vol_{8, 8, 8, 1.0f};
+};
+
+TEST_F(OsemSubstrate, AxisAlignedRayCrossesWholeVolume) {
+  // A ray along the x axis through the volume center crosses nx voxels,
+  // each with an intersection length of one voxel edge.
+  osem::Event ev{-20.0f, 0.5f, 0.5f, 20.0f, 0.5f, 0.5f};
+  std::vector<osem::PathElement> path(64);
+  const auto n = osem::computePath(vol_, ev, path.data(), path.size());
+  ASSERT_EQ(n, 8u);
+  float total = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(path[i].length, 1.0f, 1e-4f);
+    total += path[i].length;
+  }
+  EXPECT_NEAR(total, 8.0f, 1e-3f);
+}
+
+TEST_F(OsemSubstrate, PathLengthsSumToChordLength) {
+  // For any ray, the sum of voxel intersection lengths must equal the
+  // length of the chord the ray cuts through the volume box.
+  const osem::Event events[] = {
+      {-10.0f, -2.0f, 1.0f, 10.0f, 3.0f, -1.5f},
+      {-6.0f, -6.0f, -6.0f, 6.0f, 6.0f, 6.0f}, // main diagonal
+      {0.5f, -20.0f, 0.5f, 0.5f, 20.0f, 0.5f},
+      {-3.3f, 7.9f, -1.2f, 2.8f, -9.1f, 3.3f},
+  };
+  for (const auto& ev : events) {
+    std::vector<osem::PathElement> path(64);
+    const auto n = osem::computePath(vol_, ev, path.data(), path.size());
+    ASSERT_GT(n, 0u);
+    float total = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GT(path[i].length, 0.0f);
+      ASSERT_GE(path[i].voxel, 0);
+      ASSERT_LT(path[i].voxel, std::int32_t(vol_.voxels()));
+      total += path[i].length;
+    }
+    // Chord length from slab clipping.
+    const float dx = ev.x2 - ev.x1, dy = ev.y2 - ev.y1, dz = ev.z2 - ev.z1;
+    const float len = std::sqrt(dx * dx + dy * dy + dz * dz);
+    float tmin = 0.0f, tmax = 1.0f;
+    const auto clip = [&](float o, float d) {
+      if (d == 0.0f) return;
+      float t1 = (-4.0f - o) / d, t2 = (4.0f - o) / d;
+      if (t1 > t2) std::swap(t1, t2);
+      tmin = std::max(tmin, t1);
+      tmax = std::min(tmax, t2);
+    };
+    clip(ev.x1, dx);
+    clip(ev.y1, dy);
+    clip(ev.z1, dz);
+    ASSERT_LT(tmin, tmax);
+    EXPECT_NEAR(total, (tmax - tmin) * len, 1e-2f * (tmax - tmin) * len);
+  }
+}
+
+TEST_F(OsemSubstrate, MissingRayHasEmptyPath) {
+  osem::Event miss{-20.0f, 100.0f, 0.0f, 20.0f, 100.0f, 0.0f};
+  std::vector<osem::PathElement> path(64);
+  EXPECT_EQ(osem::computePath(vol_, miss, path.data(), path.size()), 0u);
+  osem::Event zero{1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f};
+  EXPECT_EQ(osem::computePath(vol_, zero, path.data(), path.size()), 0u);
+}
+
+TEST_F(OsemSubstrate, PathVoxelsAreConnected) {
+  osem::Event ev{-6.0f, -5.0f, -4.0f, 6.0f, 5.5f, 4.0f};
+  std::vector<osem::PathElement> path(64);
+  const auto n = osem::computePath(vol_, ev, path.data(), path.size());
+  ASSERT_GT(n, 1u);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::int32_t a = path[i - 1].voxel;
+    const std::int32_t b = path[i].voxel;
+    const std::int32_t manhattan =
+        std::abs(a % 8 - b % 8) + std::abs((a / 8) % 8 - (b / 8) % 8) +
+        std::abs(a / 64 - b / 64);
+    // Consecutive voxels share a face; when the ray clips a corner, the
+    // zero-length corner voxel is skipped and two axes advance at once.
+    EXPECT_GE(manhattan, 1) << "step " << i;
+    EXPECT_LE(manhattan, 3) << "step " << i;
+  }
+}
+
+TEST(OsemDataset, GenerationIsDeterministic) {
+  osem::OsemParams params = osem::OsemParams::testSize();
+  const auto a = osem::generateDataset(params);
+  const auto b = osem::generateDataset(params);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(0, std::memcmp(a.events.data(), b.events.data(),
+                           a.events.size() * sizeof(osem::Event)));
+  params.seed = 43;
+  const auto c = osem::generateDataset(params);
+  EXPECT_NE(0, std::memcmp(a.events.data(), c.events.data(),
+                           a.events.size() * sizeof(osem::Event)));
+}
+
+TEST(OsemDataset, PhantomHasExpectedStructure) {
+  const osem::VolumeDims vol{32, 32, 32, 1.0f};
+  const auto phantom = osem::makePhantom(vol);
+  float maxA = 0.0f;
+  std::size_t active = 0;
+  for (const float a : phantom) {
+    maxA = std::max(maxA, a);
+    if (a > 0.0f) ++active;
+  }
+  EXPECT_FLOAT_EQ(maxA, 4.0f); // hot lesion
+  EXPECT_GT(active, phantom.size() / 10);
+  EXPECT_LT(active, phantom.size());
+}
+
+TEST(OsemDataset, SubsetsPartitionTheEvents) {
+  const auto dataset = osem::generateDataset(osem::OsemParams::testSize());
+  std::size_t total = 0;
+  for (std::int32_t l = 0; l < dataset.numSubsets; ++l) {
+    EXPECT_EQ(dataset.subsetBegin(l), l == 0 ? 0 : dataset.subsetEnd(l - 1));
+    total += dataset.subsetEnd(l) - dataset.subsetBegin(l);
+  }
+  EXPECT_EQ(total, dataset.events.size());
+}
+
+TEST(OsemSequential, ReconstructionConvergesTowardPhantom) {
+  osem::OsemParams params = osem::OsemParams::testSize();
+  params.numEvents = 6000;
+  const auto dataset = osem::generateDataset(params);
+  const auto result = osem::reconstructSequential(dataset);
+  ASSERT_EQ(result.image.size(), dataset.vol.voxels());
+
+  // The reconstruction must correlate with the phantom: mean activity in
+  // hot voxels should clearly exceed mean activity in cold voxels.
+  double hotSum = 0, coldSum = 0;
+  std::size_t hotN = 0, coldN = 0;
+  for (std::size_t i = 0; i < result.image.size(); ++i) {
+    if (dataset.phantom[i] >= 4.0f) {
+      hotSum += result.image[i];
+      ++hotN;
+    } else if (dataset.phantom[i] == 0.0f) {
+      coldSum += result.image[i];
+      ++coldN;
+    }
+  }
+  ASSERT_GT(hotN, 0u);
+  ASSERT_GT(coldN, 0u);
+  EXPECT_GT(hotSum / double(hotN), 3.0 * (coldSum / double(coldN)));
+}
+
+class OsemImplementations : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ::setenv("SKELCL_CACHE_DIR", "/tmp/skelcl-osem-test-cache", 1);
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(2));
+    cuda::reset();
+    skelcl::init(skelcl::DeviceSelection::nGPUs(2));
+    dataset_ = osem::generateDataset(osem::OsemParams::testSize());
+    reference_ = osem::reconstructSequential(dataset_);
+  }
+  void TearDown() override { skelcl::terminate(); }
+
+  osem::Dataset dataset_;
+  osem::OsemResult reference_;
+};
+
+TEST_F(OsemImplementations, CudaMatchesSequential) {
+  const auto gpu = osem::reconstructCuda(dataset_, 2);
+  EXPECT_LT(osem::relativeRmse(reference_.image, gpu.image), 1e-3);
+  EXPECT_GT(gpu.virtualSeconds, 0.0);
+}
+
+TEST_F(OsemImplementations, OpenClMatchesSequential) {
+  const auto gpu = osem::reconstructOpenCl(dataset_, 2);
+  EXPECT_LT(osem::relativeRmse(reference_.image, gpu.image), 1e-3);
+}
+
+TEST_F(OsemImplementations, SkelClMatchesSequential) {
+  const auto gpu = osem::reconstructSkelCl(dataset_);
+  EXPECT_LT(osem::relativeRmse(reference_.image, gpu.image), 1e-3);
+}
+
+TEST_F(OsemImplementations, SingleGpuVariantsAgree) {
+  skelcl::terminate();
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(1));
+  cuda::reset();
+  skelcl::init(skelcl::DeviceSelection::nGPUs(1));
+  const auto cudaR = osem::reconstructCuda(dataset_, 1);
+  const auto oclR = osem::reconstructOpenCl(dataset_, 1);
+  const auto skelR = osem::reconstructSkelCl(dataset_);
+  EXPECT_LT(osem::relativeRmse(reference_.image, cudaR.image), 1e-3);
+  EXPECT_LT(osem::relativeRmse(reference_.image, oclR.image), 1e-3);
+  EXPECT_LT(osem::relativeRmse(reference_.image, skelR.image), 1e-3);
+}
+
+TEST_F(OsemImplementations, LocEntriesPointAtRealFiles) {
+  for (const auto& entry : osem::locEntries()) {
+    EXPECT_TRUE(common::fileExists(entry.kernelFile)) << entry.kernelFile;
+    EXPECT_TRUE(common::fileExists(entry.hostFile)) << entry.hostFile;
+  }
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+// Shared helpers for clc tests: compile kernels and run them over typed
+// host vectors with minimal ceremony.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "clc/codegen.h"
+#include "clc/vm.h"
+
+namespace clc_test {
+
+/// Canonical 64-bit slot for a scalar kernel argument.
+template <typename T>
+clc::KernelArgValue scalarArg(T value) {
+  clc::KernelArgValue arg;
+  arg.kind = clc::KernelArgValue::Kind::Scalar;
+  if constexpr (std::is_same_v<T, float>) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    arg.scalar = bits;
+  } else if constexpr (std::is_same_v<T, double>) {
+    std::memcpy(&arg.scalar, &value, 8);
+  } else if constexpr (std::is_signed_v<T>) {
+    arg.scalar = static_cast<std::uint64_t>(static_cast<std::int64_t>(value));
+  } else {
+    arg.scalar = static_cast<std::uint64_t>(value);
+  }
+  return arg;
+}
+
+template <typename T>
+clc::KernelArgValue structArg(const T& value) {
+  clc::KernelArgValue arg;
+  arg.kind = clc::KernelArgValue::Kind::Struct;
+  arg.bytes.resize(sizeof(T));
+  std::memcpy(arg.bytes.data(), &value, sizeof(T));
+  return arg;
+}
+
+inline clc::KernelArgValue localArg(std::uint32_t bytes) {
+  clc::KernelArgValue arg;
+  arg.kind = clc::KernelArgValue::Kind::Local;
+  arg.localSize = bytes;
+  return arg;
+}
+
+/// Collects buffers and produces matching Buffer args + segment table.
+class Buffers {
+public:
+  template <typename T>
+  clc::KernelArgValue add(std::vector<T>& data) {
+    clc::Segment seg;
+    seg.base = reinterpret_cast<std::uint8_t*>(data.data());
+    seg.size = data.size() * sizeof(T);
+    segments_.push_back(seg);
+    clc::KernelArgValue arg;
+    arg.kind = clc::KernelArgValue::Kind::Buffer;
+    arg.segmentIndex = static_cast<std::uint32_t>(segments_.size() - 1);
+    return arg;
+  }
+
+  const std::vector<clc::Segment>& segments() const { return segments_; }
+
+private:
+  std::vector<clc::Segment> segments_;
+};
+
+/// Compiles and runs a 1-D kernel launch on the calling thread.
+inline clc::LaunchStats run1D(const clc::Program& program,
+                              const std::string& kernel, std::size_t global,
+                              std::size_t local,
+                              const std::vector<clc::KernelArgValue>& args,
+                              const Buffers& buffers) {
+  clc::NDRange range;
+  range.dims = 1;
+  range.globalSize[0] = global;
+  range.localSize[0] = local;
+  return clc::executeKernel(program, kernel, range, args,
+                            buffers.segments(), nullptr);
+}
+
+} // namespace clc_test

@@ -1,0 +1,180 @@
+// Code-generation structure tests: frame layout, parameter metadata,
+// constant pooling, kernel-local memory accounting, disassembly.
+#include <gtest/gtest.h>
+
+#include "clc/codegen.h"
+
+using namespace clc;
+
+namespace {
+
+TEST(Codegen, KernelParamMetadata) {
+  const auto program = compile(R"(
+    typedef struct { float a; float b; } Pair;
+    __kernel void k(__global float* buf, __local int* scratch,
+                    float x, int n, Pair p) {}
+  )");
+  const FunctionInfo* f = program.findFunction("k");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(f->params.size(), 5u);
+  EXPECT_EQ(f->params[0].kind, ParamKind::GlobalPtr);
+  EXPECT_EQ(f->params[1].kind, ParamKind::LocalPtr);
+  EXPECT_EQ(f->params[2].kind, ParamKind::Scalar);
+  EXPECT_EQ(f->params[2].scalarTag, TypeTag::F32);
+  EXPECT_EQ(f->params[3].kind, ParamKind::Scalar);
+  EXPECT_EQ(f->params[3].scalarTag, TypeTag::I32);
+  EXPECT_EQ(f->params[4].kind, ParamKind::Struct);
+  EXPECT_EQ(f->params[4].size, 8u);
+  // Offsets are distinct and aligned.
+  EXPECT_EQ(f->params[0].frameOffset % 8, 0u);
+  EXPECT_NE(f->params[0].frameOffset, f->params[1].frameOffset);
+}
+
+TEST(Codegen, FrameSizeCoversLocals) {
+  const auto program = compile(R"(
+    __kernel void k() {
+      float a[32];
+      double d;
+      int i;
+    }
+  )");
+  const FunctionInfo* f = program.findFunction("k");
+  ASSERT_NE(f, nullptr);
+  EXPECT_GE(f->frameSize, 32u * 4 + 8 + 4);
+  EXPECT_EQ(f->frameSize % 8, 0u);
+}
+
+TEST(Codegen, StaticLocalSizeAccounted) {
+  const auto program = compile(R"(
+    __kernel void k() {
+      __local float tile[64];
+      __local int flags[8];
+    }
+  )");
+  ASSERT_EQ(program.kernels.size(), 1u);
+  EXPECT_GE(program.kernels[0].staticLocalSize, 64u * 4 + 8 * 4);
+  // __local storage must not inflate the private frame.
+  const FunctionInfo* f = program.findFunction("k");
+  EXPECT_LT(f->frameSize, 64u * 4);
+}
+
+TEST(Codegen, ConstantsArePooled) {
+  const auto program = compile(R"(
+    __kernel void k(__global int* out) {
+      out[0] = 42 + 42 + 42;
+      out[1] = 42;
+    }
+  )");
+  // 42 appears once in the pool.
+  std::size_t count42 = 0;
+  for (const std::uint64_t c : program.constants) {
+    if (c == 42) ++count42;
+  }
+  EXPECT_EQ(count42, 1u);
+}
+
+TEST(Codegen, KernelsAndHelpersAllHaveCode) {
+  const auto program = compile(R"(
+    float helper(float x) { return x + 1.0f; }
+    __kernel void a(__global float* d) { d[0] = helper(1.0f); }
+    __kernel void b(__global float* d) { d[0] = helper(2.0f); }
+  )");
+  EXPECT_EQ(program.functions.size(), 3u);
+  EXPECT_EQ(program.kernels.size(), 2u);
+  for (const auto& f : program.functions) {
+    EXPECT_LT(f.codeStart, f.codeEnd) << f.name;
+  }
+  // Code ranges are disjoint and ordered.
+  for (std::size_t i = 1; i < program.functions.size(); ++i) {
+    EXPECT_LE(program.functions[i - 1].codeEnd,
+              program.functions[i].codeStart);
+  }
+}
+
+TEST(Codegen, ReturnFlagsAreSet) {
+  const auto program = compile(R"(
+    typedef struct { int a; int b; } S;
+    int scalarRet(int x) { return x; }
+    S structRet(int x) { S s; s.a = x; s.b = x; return s; }
+    void voidRet() {}
+    __kernel void k() { voidRet(); }
+  )");
+  EXPECT_TRUE(program.findFunction("scalarRet")->returnsValue);
+  EXPECT_FALSE(program.findFunction("scalarRet")->returnsStruct);
+  EXPECT_TRUE(program.findFunction("structRet")->returnsStruct);
+  EXPECT_EQ(program.findFunction("structRet")->returnSize, 8u);
+  EXPECT_FALSE(program.findFunction("voidRet")->returnsValue);
+}
+
+TEST(Codegen, DisassemblyIsReadable) {
+  const auto program = compile(R"(
+    __kernel void k(__global float* data, uint n) {
+      size_t i = get_global_id(0);
+      if (i < n) data[i] = data[i] * 2.0f;
+    }
+  )");
+  const std::string disasm = disassemble(program);
+  EXPECT_NE(disasm.find("kernel k"), std::string::npos) << disasm;
+  EXPECT_NE(disasm.find("call_builtin"), std::string::npos);
+  EXPECT_NE(disasm.find("mul.f32"), std::string::npos);
+  EXPECT_NE(disasm.find("store.f32"), std::string::npos);
+  EXPECT_NE(disasm.find("jz"), std::string::npos);
+}
+
+TEST(Codegen, ShortCircuitGeneratesBranches) {
+  const auto program = compile(R"(
+    __kernel void k(__global int* d, int a, int b) {
+      if (a > 0 && b > 0) d[0] = 1;
+    }
+  )");
+  std::size_t branches = 0;
+  for (const Instr& instr : program.code) {
+    if (instr.op == Op::Jz || instr.op == Op::Jnz || instr.op == Op::Jmp) {
+      ++branches;
+    }
+  }
+  EXPECT_GE(branches, 3u); // two guards + the if
+}
+
+TEST(Codegen, BarrierCompilesToBarrierOp) {
+  const auto program = compile(R"(
+    __kernel void k() {
+      __local int t[2];
+      t[get_local_id(0) & 1] = 1;
+      barrier(CLK_LOCAL_MEM_FENCE);
+    }
+  )");
+  bool found = false;
+  for (const Instr& instr : program.code) {
+    if (instr.op == Op::Barrier) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Codegen, StructCopyUsesMemCopy) {
+  const auto program = compile(R"(
+    typedef struct { float x; float y; float z; } V3;
+    __kernel void k(__global V3* data) {
+      V3 a = data[0];
+      V3 b = a;
+      data[1] = b;
+    }
+  )");
+  std::size_t memcopies = 0;
+  for (const Instr& instr : program.code) {
+    if (instr.op == Op::MemCopy) {
+      EXPECT_EQ(instr.a, 12);
+      ++memcopies;
+    }
+  }
+  EXPECT_EQ(memcopies, 3u);
+}
+
+TEST(Codegen, SourceHashIsStable) {
+  const std::string src = "__kernel void k() {}";
+  EXPECT_EQ(compile(src).sourceHash, compile(src).sourceHash);
+  EXPECT_NE(compile(src).sourceHash,
+            compile(src + " // changed").sourceHash);
+}
+
+} // namespace

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "clc/parser.h"
+
+using namespace clc;
+
+namespace {
+
+TEST(Parser, EmptyUnit) {
+  const auto unit = parse("");
+  EXPECT_TRUE(unit->functions.empty());
+}
+
+TEST(Parser, SimpleKernelSignature) {
+  const auto unit = parse(
+      "__kernel void k(__global float* in, __global float* out, int n) {}");
+  ASSERT_EQ(unit->functions.size(), 1u);
+  const FuncDecl* f = unit->functions[0];
+  EXPECT_TRUE(f->isKernel);
+  EXPECT_TRUE(f->returnType->isVoid());
+  ASSERT_EQ(f->params.size(), 3u);
+  EXPECT_TRUE(f->params[0].type->isPointer());
+  EXPECT_EQ(f->params[0].type->addressSpace(), AddressSpace::Global);
+  EXPECT_EQ(f->params[0].type->pointee()->scalarKind(), ScalarKind::F32);
+  EXPECT_EQ(f->params[2].type->scalarKind(), ScalarKind::I32);
+}
+
+TEST(Parser, UnsignedSpellings) {
+  const auto unit = parse(
+      "void f(unsigned int a, unsigned b, unsigned char c, unsigned long d)"
+      " {}");
+  const auto& p = unit->functions[0]->params;
+  EXPECT_EQ(p[0].type->scalarKind(), ScalarKind::U32);
+  EXPECT_EQ(p[1].type->scalarKind(), ScalarKind::U32);
+  EXPECT_EQ(p[2].type->scalarKind(), ScalarKind::U8);
+  EXPECT_EQ(p[3].type->scalarKind(), ScalarKind::U64);
+}
+
+TEST(Parser, TypedefStruct) {
+  const auto unit = parse(R"(
+    typedef struct { float x; float y; int flag; } Point;
+    void f(Point p) {}
+  )");
+  const Type* point = unit->types().findStruct("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_EQ(point->fields().size(), 3u);
+  EXPECT_EQ(point->fields()[0].offset, 0u);
+  EXPECT_EQ(point->fields()[1].offset, 4u);
+  EXPECT_EQ(point->fields()[2].offset, 8u);
+  EXPECT_EQ(point->size(), 12u);
+  EXPECT_EQ(unit->functions[0]->params[0].type, point);
+}
+
+TEST(Parser, StructWithTagAndTypedefName) {
+  const auto unit = parse(R"(
+    typedef struct Ev { int a; } Event;
+    void f(Event e, struct Ev e2) {}
+  )");
+  EXPECT_EQ(unit->functions[0]->params[0].type,
+            unit->functions[0]->params[1].type);
+}
+
+TEST(Parser, PlainStructDeclaration) {
+  const auto unit = parse(R"(
+    struct Node { int value; struct Node* next; };
+    void f(struct Node* n) {}
+  )");
+  const Type* node = unit->types().findStruct("Node");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->fields()[1].type->pointee(), node);
+}
+
+TEST(Parser, TypedefOfScalar) {
+  const auto unit = parse("typedef float real; void f(real r) {}");
+  EXPECT_EQ(unit->functions[0]->params[0].type->scalarKind(),
+            ScalarKind::F32);
+}
+
+TEST(Parser, ArrayLengthConstantExpressions) {
+  const auto unit = parse(R"(
+    #define WG 64
+    __kernel void k() {
+      __local float a[WG];
+      float b[2 * WG + 1];
+      int c[sizeof(float)];
+    }
+  )");
+  const Stmt* body = unit->functions[0]->bodyStmt;
+  ASSERT_EQ(body->body.size(), 3u);
+  EXPECT_EQ(body->body[0]->decls[0]->type->arrayLength(), 64u);
+  EXPECT_EQ(body->body[0]->decls[0]->space, AddressSpace::Local);
+  EXPECT_EQ(body->body[1]->decls[0]->type->arrayLength(), 129u);
+  EXPECT_EQ(body->body[2]->decls[0]->type->arrayLength(), 4u);
+}
+
+TEST(Parser, RejectsNonPositiveArrayLength) {
+  EXPECT_THROW(parse("void f() { int a[0]; }"), CompileError);
+  EXPECT_THROW(parse("void f() { int a[-3]; }"), CompileError);
+  EXPECT_THROW(parse("void f(int n) { int a[n]; }"), CompileError);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a + b * c parses as a + (b * c)
+  const auto unit = parse("int f(int a, int b, int c) { return a + b * c; }");
+  const Stmt* ret = unit->functions[0]->bodyStmt->body[0];
+  const Expr* e = ret->expr;
+  ASSERT_EQ(e->kind, ExprKind::Binary);
+  EXPECT_EQ(e->binaryOp, BinaryOp::Add);
+  EXPECT_EQ(e->rhs->kind, ExprKind::Binary);
+  EXPECT_EQ(e->rhs->binaryOp, BinaryOp::Mul);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  const auto unit = parse("void f(int a, int b) { a = b = 1; }");
+  const Expr* e = unit->functions[0]->bodyStmt->body[0]->expr;
+  ASSERT_EQ(e->kind, ExprKind::Assign);
+  EXPECT_EQ(e->rhs->kind, ExprKind::Assign);
+}
+
+TEST(Parser, TernaryNesting) {
+  const auto unit =
+      parse("int f(int a) { return a ? 1 : a ? 2 : 3; }");
+  const Expr* e = unit->functions[0]->bodyStmt->body[0]->expr;
+  ASSERT_EQ(e->kind, ExprKind::Ternary);
+  EXPECT_EQ(e->ternaryElse->kind, ExprKind::Ternary);
+}
+
+TEST(Parser, CastVersusParenthesizedExpression) {
+  const auto unit = parse(R"(
+    typedef struct { int v; } S;
+    int f(float x, int y) {
+      int a = (int)x;       // cast
+      int b = (y) + 1;      // parens
+      float c = (float)(y + 1);
+      return a + b + (int)c;
+    }
+  )");
+  const Stmt* body = unit->functions[0]->bodyStmt;
+  EXPECT_EQ(body->body[0]->decls[0]->init->kind, ExprKind::Cast);
+  EXPECT_EQ(body->body[1]->decls[0]->init->kind, ExprKind::Binary);
+}
+
+TEST(Parser, ArrowDesugarsToDerefMember) {
+  const auto unit = parse(R"(
+    typedef struct { int v; } S;
+    int f(__global S* s) { return s->v; }
+  )");
+  const Expr* e = unit->functions[0]->bodyStmt->body[0]->expr;
+  ASSERT_EQ(e->kind, ExprKind::Member);
+  EXPECT_EQ(e->lhs->kind, ExprKind::Unary);
+  EXPECT_EQ(e->lhs->unaryOp, UnaryOp::Deref);
+}
+
+TEST(Parser, PrototypeThenDefinitionMerges) {
+  const auto unit = parse(R"(
+    float helper(float x);
+    __kernel void k(__global float* out) { out[0] = helper(1.0f); }
+    float helper(float x) { return x * 2.0f; }
+  )");
+  // Exactly two functions, and 'helper' has a body.
+  ASSERT_EQ(unit->functions.size(), 2u);
+  const FuncDecl* helper = unit->findFunction("helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_NE(helper->bodyStmt, nullptr);
+}
+
+TEST(Parser, RejectsRedefinition) {
+  EXPECT_THROW(parse("void f() {} void f() {}"), CompileError);
+  EXPECT_THROW(
+      parse("typedef struct { int a; } S; typedef struct { int b; } S;"),
+      CompileError);
+}
+
+TEST(Parser, RejectsKernelQualifierInsideFunction) {
+  EXPECT_THROW(parse("void f() { __kernel int x; }"), CompileError);
+}
+
+TEST(Parser, RejectsSwitchAndGoto) {
+  EXPECT_THROW(parse("void f(int a) { switch (a) { default: break; } }"),
+               CompileError);
+  EXPECT_THROW(parse("void f() { goto end; end:; }"), CompileError);
+}
+
+TEST(Parser, SyntaxErrorsCarryLocations) {
+  try {
+    parse("void f() {\n  int a = ;\n}");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_EQ(e.loc().line, 2);
+    EXPECT_GT(e.loc().column, 1);
+  }
+}
+
+TEST(Parser, MissingSemicolonIsAnError) {
+  EXPECT_THROW(parse("void f() { int a = 1 }"), CompileError);
+  EXPECT_THROW(parse("void f() { return }"), CompileError);
+}
+
+TEST(Parser, UnbalancedBracesAreAnError) {
+  EXPECT_THROW(parse("void f() { if (1) { }"), CompileError);
+}
+
+TEST(Parser, MultipleDeclaratorsPerStatement) {
+  const auto unit = parse("void f() { int a = 1, b, c = 2; }");
+  const Stmt* decl = unit->functions[0]->bodyStmt->body[0];
+  ASSERT_EQ(decl->decls.size(), 3u);
+  EXPECT_NE(decl->decls[0]->init, nullptr);
+  EXPECT_EQ(decl->decls[1]->init, nullptr);
+  EXPECT_NE(decl->decls[2]->init, nullptr);
+}
+
+TEST(Parser, ForWithDeclarationInit) {
+  const auto unit =
+      parse("void f() { for (int i = 0, j = 1; i < 4; ++i) { } }");
+  const Stmt* forStmt = unit->functions[0]->bodyStmt->body[0];
+  ASSERT_EQ(forStmt->kind, StmtKind::For);
+  ASSERT_NE(forStmt->forInit, nullptr);
+  EXPECT_EQ(forStmt->forInit->kind, StmtKind::Decl);
+  EXPECT_EQ(forStmt->forInit->decls.size(), 2u);
+}
+
+TEST(Parser, EmptyForHeader) {
+  const auto unit = parse("void f() { for (;;) { break; } }");
+  const Stmt* forStmt = unit->functions[0]->bodyStmt->body[0];
+  EXPECT_EQ(forStmt->forInit, nullptr);
+  EXPECT_EQ(forStmt->expr, nullptr);
+  EXPECT_EQ(forStmt->forStep, nullptr);
+}
+
+TEST(Parser, FunctionParameterArrayDecays) {
+  const auto unit = parse("void f(__global float data[], int n) {}");
+  EXPECT_TRUE(unit->functions[0]->params[0].type->isPointer());
+}
+
+TEST(Parser, SizeofForms) {
+  const auto unit = parse(R"(
+    typedef struct { double d; int i; } S;
+    void f() {
+      int a = sizeof(float);
+      int b = sizeof(S);
+      int c = sizeof(__global int*);
+    }
+  )");
+  const Stmt* body = unit->functions[0]->bodyStmt;
+  EXPECT_EQ(body->body[0]->decls[0]->init->writtenType->size(), 4u);
+  EXPECT_EQ(body->body[1]->decls[0]->init->writtenType->size(), 16u);
+  EXPECT_EQ(body->body[2]->decls[0]->init->writtenType->size(), 8u);
+}
+
+} // namespace

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "clc/parser.h"
+#include "clc/sema.h"
+
+using namespace clc;
+
+namespace {
+
+/// Parses and analyzes; returns the unit for inspection.
+std::unique_ptr<TranslationUnit> check(const std::string& source) {
+  auto unit = parse(source);
+  analyze(*unit);
+  return unit;
+}
+
+void expectError(const std::string& source, const std::string& fragment) {
+  try {
+    check(source);
+    FAIL() << "expected CompileError containing '" << fragment << "'";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual: " << e.what();
+  }
+}
+
+TEST(Sema, AcceptsWellTypedKernel) {
+  EXPECT_NO_THROW(check(R"(
+    __kernel void k(__global float* in, __global float* out, int n) {
+      int i = get_global_id(0);
+      if (i < n) out[i] = in[i] * 2.0f;
+    }
+  )"));
+}
+
+TEST(Sema, UnknownIdentifier) {
+  expectError("void f() { int a = b; }", "unknown identifier 'b'");
+}
+
+TEST(Sema, UnknownFunction) {
+  expectError("void f() { g(); }", "unknown function 'g'");
+}
+
+TEST(Sema, PrototypeWithoutDefinitionCannotBeCalled) {
+  expectError("float h(float x); void f() { h(1.0f); }", "never defined");
+}
+
+TEST(Sema, ArgumentCountMismatch) {
+  expectError("float h(float x) { return x; } void f() { h(1.0f, 2.0f); }",
+              "expects 1 arguments");
+}
+
+TEST(Sema, RecursionIsRejected) {
+  expectError("int f(int n) { return n == 0 ? 1 : n * f(n - 1); }",
+              "recursion");
+  expectError(
+      "int a(int n); int b(int n) { return a(n); } int a(int n) { return "
+      "b(n); }",
+      "recursion");
+}
+
+TEST(Sema, KernelMustReturnVoid) {
+  EXPECT_THROW(check("__kernel float k() { return 1.0f; }"), CompileError);
+}
+
+TEST(Sema, KernelCannotBeCalledFromDeviceCode) {
+  expectError(
+      "__kernel void k() {} __kernel void k2() { k(); }",
+      "cannot be called");
+}
+
+TEST(Sema, ExplicitPrivatePointerKernelParamRejected) {
+  expectError("__kernel void k(__private float* p) {}",
+              "must be __global, __local or __constant");
+}
+
+TEST(Sema, LocalVariableOnlyInKernels) {
+  expectError("void helper() { __local float buf[8]; }",
+              "only allowed in kernel");
+}
+
+TEST(Sema, LocalVariableCannotBeInitialized) {
+  expectError("__kernel void k() { __local int x = 3; }",
+              "cannot be initialized");
+}
+
+TEST(Sema, BreakOutsideLoop) {
+  expectError("void f() { break; }", "'break' outside of a loop");
+  expectError("void f() { continue; }", "'continue' outside of a loop");
+}
+
+TEST(Sema, ReturnTypeChecks) {
+  expectError("int f() { return; }", "must return a value");
+  expectError("void f() { return 3; }", "cannot return a value");
+}
+
+TEST(Sema, AssignmentToRValueRejected) {
+  expectError("void f(int a, int b) { (a + b) = 3; }", "not an lvalue");
+  expectError("void f() { 4 = 3; }", "not an lvalue");
+}
+
+TEST(Sema, ArrayAssignmentRejected) {
+  expectError("void f() { int a[3]; int b[3]; a = b; }",
+              "cannot assign to an array");
+}
+
+TEST(Sema, StructTypeMismatch) {
+  expectError(R"(
+    typedef struct { int a; } S;
+    typedef struct { int a; } T;
+    void f() { S s; T t; s = t; }
+  )",
+              "assigning");
+}
+
+TEST(Sema, MemberAccessOnNonStruct) {
+  expectError("void f(int a) { int b = a.x; }", "member access on non-struct");
+}
+
+TEST(Sema, UnknownField) {
+  expectError(R"(
+    typedef struct { int a; } S;
+    void f(S s) { int b = s.bogus; }
+  )",
+              "no field 'bogus'");
+}
+
+TEST(Sema, DereferenceNonPointer) {
+  expectError("void f(int a) { int b = *a; }", "cannot dereference");
+}
+
+TEST(Sema, IndexNonPointer) {
+  expectError("void f(int a) { int b = a[0]; }", "cannot index");
+}
+
+TEST(Sema, PointerSubtractionTypeMismatch) {
+  expectError(
+      "void f(__global int* a, __global float* b) { long d = a - b; }",
+      "different types");
+}
+
+TEST(Sema, ModuloOnFloatRejected) {
+  expectError("void f(float a) { float b = a % 2.0f; }", "integer operands");
+}
+
+TEST(Sema, ShiftOnFloatRejected) {
+  expectError("void f(float a) { float b = a << 1; }", "integer operands");
+}
+
+TEST(Sema, RedeclarationInSameScope) {
+  expectError("void f() { int a; float a; }", "redeclaration");
+}
+
+TEST(Sema, ShadowingInInnerScopeIsAllowed) {
+  EXPECT_NO_THROW(check("void f() { int a = 1; { float a = 2.0f; } }"));
+}
+
+TEST(Sema, DuplicateParameter) {
+  expectError("void f(int a, float a) {}", "duplicate parameter");
+}
+
+TEST(Sema, BuiltinOverloadMismatch) {
+  expectError("void f(__global int* p) { float x = sqrt(p); }",
+              "no matching overload");
+}
+
+TEST(Sema, BarrierOnlyInKernel) {
+  expectError(
+      "void helper() { barrier(CLK_LOCAL_MEM_FENCE); } __kernel void k() { "
+      "helper(); }",
+      "barrier");
+}
+
+TEST(Sema, CudaThreadIdxResolves) {
+  EXPECT_NO_THROW(check(R"(
+    __global__ void k(float* data) {
+      int i = blockIdx.x * blockDim.x + threadIdx.x;
+      data[i] = (float)(gridDim.x + threadIdx.y + threadIdx.z);
+    }
+  )"));
+}
+
+TEST(Sema, CudaThreadIdxBadComponent) {
+  expectError("__global__ void k(float* d) { int i = threadIdx.w; }",
+              "unknown component");
+}
+
+TEST(Sema, UserVariableShadowsCudaBuiltinName) {
+  // A declared variable named threadIdx wins over the dialect builtin.
+  expectError(R"(
+    typedef struct { int x; } S;
+    __global__ void k(float* d) {
+      S threadIdx;
+      threadIdx.x = 1;
+      int i = threadIdx.y; // now a real member lookup -> no field 'y'
+    }
+  )",
+              "no field 'y'");
+}
+
+TEST(Sema, VoidPointerDerefRejected) {
+  // 'void*' parameters are representable; dereferencing them is not.
+  expectError("void f(__global void* p) { *p; }", "void pointer");
+}
+
+TEST(Sema, TernaryBranchMismatch) {
+  expectError(R"(
+    typedef struct { int a; } S;
+    void f(int c, S s, __global int* p) { int x = c ? s : p; }
+  )",
+              "ternary");
+}
+
+TEST(Sema, ConditionMustBeScalar) {
+  expectError(R"(
+    typedef struct { int a; } S;
+    void f(S s) { if (s) {} }
+  )",
+              "condition must be arithmetic");
+}
+
+TEST(Sema, ImplicitConversionsInsertCasts) {
+  const auto unit = check("float f(int a) { return a; }");
+  const Stmt* ret = unit->functions[0]->bodyStmt->body[0];
+  EXPECT_EQ(ret->expr->kind, ExprKind::Cast);
+  EXPECT_EQ(ret->expr->type->scalarKind(), ScalarKind::F32);
+}
+
+TEST(Sema, UsualArithmeticConversions) {
+  const auto unit = check(R"(
+    void f(char c, short s, int i, uint u, long l, float fl, double d) {
+      int r1 = c + s;
+      uint r2 = i + u;
+      long r3 = i + l;
+      float r4 = i + fl;
+      double r5 = fl + d;
+    }
+  )");
+  const auto& body = unit->functions[0]->bodyStmt->body;
+  EXPECT_EQ(body[0]->decls[0]->init->type->scalarKind(), ScalarKind::I32);
+  EXPECT_EQ(body[1]->decls[0]->init->type->scalarKind(), ScalarKind::U32);
+  EXPECT_EQ(body[2]->decls[0]->init->type->scalarKind(), ScalarKind::I64);
+  EXPECT_EQ(body[3]->decls[0]->init->type->scalarKind(), ScalarKind::F32);
+  EXPECT_EQ(body[4]->decls[0]->init->type->scalarKind(), ScalarKind::F64);
+}
+
+TEST(Sema, ComparisonYieldsInt) {
+  const auto unit = check("void f(float a, float b) { int r = a < b; }");
+  const Stmt* decl = unit->functions[0]->bodyStmt->body[0];
+  EXPECT_EQ(decl->decls[0]->init->type->scalarKind(), ScalarKind::I32);
+}
+
+TEST(Sema, AddressOfGlobalElementHasGlobalSpace) {
+  const auto unit = check(
+      "void f(__global int* p) { __global int* q = &p[3]; }");
+  const Stmt* decl = unit->functions[0]->bodyStmt->body[0];
+  EXPECT_EQ(decl->decls[0]->init->type->addressSpace(), AddressSpace::Global);
+}
+
+TEST(Sema, MinMaxResolveByType) {
+  const auto unit = check(R"(
+    void f(int i, uint u, float x, double d) {
+      int a = min(i, 3);
+      float b = min(x, 1.0f);
+      double c = max(d, 0.5);
+      float m = fmax(x, 2.0f);
+    }
+  )");
+  const auto& body = unit->functions[0]->bodyStmt->body;
+  EXPECT_EQ(body[0]->decls[0]->init->type->scalarKind(), ScalarKind::I32);
+  EXPECT_EQ(body[1]->decls[0]->init->type->scalarKind(), ScalarKind::F32);
+  EXPECT_EQ(body[2]->decls[0]->init->type->scalarKind(), ScalarKind::F64);
+}
+
+TEST(Sema, AtomicsAcceptAnyAddressSpace) {
+  // The VM resolves the pointee's actual space at run time, which is
+  // what lets CUDA-dialect device functions use unqualified pointers.
+  EXPECT_NO_THROW(check(
+      "__kernel void k(__global int* p) { atomic_add(&p[0], 1); }"));
+  EXPECT_NO_THROW(check("void f(int x) { atomic_add(&x, 1); }"));
+  expectError("void f(float x) { atomic_cmpxchg(&x, 1, 2); }",
+              "no matching overload");
+}
+
+TEST(Sema, CudaAtomicAddOnFloatPointerMapsToExtension) {
+  EXPECT_NO_THROW(check(
+      "__kernel void k(__global float* p) { atomicAdd(&p[0], 1.0f); }"));
+}
+
+} // namespace

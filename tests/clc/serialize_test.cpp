@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "clc_test_util.h"
+#include "clc/serialize.h"
+#include "common/byte_stream.h"
+#include "common/stopwatch.h"
+
+using namespace clc_test;
+
+namespace {
+
+const char* kSource = R"(
+  typedef struct { float x; float y; } P;
+  float dot2(P a, P b) { return a.x * b.x + a.y * b.y; }
+  __kernel void k(__global P* ps, __global float* out, __local float* tmp) {
+    size_t i = get_global_id(0);
+    tmp[get_local_id(0)] = dot2(ps[i], ps[i]);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[i] = tmp[get_local_id(0)];
+  }
+)";
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const auto program = clc::compile(kSource);
+  const auto bytes = clc::serializeProgram(program);
+  const auto restored = clc::deserializeProgram(bytes);
+
+  EXPECT_EQ(restored.sourceHash, program.sourceHash);
+  ASSERT_EQ(restored.code.size(), program.code.size());
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    EXPECT_EQ(restored.code[i].op, program.code[i].op) << i;
+    EXPECT_EQ(restored.code[i].tag, program.code[i].tag) << i;
+    EXPECT_EQ(restored.code[i].a, program.code[i].a) << i;
+  }
+  EXPECT_EQ(restored.constants, program.constants);
+  ASSERT_EQ(restored.functions.size(), program.functions.size());
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    const auto& a = program.functions[i];
+    const auto& b = restored.functions[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.frameSize, b.frameSize);
+    EXPECT_EQ(a.params.size(), b.params.size());
+    EXPECT_EQ(a.returnsStruct, b.returnsStruct);
+  }
+  ASSERT_EQ(restored.kernels.size(), 1u);
+  EXPECT_EQ(restored.kernels[0].name, "k");
+  EXPECT_EQ(restored.kernels[0].staticLocalSize,
+            program.kernels[0].staticLocalSize);
+}
+
+TEST(Serialize, DeserializedProgramExecutesIdentically) {
+  const auto program = clc::compile(kSource);
+  const auto restored =
+      clc::deserializeProgram(clc::serializeProgram(program));
+
+  struct P {
+    float x, y;
+  };
+  std::vector<P> ps = {{1, 2}, {3, 4}, {5, 6}, {0, -1}};
+  std::vector<float> out1(4), out2(4);
+
+  for (auto* out : {&out1, &out2}) {
+    Buffers bufs;
+    auto a = bufs.add(ps);
+    auto b = bufs.add(*out);
+    run1D(out == &out1 ? program : restored, "k", 4, 2,
+          {a, b, localArg(2 * sizeof(float))}, bufs);
+  }
+  EXPECT_EQ(out1, out2);
+  EXPECT_FLOAT_EQ(out1[0], 5.0f);
+  EXPECT_FLOAT_EQ(out1[1], 25.0f);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = {'n', 'o', 'p', 'e', 0, 0, 0, 0};
+  EXPECT_THROW(clc::deserializeProgram(bytes), common::DeserializeError);
+}
+
+TEST(Serialize, RejectsVersionMismatch) {
+  const auto program = clc::compile("__kernel void k() {}");
+  auto bytes = clc::serializeProgram(program);
+  bytes[4] ^= 0xff; // corrupt the version field
+  EXPECT_THROW(clc::deserializeProgram(bytes), common::DeserializeError);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  const auto program = clc::compile(kSource);
+  auto bytes = clc::serializeProgram(program);
+  for (const std::size_t cut : {bytes.size() / 2, bytes.size() - 1,
+                                std::size_t(9)}) {
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.begin() + long(cut));
+    EXPECT_THROW(clc::deserializeProgram(truncated),
+                 common::DeserializeError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, RejectsOutOfRangeIndices) {
+  const auto program = clc::compile("__kernel void k() {}");
+  auto bytes = clc::serializeProgram(program);
+  // Find and corrupt the kernel's functionIndex (last 8 bytes hold the
+  // function index and staticLocalSize).
+  const std::size_t idxPos = bytes.size() - 8;
+  bytes[idxPos] = 0xff;
+  EXPECT_THROW(clc::deserializeProgram(bytes), common::DeserializeError);
+}
+
+TEST(Serialize, LoadIsFasterThanCompile) {
+  // The property behind the paper's kernel cache claim: deserializing a
+  // program must be much cheaper than compiling it from source. We assert
+  // a conservative 2x here to keep the test robust on loaded machines;
+  // the bench measures the real factor.
+  std::string bigSource;
+  for (int i = 0; i < 40; ++i) {
+    bigSource += "float helper" + std::to_string(i) +
+                 "(float x) { return x * " + std::to_string(i + 1) +
+                 ".0f + sqrt(x); }\n";
+  }
+  bigSource += "__kernel void k(__global float* out) { float a = 1.0f;\n";
+  for (int i = 0; i < 40; ++i) {
+    bigSource += "a += helper" + std::to_string(i) + "(a);\n";
+  }
+  bigSource += "out[get_global_id(0)] = a; }\n";
+
+  common::Stopwatch compileTimer;
+  clc::Program program;
+  for (int i = 0; i < 10; ++i) {
+    program = clc::compile(bigSource);
+  }
+  const double compileTime = compileTimer.elapsedSeconds();
+
+  const auto bytes = clc::serializeProgram(program);
+  common::Stopwatch loadTimer;
+  for (int i = 0; i < 10; ++i) {
+    const auto restored = clc::deserializeProgram(bytes);
+    ASSERT_EQ(restored.functions.size(), program.functions.size());
+  }
+  const double loadTime = loadTimer.elapsedSeconds();
+  EXPECT_LT(loadTime * 2, compileTime)
+      << "compile=" << compileTime << "s load=" << loadTime << "s";
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "clc/types.h"
+
+using namespace clc;
+
+namespace {
+
+TEST(Types, ScalarSizes) {
+  TypeTable t;
+  EXPECT_EQ(t.scalar(ScalarKind::I8)->size(), 1u);
+  EXPECT_EQ(t.scalar(ScalarKind::U16)->size(), 2u);
+  EXPECT_EQ(t.scalar(ScalarKind::I32)->size(), 4u);
+  EXPECT_EQ(t.scalar(ScalarKind::F32)->size(), 4u);
+  EXPECT_EQ(t.scalar(ScalarKind::F64)->size(), 8u);
+  EXPECT_EQ(t.scalar(ScalarKind::U64)->size(), 8u);
+  EXPECT_EQ(t.voidType()->size(), 0u);
+}
+
+TEST(Types, ScalarsAreInterned) {
+  TypeTable t;
+  EXPECT_EQ(t.scalar(ScalarKind::F32), t.floatType());
+  EXPECT_EQ(t.scalar(ScalarKind::I32), t.intType());
+}
+
+TEST(Types, PointersAreInternedPerSpace) {
+  TypeTable t;
+  const Type* f = t.floatType();
+  const Type* g1 = t.pointerTo(f, AddressSpace::Global);
+  const Type* g2 = t.pointerTo(f, AddressSpace::Global);
+  const Type* l = t.pointerTo(f, AddressSpace::Local);
+  EXPECT_EQ(g1, g2);
+  EXPECT_NE(g1, l);
+  EXPECT_EQ(g1->size(), 8u);
+  EXPECT_EQ(g1->pointee(), f);
+  EXPECT_EQ(g1->addressSpace(), AddressSpace::Global);
+}
+
+TEST(Types, ArraysAreInterned) {
+  TypeTable t;
+  const Type* a1 = t.arrayOf(t.intType(), 16);
+  const Type* a2 = t.arrayOf(t.intType(), 16);
+  const Type* a3 = t.arrayOf(t.intType(), 8);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(a1->size(), 64u);
+  EXPECT_EQ(a1->alignment(), 4u);
+}
+
+TEST(Types, StructLayoutWithPadding) {
+  TypeTable t;
+  // struct { char c; double d; int i; } -> offsets 0, 8, 16; size 24.
+  const Type* s = t.declareStruct(
+      "S", {{"c", t.scalar(ScalarKind::I8), 0},
+            {"d", t.scalar(ScalarKind::F64), 0},
+            {"i", t.intType(), 0}});
+  EXPECT_EQ(s->fields()[0].offset, 0u);
+  EXPECT_EQ(s->fields()[1].offset, 8u);
+  EXPECT_EQ(s->fields()[2].offset, 16u);
+  EXPECT_EQ(s->size(), 24u);
+  EXPECT_EQ(s->alignment(), 8u);
+}
+
+TEST(Types, StructLayoutMatchesHostCompiler) {
+  struct Host {
+    float a;
+    int b;
+    double c;
+    char d;
+  };
+  TypeTable t;
+  const Type* s = t.declareStruct(
+      "Host", {{"a", t.floatType(), 0},
+               {"b", t.intType(), 0},
+               {"c", t.scalar(ScalarKind::F64), 0},
+               {"d", t.scalar(ScalarKind::I8), 0}});
+  EXPECT_EQ(s->size(), sizeof(Host));
+  EXPECT_EQ(s->fields()[0].offset, offsetof(Host, a));
+  EXPECT_EQ(s->fields()[1].offset, offsetof(Host, b));
+  EXPECT_EQ(s->fields()[2].offset, offsetof(Host, c));
+  EXPECT_EQ(s->fields()[3].offset, offsetof(Host, d));
+}
+
+TEST(Types, FindField) {
+  TypeTable t;
+  const Type* s = t.declareStruct("S", {{"x", t.floatType(), 0},
+                                        {"y", t.floatType(), 0}});
+  ASSERT_NE(s->findField("y"), nullptr);
+  EXPECT_EQ(s->findField("y")->offset, 4u);
+  EXPECT_EQ(s->findField("z"), nullptr);
+}
+
+TEST(Types, StructRedefinitionThrows) {
+  TypeTable t;
+  t.declareStruct("S", {});
+  EXPECT_THROW(t.declareStruct("S", {}), common::InvalidArgument);
+}
+
+TEST(Types, ToStringSpellings) {
+  TypeTable t;
+  EXPECT_EQ(t.floatType()->toString(), "float");
+  EXPECT_EQ(t.pointerTo(t.floatType(), AddressSpace::Global)->toString(),
+            "__global float*");
+  EXPECT_EQ(t.arrayOf(t.intType(), 4)->toString(), "int[4]");
+  const Type* s = t.declareStruct("Foo", {});
+  EXPECT_EQ(s->toString(), "struct Foo");
+}
+
+TEST(Types, EmptyStructHasNonZeroAlignment) {
+  TypeTable t;
+  const Type* s = t.declareStruct("E", {});
+  EXPECT_EQ(s->alignment(), 1u);
+  EXPECT_EQ(s->size(), 0u);
+}
+
+TEST(Types, NestedStructLayout) {
+  TypeTable t;
+  const Type* inner = t.declareStruct(
+      "Inner", {{"a", t.scalar(ScalarKind::F64), 0}});
+  const Type* outer = t.declareStruct(
+      "Outer", {{"c", t.scalar(ScalarKind::I8), 0}, {"in", inner, 0}});
+  EXPECT_EQ(outer->fields()[1].offset, 8u);
+  EXPECT_EQ(outer->size(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+// Memory-safety and launch-validation behaviour of the VM.
+#include <gtest/gtest.h>
+
+#include "clc_test_util.h"
+
+using namespace clc_test;
+
+namespace {
+
+TEST(VmMemory, GlobalOutOfBoundsReadTraps) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* data, int i) { data[0] = data[i]; }
+  )");
+  std::vector<int> data(4, 0);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  EXPECT_NO_THROW(run1D(program, "k", 1, 1, {a, scalarArg(3)}, bufs));
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a, scalarArg(4)}, bufs),
+               clc::TrapError);
+}
+
+TEST(VmMemory, GlobalOutOfBoundsWriteTraps) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* data, int i) { data[i] = 1; }
+  )");
+  std::vector<int> data(4, 0);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a, scalarArg(100)}, bufs),
+               clc::TrapError);
+}
+
+TEST(VmMemory, TrapMessageNamesTheBuffer) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* data) { data[99] = 1; }
+  )");
+  std::vector<int> data(4, 0);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  try {
+    run1D(program, "k", 1, 1, {a}, bufs);
+    FAIL() << "expected trap";
+  } catch (const clc::TrapError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("out of bounds"), std::string::npos) << what;
+    EXPECT_NE(what.find("kernel 'k'"), std::string::npos) << what;
+  }
+}
+
+TEST(VmMemory, NullPointerDereferenceTraps) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* data) {
+      __global int* p = 0;
+      data[0] = *p;
+    }
+  )");
+  std::vector<int> data(1, 0);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a}, bufs), clc::TrapError);
+}
+
+TEST(VmMemory, LocalOutOfBoundsTraps) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out, int i) {
+      __local int buf[8];
+      buf[i] = 1;
+      out[0] = buf[0];
+    }
+  )");
+  std::vector<int> out(1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  EXPECT_NO_THROW(run1D(program, "k", 1, 1, {a, scalarArg(7)}, bufs));
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a, scalarArg(8)}, bufs),
+               clc::TrapError);
+}
+
+TEST(VmMemory, PrivateArrayOutOfBoundsTraps) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out, int i) {
+      int buf[4];
+      buf[0] = 0; buf[1] = 1; buf[2] = 2; buf[3] = 3;
+      out[0] = buf[i + 1000000];
+    }
+  )");
+  std::vector<int> out(1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a, scalarArg(0)}, bufs),
+               clc::TrapError);
+}
+
+TEST(VmMemory, GlobalSizeMustBeDivisibleByLocal) {
+  const auto program = clc::compile(
+      "__kernel void k(__global int* o) { o[get_global_id(0)] = 1; }");
+  std::vector<int> out(10);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  EXPECT_THROW(run1D(program, "k", 10, 4, {a}, bufs),
+               common::InvalidArgument);
+}
+
+TEST(VmMemory, ZeroSizeRangeRejected) {
+  const auto program = clc::compile("__kernel void k() {}");
+  Buffers bufs;
+  EXPECT_THROW(run1D(program, "k", 0, 1, {}, bufs),
+               common::InvalidArgument);
+}
+
+TEST(VmMemory, WrongArgumentCountRejected) {
+  const auto program = clc::compile(
+      "__kernel void k(__global int* a, int n) {}");
+  std::vector<int> data(1);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a}, bufs),
+               common::InvalidArgument);
+}
+
+TEST(VmMemory, UnknownKernelNameRejected) {
+  const auto program = clc::compile("__kernel void k() {}");
+  Buffers bufs;
+  EXPECT_THROW(run1D(program, "nope", 1, 1, {}, bufs),
+               common::InvalidArgument);
+}
+
+TEST(VmMemory, LocalParamNeedsLocalArg) {
+  const auto program = clc::compile(
+      "__kernel void k(__local int* scratch) {}");
+  Buffers bufs;
+  EXPECT_THROW(run1D(program, "k", 1, 1, {scalarArg(0)}, bufs),
+               common::InvalidArgument);
+}
+
+TEST(VmMemory, BarrierDivergenceIsDetected) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out) {
+      if (get_local_id(0) == 0) return; // item 0 skips the barrier
+      barrier(CLK_LOCAL_MEM_FENCE);
+      out[get_global_id(0)] = 1;
+    }
+  )");
+  std::vector<int> out(4);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  EXPECT_THROW(run1D(program, "k", 4, 4, {a}, bufs), clc::TrapError);
+}
+
+TEST(VmMemory, MemCopyOfStructsThroughGlobalMemory) {
+  const auto program = clc::compile(R"(
+    typedef struct { int a; float b; char c; } Rec;
+    __kernel void k(__global Rec* in, __global Rec* out) {
+      size_t i = get_global_id(0);
+      Rec r = in[i];   // global -> private copy
+      r.a += 1;
+      out[i] = r;      // private -> global copy
+    }
+  )");
+  struct Rec {
+    int a;
+    float b;
+    char c;
+  };
+  std::vector<Rec> in = {{1, 2.5f, 'x'}, {10, -1.0f, 'y'}};
+  std::vector<Rec> out(2, Rec{0, 0, 0});
+  Buffers bufs;
+  auto ain = bufs.add(in);
+  auto aout = bufs.add(out);
+  run1D(program, "k", 2, 1, {ain, aout}, bufs);
+  EXPECT_EQ(out[0].a, 2);
+  EXPECT_FLOAT_EQ(out[0].b, 2.5f);
+  EXPECT_EQ(out[0].c, 'x');
+  EXPECT_EQ(out[1].a, 11);
+}
+
+TEST(VmMemory, DeepCallChainWorks) {
+  const auto program = clc::compile(R"(
+    int f0(int x) { return x + 1; }
+    int f1(int x) { return f0(x) + 1; }
+    int f2(int x) { return f1(x) + 1; }
+    int f3(int x) { return f2(x) + 1; }
+    int f4(int x) { return f3(x) + 1; }
+    __kernel void k(__global int* out) { out[0] = f4(0); }
+  )");
+  std::vector<int> out(1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "k", 1, 1, {a}, bufs);
+  EXPECT_EQ(out[0], 5);
+}
+
+TEST(VmMemory, FallingOffNonVoidFunctionTraps) {
+  const auto program = clc::compile(R"(
+    int f(int x) { if (x > 0) return 1; } // no return on the x<=0 path
+    __kernel void k(__global int* out, int x) { out[0] = f(x); }
+  )");
+  std::vector<int> out(1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  EXPECT_NO_THROW(run1D(program, "k", 1, 1, {a, scalarArg(1)}, bufs));
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a, scalarArg(-1)}, bufs),
+               clc::TrapError);
+}
+
+TEST(VmMemory, SeparateLocalMemoryPerGroup) {
+  // Each group accumulates into its own __local slot; cross-group
+  // interference would produce wrong sums.
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out) {
+      __local int acc[1];
+      if (get_local_id(0) == 0) acc[0] = 0;
+      barrier(CLK_LOCAL_MEM_FENCE);
+      atomic_add(&acc[0], (int)get_group_id(0) + 1);
+      barrier(CLK_LOCAL_MEM_FENCE);
+      if (get_local_id(0) == 0) out[get_group_id(0)] = acc[0];
+    }
+  )");
+  std::vector<int> out(4, -1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "k", 16, 4, {a}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{4, 8, 12, 16}));
+}
+
+TEST(VmMemory, MultipleBuffersKeepSeparateBounds) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* small, __global int* big) {
+      big[10] = 1;      // fine: big has 16 entries
+      small[10] = 1;    // trap: small has 4
+    }
+  )");
+  std::vector<int> small(4), big(16);
+  Buffers bufs;
+  auto a = bufs.add(small);
+  auto b = bufs.add(big);
+  EXPECT_THROW(run1D(program, "k", 1, 1, {a, b}, bufs), clc::TrapError);
+  EXPECT_EQ(big[10], 1); // the in-bounds write happened first
+}
+
+} // namespace

@@ -1,0 +1,406 @@
+// End-to-end kernel execution tests: compile OpenCL-C source and check the
+// memory effects of running it over an ND-range.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "clc_test_util.h"
+
+using namespace clc_test;
+
+namespace {
+
+TEST(VmExec, CopyKernel) {
+  const auto program = clc::compile(R"(
+    __kernel void copy(__global const float* in, __global float* out) {
+      size_t i = get_global_id(0);
+      out[i] = in[i];
+    }
+  )");
+  std::vector<float> in(64), out(64, 0.0f);
+  std::iota(in.begin(), in.end(), 1.0f);
+  Buffers bufs;
+  auto a = bufs.add(in);
+  auto b = bufs.add(out);
+  run1D(program, "copy", 64, 16, {a, b}, bufs);
+  EXPECT_EQ(in, out);
+}
+
+TEST(VmExec, SaxpyWithScalarArg) {
+  const auto program = clc::compile(R"(
+    __kernel void saxpy(float a, __global const float* x,
+                        __global const float* y, __global float* out) {
+      int i = get_global_id(0);
+      out[i] = a * x[i] + y[i];
+    }
+  )");
+  std::vector<float> x(128), y(128), out(128);
+  for (int i = 0; i < 128; ++i) {
+    x[i] = float(i);
+    y[i] = float(2 * i);
+  }
+  Buffers bufs;
+  auto ax = bufs.add(x);
+  auto ay = bufs.add(y);
+  auto aout = bufs.add(out);
+  run1D(program, "saxpy", 128, 32, {scalarArg(3.0f), ax, ay, aout}, bufs);
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_FLOAT_EQ(out[i], 3.0f * x[i] + y[i]) << i;
+  }
+}
+
+TEST(VmExec, WorkItemQueries) {
+  const auto program = clc::compile(R"(
+    __kernel void ids(__global int* gid, __global int* lid,
+                      __global int* grp, __global int* sizes) {
+      int i = get_global_id(0);
+      gid[i] = (int)get_global_id(0);
+      lid[i] = (int)get_local_id(0);
+      grp[i] = (int)get_group_id(0);
+      if (i == 0) {
+        sizes[0] = (int)get_global_size(0);
+        sizes[1] = (int)get_local_size(0);
+        sizes[2] = (int)get_num_groups(0);
+        sizes[3] = (int)get_work_dim();
+      }
+    }
+  )");
+  std::vector<int> gid(24), lid(24), grp(24), sizes(4);
+  Buffers bufs;
+  auto a = bufs.add(gid);
+  auto b = bufs.add(lid);
+  auto c = bufs.add(grp);
+  auto d = bufs.add(sizes);
+  run1D(program, "ids", 24, 8, {a, b, c, d}, bufs);
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(gid[i], i);
+    EXPECT_EQ(lid[i], i % 8);
+    EXPECT_EQ(grp[i], i / 8);
+  }
+  EXPECT_EQ(sizes, (std::vector<int>{24, 8, 3, 1}));
+}
+
+TEST(VmExec, ForLoopBreakContinue) {
+  const auto program = clc::compile(R"(
+    __kernel void sums(__global int* out) {
+      int i = get_global_id(0);
+      int acc = 0;
+      for (int k = 0; k < 100; ++k) {
+        if (k % 2 == 1) continue;   // only even k
+        if (k >= 10) break;          // 0,2,4,6,8
+        acc += k;
+      }
+      out[i] = acc;
+    }
+  )");
+  std::vector<int> out(4, -1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "sums", 4, 4, {a}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{20, 20, 20, 20}));
+}
+
+TEST(VmExec, WhileAndDoWhile) {
+  const auto program = clc::compile(R"(
+    __kernel void loops(__global int* out) {
+      int n = (int)get_global_id(0) + 1;
+      int w = 0;
+      int k = 0;
+      while (k < n) { w += 2; ++k; }
+      int d = 0;
+      int j = 10;
+      do { d += 1; --j; } while (j > 100);  // executes exactly once
+      out[get_global_id(0)] = w + d;
+    }
+  )");
+  std::vector<int> out(5);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "loops", 5, 1, {a}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{3, 5, 7, 9, 11}));
+}
+
+TEST(VmExec, HelperFunctionCall) {
+  const auto program = clc::compile(R"(
+    float square(float x) { return x * x; }
+    float add3(float a, float b, float c) { return a + b + c; }
+    __kernel void k(__global float* out) {
+      size_t i = get_global_id(0);
+      out[i] = add3(square((float)i), 1.0f, square(2.0f));
+    }
+  )");
+  std::vector<float> out(8);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "k", 8, 4, {a}, bufs);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FLOAT_EQ(out[i], float(i) * float(i) + 1.0f + 4.0f);
+  }
+}
+
+TEST(VmExec, StructByValueAndReturn) {
+  const auto program = clc::compile(R"(
+    typedef struct { float re; float im; } complex;
+    complex cmul(complex a, complex b) {
+      complex r;
+      r.re = a.re * b.re - a.im * b.im;
+      r.im = a.re * b.im + a.im * b.re;
+      return r;
+    }
+    __kernel void k(__global complex* data, complex factor) {
+      size_t i = get_global_id(0);
+      data[i] = cmul(data[i], factor);
+    }
+  )");
+  struct Complex {
+    float re, im;
+  };
+  std::vector<Complex> data = {{1, 0}, {0, 1}, {2, 3}, {-1, -1}};
+  const Complex factor{0, 1}; // multiply by i
+  Buffers bufs;
+  auto a = bufs.add(data);
+  run1D(program, "k", 4, 2, {a, structArg(factor)}, bufs);
+  EXPECT_FLOAT_EQ(data[0].re, 0);
+  EXPECT_FLOAT_EQ(data[0].im, 1);
+  EXPECT_FLOAT_EQ(data[1].re, -1);
+  EXPECT_FLOAT_EQ(data[1].im, 0);
+  EXPECT_FLOAT_EQ(data[2].re, -3);
+  EXPECT_FLOAT_EQ(data[2].im, 2);
+}
+
+TEST(VmExec, BarrierLocalMemoryReverse) {
+  // Classic work-group shuffle: stage into __local, barrier, read reversed.
+  const auto program = clc::compile(R"(
+    __kernel void reverse(__global const int* in, __global int* out,
+                          __local int* scratch) {
+      int lid = (int)get_local_id(0);
+      int gid = (int)get_global_id(0);
+      int n = (int)get_local_size(0);
+      scratch[lid] = in[gid];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      out[gid] = scratch[n - 1 - lid];
+    }
+  )");
+  std::vector<int> in(32), out(32);
+  std::iota(in.begin(), in.end(), 0);
+  Buffers bufs;
+  auto a = bufs.add(in);
+  auto b = bufs.add(out);
+  run1D(program, "reverse", 32, 8, {a, b, localArg(8 * sizeof(int))}, bufs);
+  for (int i = 0; i < 32; ++i) {
+    const int group = i / 8;
+    const int lane = i % 8;
+    EXPECT_EQ(out[i], in[group * 8 + (7 - lane)]) << i;
+  }
+}
+
+TEST(VmExec, StaticLocalArray) {
+  const auto program = clc::compile(R"(
+    __kernel void sumgroup(__global const int* in, __global int* out) {
+      __local int scratch[16];
+      int lid = (int)get_local_id(0);
+      scratch[lid] = in[get_global_id(0)];
+      barrier(CLK_LOCAL_MEM_FENCE);
+      if (lid == 0) {
+        int acc = 0;
+        for (int k = 0; k < 16; ++k) acc += scratch[k];
+        out[get_group_id(0)] = acc;
+      }
+    }
+  )");
+  std::vector<int> in(32, 1), out(2, 0);
+  Buffers bufs;
+  auto a = bufs.add(in);
+  auto b = bufs.add(out);
+  run1D(program, "sumgroup", 32, 16, {a, b}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{16, 16}));
+}
+
+TEST(VmExec, GlobalAtomicCounter) {
+  const auto program = clc::compile(R"(
+    __kernel void count(__global int* counter, __global int* slots) {
+      int my = atomic_add(&counter[0], 1);
+      slots[my] = 1;
+    }
+  )");
+  std::vector<int> counter(1, 0), slots(64, 0);
+  Buffers bufs;
+  auto a = bufs.add(counter);
+  auto b = bufs.add(slots);
+  run1D(program, "count", 64, 16, {a, b}, bufs);
+  EXPECT_EQ(counter[0], 64);
+  EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0), 64);
+}
+
+TEST(VmExec, PointerArithmeticAndDeref) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* data, int n) {
+      if (get_global_id(0) != 0) return;
+      __global int* p = data;
+      __global int* end = data + n;
+      int acc = 0;
+      while (p != end) {
+        acc += *p;
+        p++;
+      }
+      data[0] = acc;
+    }
+  )");
+  std::vector<int> data = {1, 2, 3, 4, 5};
+  Buffers bufs;
+  auto a = bufs.add(data);
+  run1D(program, "k", 1, 1, {a, scalarArg(5)}, bufs);
+  EXPECT_EQ(data[0], 15);
+}
+
+TEST(VmExec, TernaryAndLogicalShortCircuit) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out, __global int* sideEffect) {
+      int i = (int)get_global_id(0);
+      // The right operand of && must not evaluate when the left is false:
+      // otherwise it would trip the out-of-bounds trap on sideEffect.
+      int guarded = (i < 1) && (sideEffect[i] == 0);
+      out[i] = (i % 2 == 0) ? 10 + guarded : -10;
+    }
+  )");
+  std::vector<int> out(6, 0), sideEffect(1, 0);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  auto b = bufs.add(sideEffect);
+  run1D(program, "k", 6, 2, {a, b}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{11, -10, 10, -10, 10, -10}));
+}
+
+TEST(VmExec, CompoundAssignmentOperators) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* v, __global float* f) {
+      if (get_global_id(0) != 0) return;
+      v[0] += 5; v[1] -= 3; v[2] *= 4; v[3] /= 2; v[4] %= 3;
+      v[5] <<= 2; v[6] >>= 1; v[7] &= 6; v[8] |= 9; v[9] ^= 5;
+      f[0] += 0.5f; f[1] *= 2.0f; f[2] /= 4.0f;
+    }
+  )");
+  std::vector<int> v = {1, 10, 3, 9, 10, 1, 8, 7, 2, 3};
+  std::vector<float> f = {1.0f, 3.0f, 10.0f};
+  Buffers bufs;
+  auto a = bufs.add(v);
+  auto b = bufs.add(f);
+  run1D(program, "k", 1, 1, {a, b}, bufs);
+  EXPECT_EQ(v, (std::vector<int>{6, 7, 12, 4, 1, 4, 4, 6, 11, 6}));
+  EXPECT_FLOAT_EQ(f[0], 1.5f);
+  EXPECT_FLOAT_EQ(f[1], 6.0f);
+  EXPECT_FLOAT_EQ(f[2], 2.5f);
+}
+
+TEST(VmExec, IncrementDecrementSemantics) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out) {
+      if (get_global_id(0) != 0) return;
+      int a = 5;
+      out[0] = a++;  // 5, a=6
+      out[1] = ++a;  // 7
+      out[2] = a--;  // 7, a=6
+      out[3] = --a;  // 5
+      out[4] = a;    // 5
+      __global int* p = out;
+      p++;
+      *p = 100;      // out[1] = 100
+    }
+  )");
+  std::vector<int> out(5, 0);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "k", 1, 1, {a}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{5, 100, 7, 5, 5}));
+}
+
+TEST(VmExec, PrivateArraysAndStructs) {
+  const auto program = clc::compile(R"(
+    typedef struct { int x; int y; } pair;
+    __kernel void k(__global int* out) {
+      int i = (int)get_global_id(0);
+      int hist[4];
+      for (int k = 0; k < 4; ++k) hist[k] = 0;
+      for (int k = 0; k < 12; ++k) hist[k % 4] += 1;
+      pair p;
+      p.x = hist[0];
+      p.y = hist[3];
+      pair q = p;
+      q.y += i;
+      out[i] = q.x * 10 + q.y;
+    }
+  )");
+  std::vector<int> out(3, 0);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  run1D(program, "k", 3, 1, {a}, bufs);
+  EXPECT_EQ(out, (std::vector<int>{33, 34, 35}));
+}
+
+TEST(VmExec, TwoDimensionalRange) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global int* out, int width) {
+      size_t x = get_global_id(0);
+      size_t y = get_global_id(1);
+      out[y * width + x] = (int)(x + 100 * y);
+    }
+  )");
+  const int width = 8, height = 4;
+  std::vector<int> out(width * height, -1);
+  Buffers bufs;
+  auto a = bufs.add(out);
+  clc::NDRange range;
+  range.dims = 2;
+  range.globalSize[0] = width;
+  range.globalSize[1] = height;
+  range.localSize[0] = 4;
+  range.localSize[1] = 2;
+  clc::executeKernel(program, "k", range, {a, scalarArg(width)},
+                     bufs.segments(), nullptr);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      EXPECT_EQ(out[y * width + x], x + 100 * y);
+    }
+  }
+}
+
+TEST(VmExec, CudaDialectKernel) {
+  // The same VM runs CUDA-flavoured source: __global__, threadIdx, etc.
+  const auto program = clc::compile(R"(
+    __global__ void scale(float* data, float s, int n) {
+      int i = blockIdx.x * blockDim.x + threadIdx.x;
+      if (i < n) data[i] = data[i] * s;
+    }
+  )");
+  std::vector<float> data(10, 2.0f);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  run1D(program, "scale", 10, 5, {a, scalarArg(1.5f), scalarArg(10)}, bufs);
+  for (float v : data) {
+    EXPECT_FLOAT_EQ(v, 3.0f);
+  }
+}
+
+TEST(VmExec, LaunchStatsArePopulated) {
+  const auto program = clc::compile(R"(
+    __kernel void k(__global float* data) {
+      size_t i = get_global_id(0);
+      data[i] = data[i] * 2.0f + 1.0f;
+    }
+  )");
+  std::vector<float> data(64, 1.0f);
+  Buffers bufs;
+  auto a = bufs.add(data);
+  const auto stats = run1D(program, "k", 64, 16, {a}, bufs);
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_GT(stats.totalCycles, stats.instructions / 2);
+  EXPECT_EQ(stats.globalBytesRead, 64 * 4u);
+  EXPECT_EQ(stats.globalBytesWritten, 64 * 4u);
+  EXPECT_EQ(stats.groups.size(), 4u);
+  for (const auto& g : stats.groups) {
+    EXPECT_GT(g.sumCycles, 0u);
+    EXPECT_GE(g.sumCycles, g.maxCycles);
+  }
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace {
+
+TEST(Fnv1a, MatchesReferenceValues) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(common::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(common::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(common::fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, DiffersForDifferentInputs) {
+  EXPECT_NE(common::fnv1a64("kernel1"), common::fnv1a64("kernel2"));
+}
+
+TEST(Sha256, KnownVectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(common::Sha256::hexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(common::Sha256::hexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(common::Sha256::hexDigest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  common::Sha256 h;
+  h.update("hello ");
+  h.update("world");
+  const auto digest = h.digest();
+  EXPECT_EQ(common::toHex(digest.data(), digest.size()),
+            common::Sha256::hexDigest("hello world"));
+}
+
+TEST(Sha256, LongInput) {
+  const std::string input(100000, 'x');
+  // Self-consistency: chunked == one-shot.
+  common::Sha256 h;
+  for (std::size_t i = 0; i < input.size(); i += 937) {
+    h.update(input.substr(i, 937));
+  }
+  const auto digest = h.digest();
+  EXPECT_EQ(common::toHex(digest.data(), digest.size()),
+            common::Sha256::hexDigest(input));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundary.
+  for (const std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string a(n, 'a');
+    common::Sha256 h;
+    h.update(a);
+    const auto digest = h.digest();
+    EXPECT_EQ(common::toHex(digest.data(), digest.size()).size(), 64u);
+    EXPECT_EQ(common::toHex(digest.data(), digest.size()),
+              common::Sha256::hexDigest(a))
+        << n;
+  }
+}
+
+TEST(ToHex, Encodes) {
+  const std::uint8_t bytes[] = {0x00, 0x0f, 0xf0, 0xff};
+  EXPECT_EQ(common::toHex(bytes, 4), "000ff0ff");
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  common::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  common::Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Prng, DoublesInUnitInterval) {
+  common::Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, FloatsInUnitInterval) {
+  common::Xoshiro256 rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.nextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  common::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.nextBelow(0), 0u);
+  EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Prng, RoughlyUniform) {
+  common::Xoshiro256 rng(99);
+  int buckets[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    buckets[rng.nextBelow(10)]++;
+  }
+  for (const int b : buckets) {
+    EXPECT_NEAR(b, n / 10, n / 100); // within 10% of expectation
+  }
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = common::splitmix64(state);
+  const std::uint64_t second = common::splitmix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(common::splitmix64(state2), first);
+  EXPECT_EQ(common::splitmix64(state2), second);
+  EXPECT_NE(first, second);
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/thread_pool.h"
+
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SingleThreadedPoolRunsInline) {
+  common::ThreadPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 0u); // caller-only
+  int sum = 0;
+  pool.parallelFor(10, [&](std::size_t i) { sum += int(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  common::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  common::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallelFor(100,
+                       [](std::size_t i) {
+                         if (i == 37) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  common::ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.parallelFor(50, [&](std::size_t) { count++; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, NestedWorkloadsComplete) {
+  // A parallelFor body scheduling more work on the same pool must not
+  // deadlock (the caller participates in execution).
+  common::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallelFor(4, [&](std::size_t) { total += 1; });
+  pool.parallelFor(4, [&](std::size_t) { total += 1; });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  auto& pool = common::ThreadPool::global();
+  std::atomic<int> count{0};
+  pool.parallelFor(10, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+// Tests for the CUDA-runtime-style veneer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cuda/runtime.h"
+
+namespace {
+
+class CudaRuntime : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(4));
+    cuda::reset();
+  }
+};
+
+TEST_F(CudaRuntime, DeviceDiscovery) {
+  EXPECT_EQ(cuda::getDeviceCount(), 4); // GPUs only, not the CPU device
+  cuda::setDevice(2);
+  EXPECT_EQ(cuda::getDevice(), 2);
+  EXPECT_THROW(cuda::setDevice(4), common::InvalidArgument);
+  cuda::setDevice(0);
+}
+
+TEST_F(CudaRuntime, MallocMemcpyRoundTrip) {
+  cuda::setDevice(0);
+  std::vector<float> in(1000), out(1000);
+  std::iota(in.begin(), in.end(), 0.5f);
+  cuda::DeviceMemory mem(in.size() * sizeof(float));
+  cuda::memcpyHostToDevice(mem, in.data(), in.size() * sizeof(float));
+  cuda::memcpyDeviceToHost(out.data(), mem, out.size() * sizeof(float));
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(CudaRuntime, KernelLaunchWithCudaDialect) {
+  cuda::setDevice(0);
+  auto module = cuda::Module::compile(R"(
+    __global__ void saxpy(float* y, const float* x, float a, int n) {
+      int i = blockIdx.x * blockDim.x + threadIdx.x;
+      if (i < n) y[i] = a * x[i] + y[i];
+    }
+  )");
+  auto saxpy = module.function("saxpy");
+
+  const int n = 1000;
+  std::vector<float> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[std::size_t(i)] = float(i);
+    y[std::size_t(i)] = 1.0f;
+  }
+  cuda::DeviceMemory dx(n * sizeof(float)), dy(n * sizeof(float));
+  cuda::memcpyHostToDevice(dx, x.data(), n * sizeof(float));
+  cuda::memcpyHostToDevice(dy, y.data(), n * sizeof(float));
+
+  cuda::launch(saxpy, cuda::Dim3((n + 255) / 256), cuda::Dim3(256), dy, dx,
+               2.0f, n);
+  cuda::deviceSynchronize();
+
+  cuda::memcpyDeviceToHost(y.data(), dy, n * sizeof(float));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(y[std::size_t(i)], 2.0f * float(i) + 1.0f) << i;
+  }
+}
+
+TEST_F(CudaRuntime, SharedMemoryAndSyncthreads) {
+  cuda::setDevice(0);
+  auto module = cuda::Module::compile(R"(
+    __global__ void blocksum(const int* in, int* out) {
+      __shared__ int tile[64];
+      int lid = threadIdx.x;
+      tile[lid] = in[blockIdx.x * blockDim.x + threadIdx.x];
+      __syncthreads();
+      if (lid == 0) {
+        int acc = 0;
+        for (int k = 0; k < 64; ++k) acc += tile[k];
+        out[blockIdx.x] = acc;
+      }
+    }
+  )");
+  auto blocksum = module.function("blocksum");
+  std::vector<int> in(128, 3), out(2, 0);
+  cuda::DeviceMemory din(in.size() * sizeof(int)),
+      dout(out.size() * sizeof(int));
+  cuda::memcpyHostToDevice(din, in.data(), in.size() * sizeof(int));
+  cuda::launch(blocksum, cuda::Dim3(2), cuda::Dim3(64), din, dout);
+  cuda::memcpyDeviceToHost(out.data(), dout, out.size() * sizeof(int));
+  EXPECT_EQ(out, (std::vector<int>{192, 192}));
+}
+
+TEST_F(CudaRuntime, AtomicAddCudaSpelling) {
+  cuda::setDevice(0);
+  auto module = cuda::Module::compile(R"(
+    __global__ void count(int* counter) { atomicAdd(&counter[0], 1); }
+  )");
+  auto count = module.function("count");
+  int zero = 0;
+  cuda::DeviceMemory counter(sizeof(int));
+  cuda::memcpyHostToDevice(counter, &zero, sizeof(int));
+  cuda::launch(count, cuda::Dim3(4), cuda::Dim3(32), counter);
+  int result = 0;
+  cuda::memcpyDeviceToHost(&result, counter, sizeof(int));
+  EXPECT_EQ(result, 128);
+}
+
+TEST_F(CudaRuntime, PerDeviceAllocationsAndTransfers) {
+  std::vector<cuda::DeviceMemory> mems;
+  for (int d = 0; d < cuda::getDeviceCount(); ++d) {
+    cuda::setDevice(d);
+    mems.emplace_back(1024);
+    const int value = 100 + d;
+    std::vector<int> fill(256, value);
+    cuda::memcpyHostToDevice(mems.back(), fill.data(), 1024);
+  }
+  for (int d = 0; d < cuda::getDeviceCount(); ++d) {
+    std::vector<int> out(256, 0);
+    cuda::memcpyDeviceToHost(out.data(), mems[std::size_t(d)], 1024);
+    EXPECT_EQ(out[0], 100 + d);
+    EXPECT_EQ(out[255], 100 + d);
+  }
+  cuda::setDevice(0);
+}
+
+TEST_F(CudaRuntime, DeviceToDeviceCopy) {
+  cuda::setDevice(0);
+  cuda::DeviceMemory a(256);
+  cuda::setDevice(1);
+  cuda::DeviceMemory b(256);
+  std::vector<int> in(64);
+  std::iota(in.begin(), in.end(), 0);
+  cuda::memcpyHostToDevice(a, in.data(), 256);
+  cuda::memcpyDeviceToDevice(b, a, 256);
+  std::vector<int> out(64, -1);
+  cuda::memcpyDeviceToHost(out.data(), b, 256);
+  EXPECT_EQ(in, out);
+  cuda::setDevice(0);
+}
+
+TEST_F(CudaRuntime, CompileErrorSurfaces) {
+  EXPECT_THROW(cuda::Module::compile("__global__ void k( {"),
+               common::Error);
+}
+
+TEST_F(CudaRuntime, VirtualClockAdvancesAcrossOperations) {
+  cuda::setDevice(0);
+  const auto before = cuda::clockNs();
+  cuda::DeviceMemory mem(1 << 20);
+  std::vector<char> data(1 << 20, 0);
+  cuda::memcpyHostToDevice(mem, data.data(), data.size());
+  cuda::deviceSynchronize();
+  EXPECT_GT(cuda::clockNs(), before);
+}
+
+} // namespace

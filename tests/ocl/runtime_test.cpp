@@ -1,0 +1,238 @@
+// Tests for the simulated OpenCL host runtime: discovery, buffers,
+// programs/kernels, queues, events.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ocl/ocl.h"
+
+namespace {
+
+class OclRuntime : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(4));
+  }
+};
+
+TEST_F(OclRuntime, PlatformDiscovery) {
+  const auto platforms = ocl::getPlatforms();
+  ASSERT_EQ(platforms.size(), 1u);
+  EXPECT_EQ(platforms[0].devices(ocl::DeviceType::GPU).size(), 4u);
+  EXPECT_EQ(platforms[0].devices(ocl::DeviceType::CPU).size(), 1u);
+  EXPECT_EQ(platforms[0].devices().size(), 5u);
+}
+
+TEST_F(OclRuntime, DeviceSpecsMatchPaperTestbed) {
+  const auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  const auto& spec = gpus[0].spec();
+  EXPECT_EQ(spec.computeUnits * spec.pesPerUnit, 240u); // 240 SP cores
+  EXPECT_DOUBLE_EQ(spec.clockGHz, 1.44);
+  EXPECT_EQ(spec.globalMemBytes, 4ull << 30);
+  EXPECT_DOUBLE_EQ(spec.memBandwidthGBs, 102.0);
+}
+
+TEST_F(OclRuntime, BufferAllocationTracking) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  EXPECT_EQ(gpus[0].state().allocatedBytes(), 0u);
+  {
+    ocl::Buffer b = ctx.createBuffer(gpus[0], 1024);
+    EXPECT_EQ(gpus[0].state().allocatedBytes(), 1024u);
+    EXPECT_EQ(b.size(), 1024u);
+  }
+  EXPECT_EQ(gpus[0].state().allocatedBytes(), 0u); // released
+}
+
+TEST_F(OclRuntime, OutOfMemoryThrows) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  EXPECT_THROW(ctx.createBuffer(gpus[0], 5ull << 30), common::Error);
+}
+
+TEST_F(OclRuntime, WriteReadRoundTrip) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::CommandQueue queue(gpus[0]);
+  std::vector<int> in(256), out(256);
+  std::iota(in.begin(), in.end(), 7);
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], in.size() * sizeof(int));
+  queue.enqueueWriteBuffer(buf, 0, in.size() * sizeof(int), in.data());
+  queue.enqueueReadBuffer(buf, 0, in.size() * sizeof(int), out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(OclRuntime, PartialWritesWithOffset) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::CommandQueue queue(gpus[0]);
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], 8 * sizeof(int));
+  std::vector<int> zeros(8, 0), ones(4, 1), out(8);
+  queue.enqueueWriteBuffer(buf, 0, 8 * sizeof(int), zeros.data());
+  queue.enqueueWriteBuffer(buf, 4 * sizeof(int), 4 * sizeof(int),
+                           ones.data());
+  queue.enqueueReadBuffer(buf, 0, 8 * sizeof(int), out.data());
+  EXPECT_EQ(out, (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}));
+}
+
+TEST_F(OclRuntime, OutOfRangeTransfersRejected) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::CommandQueue queue(gpus[0]);
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], 16);
+  char data[32] = {};
+  EXPECT_THROW(queue.enqueueWriteBuffer(buf, 0, 32, data),
+               common::InvalidArgument);
+  EXPECT_THROW(queue.enqueueReadBuffer(buf, 8, 16, data),
+               common::InvalidArgument);
+}
+
+TEST_F(OclRuntime, ProgramBuildAndKernelRun) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::CommandQueue queue(gpus[0]);
+  ocl::Program program = ctx.createProgram(R"(
+    __kernel void twice(__global int* data, uint n) {
+      size_t i = get_global_id(0);
+      if (i < n) data[i] = data[i] * 2;
+    }
+  )");
+  program.build();
+  EXPECT_TRUE(program.isBuilt());
+  EXPECT_EQ(program.kernelNames(), std::vector<std::string>{"twice"});
+
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], data.size() * sizeof(int));
+  queue.enqueueWriteBuffer(buf, 0, data.size() * sizeof(int), data.data());
+
+  ocl::Kernel kernel = program.createKernel("twice");
+  kernel.setArg(0, buf);
+  kernel.setArg(1, std::uint32_t(100));
+  queue.enqueueNDRange(kernel, ocl::NDRange1D{128, 32});
+  queue.enqueueReadBuffer(buf, 0, data.size() * sizeof(int), data.data());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(data[std::size_t(i)], 2 * i);
+  }
+}
+
+TEST_F(OclRuntime, BuildErrorCarriesLogWithLocation) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::Program program =
+      ctx.createProgram("__kernel void k() { undeclared += 1; }");
+  try {
+    program.build();
+    FAIL() << "expected BuildError";
+  } catch (const ocl::BuildError& e) {
+    EXPECT_NE(e.log().find("undeclared"), std::string::npos) << e.log();
+    EXPECT_NE(e.log().find("^"), std::string::npos) << e.log();
+  }
+}
+
+TEST_F(OclRuntime, BinaryRoundTripThroughProgram) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::Program program = ctx.createProgram(
+      "__kernel void k(__global int* d) { d[get_global_id(0)] = 9; }");
+  program.build();
+  ocl::Program loaded = ctx.createProgramFromBinary(program.binary());
+  EXPECT_TRUE(loaded.isBuilt());
+
+  ocl::CommandQueue queue(gpus[0]);
+  std::vector<int> data(4, 0);
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], sizeof(int) * 4);
+  queue.enqueueWriteBuffer(buf, 0, sizeof(int) * 4, data.data());
+  ocl::Kernel kernel = loaded.createKernel("k");
+  kernel.setArg(0, buf);
+  queue.enqueueNDRange(kernel, ocl::NDRange1D{4, 4});
+  queue.enqueueReadBuffer(buf, 0, sizeof(int) * 4, data.data());
+  EXPECT_EQ(data, (std::vector<int>{9, 9, 9, 9}));
+}
+
+TEST_F(OclRuntime, KernelArgValidation) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::Program program = ctx.createProgram(
+      "__kernel void k(__global int* d, float x, __local int* s) {}");
+  program.build();
+  ocl::Kernel kernel = program.createKernel("k");
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], 16);
+
+  EXPECT_THROW(kernel.setArg(0, 1.0f), common::InvalidArgument);
+  EXPECT_THROW(kernel.setArg(1, buf), common::InvalidArgument);
+  EXPECT_THROW(kernel.setArg(3, buf), common::InvalidArgument);
+  EXPECT_THROW(kernel.setArgLocal(0, 64), common::InvalidArgument);
+  EXPECT_NO_THROW(kernel.setArg(0, buf));
+  EXPECT_NO_THROW(kernel.setArg(1, 2)); // int converts to float param
+  EXPECT_NO_THROW(kernel.setArgLocal(2, 64));
+
+  // Launch with a missing argument is rejected.
+  ocl::Kernel incomplete = program.createKernel("k");
+  incomplete.setArg(0, buf);
+  ocl::CommandQueue queue(gpus[0]);
+  EXPECT_THROW(queue.enqueueNDRange(incomplete, ocl::NDRange1D{4, 4}),
+               common::InvalidArgument);
+}
+
+TEST_F(OclRuntime, ScalarArgConversionToParamType) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::CommandQueue queue(gpus[0]);
+  ocl::Program program = ctx.createProgram(
+      "__kernel void k(__global float* out, float x) { out[0] = x; }");
+  program.build();
+  ocl::Buffer buf = ctx.createBuffer(gpus[0], sizeof(float));
+  ocl::Kernel kernel = program.createKernel("k");
+  kernel.setArg(0, buf);
+  kernel.setArg(1, 3); // int -> float parameter
+  queue.enqueueNDRange(kernel, ocl::NDRange1D{1, 1});
+  float out = 0;
+  queue.enqueueReadBuffer(buf, 0, sizeof(float), &out);
+  EXPECT_FLOAT_EQ(out, 3.0f);
+}
+
+TEST_F(OclRuntime, UnknownKernelNameThrows) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::Program program = ctx.createProgram("__kernel void k() {}");
+  program.build();
+  EXPECT_THROW(program.createKernel("missing"), common::InvalidArgument);
+}
+
+TEST_F(OclRuntime, QueueRejectsForeignBuffers) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0], gpus[1]});
+  ocl::CommandQueue queue0(gpus[0]);
+  ocl::Buffer onGpu1 = ctx.createBuffer(gpus[1], 16);
+  char data[16] = {};
+  EXPECT_THROW(queue0.enqueueWriteBuffer(onGpu1, 0, 16, data),
+               common::InvalidArgument);
+}
+
+TEST_F(OclRuntime, CrossDeviceCopy) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0], gpus[1]});
+  ocl::CommandQueue q0(gpus[0]);
+  std::vector<int> in = {1, 2, 3, 4}, out(4, 0);
+  ocl::Buffer a = ctx.createBuffer(gpus[0], 16);
+  ocl::Buffer b = ctx.createBuffer(gpus[1], 16);
+  q0.enqueueWriteBuffer(a, 0, 16, in.data());
+  q0.enqueueCopyBuffer(a, 0, b, 0, 16);
+  ocl::CommandQueue q1(gpus[1]);
+  q1.enqueueReadBuffer(b, 0, 16, out.data());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(OclRuntime, WorkGroupSizeLimitEnforced) {
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0]});
+  ocl::CommandQueue queue(gpus[0]);
+  ocl::Program program = ctx.createProgram("__kernel void k() {}");
+  program.build();
+  ocl::Kernel kernel = program.createKernel("k");
+  EXPECT_THROW(queue.enqueueNDRange(kernel, ocl::NDRange1D{2048, 1024}),
+               common::InvalidArgument);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+// Tests for the virtual-time model: device timelines, event profiling,
+// transfer and kernel duration scaling, backend profiles.
+#include <gtest/gtest.h>
+
+#include "ocl/ocl.h"
+
+namespace {
+
+class OclTiming : public ::testing::Test {
+protected:
+  void SetUp() override {
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(4));
+    gpus_ = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  }
+
+  std::vector<ocl::Device> gpus_;
+};
+
+TEST_F(OclTiming, ConfigureResetsClocks) {
+  EXPECT_EQ(ocl::hostTimeNs(), 0u);
+  ocl::advanceHostTimeNs(100);
+  EXPECT_EQ(ocl::hostTimeNs(), 100u);
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(1));
+  EXPECT_EQ(ocl::hostTimeNs(), 0u);
+}
+
+TEST_F(OclTiming, TransferDurationScalesWithSize) {
+  const ocl::TimingModel model(ocl::DeviceSpec::teslaT10(),
+                               ocl::Backend::OpenCL);
+  const auto small = model.transferDurationNs(1 << 10);
+  const auto large = model.transferDurationNs(64 << 20);
+  EXPECT_LT(small, large);
+  // 64 MiB over 5.2 GB/s is ~12.9 ms; latency is negligible there.
+  EXPECT_NEAR(double(large), 64e6 * (1 << 20) / (5.2e9 * 1e6) * 1e9, 1e6);
+  // Small transfers are latency-bound (8 us).
+  EXPECT_GT(small, 8'000u);
+  EXPECT_LT(small, 9'000u);
+}
+
+TEST_F(OclTiming, EventsExposeProfilingTimes) {
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<char> data(1 << 20, 0);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Event e = queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  EXPECT_GT(e.endNs(), e.startNs());
+  EXPECT_GE(e.startNs(), e.queuedNs());
+  EXPECT_EQ(e.durationNs(), e.endNs() - e.startNs());
+}
+
+TEST_F(OclTiming, InOrderQueueSerializesCommands) {
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<char> data(1 << 16, 0);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Event e1 = queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  ocl::Event e2 = queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  EXPECT_GE(e2.startNs(), e1.endNs());
+}
+
+TEST_F(OclTiming, IndependentDevicesOverlapInVirtualTime) {
+  ocl::Context ctx({gpus_[0], gpus_[1]});
+  ocl::CommandQueue q0(gpus_[0]);
+  ocl::CommandQueue q1(gpus_[1]);
+  std::vector<char> data(8 << 20, 0);
+  ocl::Buffer b0 = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Buffer b1 = ctx.createBuffer(gpus_[1], data.size());
+  ocl::Event e0 = q0.enqueueWriteBuffer(b0, 0, data.size(), data.data());
+  ocl::Event e1 = q1.enqueueWriteBuffer(b1, 0, data.size(), data.data());
+  // The second transfer starts long before the first ends: the devices'
+  // timelines overlap instead of serializing.
+  EXPECT_LT(e1.startNs(), e0.endNs());
+}
+
+TEST_F(OclTiming, FinishAdvancesHostClock) {
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<char> data(16 << 20, 0);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Event e = queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  EXPECT_LT(ocl::hostTimeNs(), e.endNs()); // enqueue returns "immediately"
+  queue.finish();
+  EXPECT_GE(ocl::hostTimeNs(), e.endNs());
+}
+
+TEST_F(OclTiming, DependenciesDelayCommandStart) {
+  ocl::Context ctx({gpus_[0], gpus_[1]});
+  ocl::CommandQueue q0(gpus_[0]);
+  ocl::CommandQueue q1(gpus_[1]);
+  std::vector<char> data(8 << 20, 0);
+  ocl::Buffer b0 = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Buffer b1 = ctx.createBuffer(gpus_[1], data.size());
+  ocl::Event e0 = q0.enqueueWriteBuffer(b0, 0, data.size(), data.data());
+  ocl::Event e1 =
+      q1.enqueueWriteBuffer(b1, 0, data.size(), data.data(), {e0});
+  EXPECT_GE(e1.startNs(), e0.endNs());
+}
+
+std::uint64_t runMapKernel(const ocl::Device& device, ocl::Backend backend,
+                           std::size_t n) {
+  ocl::Context ctx({device});
+  ocl::CommandQueue queue(device, backend);
+  ocl::Program program = ctx.createProgram(R"(
+    __kernel void f(__global float* data, uint n) {
+      size_t i = get_global_id(0);
+      if (i < n) data[i] = data[i] * 2.0f + 1.0f;
+    }
+  )");
+  program.build();
+  std::vector<float> data(n, 1.0f);
+  ocl::Buffer buf = ctx.createBuffer(device, n * sizeof(float));
+  queue.enqueueWriteBuffer(buf, 0, n * sizeof(float), data.data());
+  ocl::Kernel kernel = program.createKernel("f");
+  kernel.setArg(0, buf);
+  kernel.setArg(1, std::uint32_t(n));
+  ocl::Event e =
+      queue.enqueueNDRange(kernel, ocl::NDRange1D{(n + 255) / 256 * 256,
+                                                  256});
+  return e.durationNs();
+}
+
+TEST_F(OclTiming, KernelDurationScalesWithWork) {
+  const auto small = runMapKernel(gpus_[0], ocl::Backend::OpenCL, 1 << 12);
+  const auto large = runMapKernel(gpus_[1], ocl::Backend::OpenCL, 1 << 18);
+  EXPECT_GT(large, small);
+  // 64x the work; the fixed launch overhead dominates the small case,
+  // so the observed ratio is far below 64 but must still be substantial.
+  EXPECT_GT(double(large) / double(small), 4.0);
+  EXPECT_LT(double(large) / double(small), 64.0);
+}
+
+TEST_F(OclTiming, CudaBackendIsFasterThanOpenCl) {
+  const auto opencl = runMapKernel(gpus_[0], ocl::Backend::OpenCL, 1 << 16);
+  const auto cuda = runMapKernel(gpus_[1], ocl::Backend::Cuda, 1 << 16);
+  EXPECT_LT(cuda, opencl);
+  // The calibrated gap is ~1.3x on compute-bound kernels plus the
+  // launch-overhead difference; allow a generous window.
+  EXPECT_GT(double(opencl) / double(cuda), 1.05);
+  EXPECT_LT(double(opencl) / double(cuda), 1.8);
+}
+
+TEST_F(OclTiming, MoreComputeUnitsRunFaster) {
+  ocl::DeviceSpec big = ocl::DeviceSpec::teslaT10();
+  ocl::DeviceSpec half = big;
+  half.computeUnits = big.computeUnits / 2;
+  ocl::SystemConfig config;
+  config.devices = {big, half};
+  ocl::configureSystem(config);
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  const auto fast = runMapKernel(gpus[0], ocl::Backend::OpenCL, 1 << 18);
+  const auto slow = runMapKernel(gpus[1], ocl::Backend::OpenCL, 1 << 18);
+  EXPECT_LT(fast, slow);
+}
+
+} // namespace

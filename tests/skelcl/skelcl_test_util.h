@@ -1,0 +1,41 @@
+// Shared fixture for SkelCL tests: a fresh simulated Tesla S1070 and a
+// per-process temporary kernel-cache directory.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "skelcl/skelcl.h"
+
+namespace skelcl_test {
+
+inline void useTempCacheDir() {
+  static const std::string dir = [] {
+    auto path = std::filesystem::temp_directory_path() /
+                ("skelcl-test-cache-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+    ::setenv("SKELCL_CACHE_DIR", path.c_str(), 1);
+    return path.string();
+  }();
+  (void)dir;
+}
+
+/// Fixture parameterized on GPU count via the constructor.
+class SkelclFixture : public ::testing::Test {
+protected:
+  explicit SkelclFixture(std::uint32_t gpus = 1) : gpus_(gpus) {}
+
+  void SetUp() override {
+    useTempCacheDir();
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus_));
+    skelcl::init(skelcl::DeviceSelection::nGPUs(gpus_));
+  }
+
+  void TearDown() override { skelcl::terminate(); }
+
+  std::uint32_t gpus_;
+};
+
+} // namespace skelcl_test

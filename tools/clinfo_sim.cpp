@@ -1,0 +1,34 @@
+// clinfo-sim — prints the simulated OpenCL platform the way clinfo would,
+// including the timing-model parameters each device runs with.
+#include <cstdio>
+
+#include "ocl/ocl.h"
+
+int main() {
+  for (const auto& platform : ocl::getPlatforms()) {
+    std::printf("Platform: %s\n", platform.name().c_str());
+    const auto devices = platform.devices();
+    std::printf("  Devices: %zu\n\n", devices.size());
+    for (const auto& device : devices) {
+      const auto& spec = device.spec();
+      std::printf("  [%u] %s (%s)\n", device.index(), spec.name.c_str(),
+                  ocl::deviceTypeName(spec.type));
+      std::printf("      vendor:            %s\n", spec.vendor.c_str());
+      std::printf("      compute units:     %u x %u PEs = %u cores\n",
+                  spec.computeUnits, spec.pesPerUnit,
+                  spec.computeUnits * spec.pesPerUnit);
+      std::printf("      clock:             %.2f GHz\n", spec.clockGHz);
+      std::printf("      global memory:     %.1f GiB @ %.0f GB/s\n",
+                  double(spec.globalMemBytes) / double(1ull << 30),
+                  spec.memBandwidthGBs);
+      std::printf("      local memory:      %llu KiB\n",
+                  (unsigned long long)(spec.localMemBytes >> 10));
+      std::printf("      max work-group:    %u\n", spec.maxWorkGroupSize);
+      std::printf("      host link:         %.1f us + %.1f GB/s\n",
+                  spec.pcieLatencyUs, spec.pcieBandwidthGBs);
+      std::printf("      allocated:         %llu bytes\n\n",
+                  (unsigned long long)device.state().allocatedBytes());
+    }
+  }
+  return 0;
+}
