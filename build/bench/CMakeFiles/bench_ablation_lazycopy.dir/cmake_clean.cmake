@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lazycopy.dir/bench_ablation_lazycopy.cpp.o"
+  "CMakeFiles/bench_ablation_lazycopy.dir/bench_ablation_lazycopy.cpp.o.d"
+  "bench_ablation_lazycopy"
+  "bench_ablation_lazycopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lazycopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

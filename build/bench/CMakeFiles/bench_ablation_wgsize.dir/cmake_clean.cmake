@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wgsize.dir/bench_ablation_wgsize.cpp.o"
+  "CMakeFiles/bench_ablation_wgsize.dir/bench_ablation_wgsize.cpp.o.d"
+  "bench_ablation_wgsize"
+  "bench_ablation_wgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dotproduct.dir/baselines/dotproduct_opencl.cpp.o"
+  "CMakeFiles/bench_dotproduct.dir/baselines/dotproduct_opencl.cpp.o.d"
+  "CMakeFiles/bench_dotproduct.dir/bench_dotproduct.cpp.o"
+  "CMakeFiles/bench_dotproduct.dir/bench_dotproduct.cpp.o.d"
+  "bench_dotproduct"
+  "bench_dotproduct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dotproduct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

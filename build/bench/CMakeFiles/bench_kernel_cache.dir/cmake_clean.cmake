@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_cache.dir/bench_kernel_cache.cpp.o"
+  "CMakeFiles/bench_kernel_cache.dir/bench_kernel_cache.cpp.o.d"
+  "bench_kernel_cache"
+  "bench_kernel_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_osem.dir/bench_osem.cpp.o"
+  "CMakeFiles/bench_osem.dir/bench_osem.cpp.o.d"
+  "bench_osem"
+  "bench_osem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_osem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skeletons.dir/bench_skeletons.cpp.o"
+  "CMakeFiles/bench_skeletons.dir/bench_skeletons.cpp.o.d"
+  "bench_skeletons"
+  "bench_skeletons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skeletons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

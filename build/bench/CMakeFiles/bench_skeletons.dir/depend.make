@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_skeletons.
+# This may be replaced when dependencies are built.

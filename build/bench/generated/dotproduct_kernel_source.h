@@ -1,0 +1,17 @@
+// Generated from /root/repo/bench/baselines/dotproduct_kernel.cl - do not edit.
+#pragma once
+
+inline constexpr char kDotProductKernelSource[] = R"CLCSRC(
+/* Element-wise product kernel of the plain OpenCL dot product (the
+ * NVIDIA SDK sample computes the products on the device and sums on the
+ * host). */
+__kernel void dotProduct(__global const float* a,
+                         __global const float* b,
+                         __global float* products,
+                         int n) {
+  int i = (int)get_global_id(0);
+  if (i < n) {
+    products[i] = a[i] * b[i];
+  }
+}
+)CLCSRC";

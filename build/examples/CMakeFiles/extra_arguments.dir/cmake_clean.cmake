@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_arguments.dir/extra_arguments.cpp.o"
+  "CMakeFiles/extra_arguments.dir/extra_arguments.cpp.o.d"
+  "extra_arguments"
+  "extra_arguments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_arguments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_example.dir/mandelbrot.cpp.o"
+  "CMakeFiles/mandelbrot_example.dir/mandelbrot.cpp.o.d"
+  "mandelbrot_example"
+  "mandelbrot_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

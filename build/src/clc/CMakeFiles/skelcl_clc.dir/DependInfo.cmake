@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clc/builtins.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/builtins.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/builtins.cpp.o.d"
+  "/root/repo/src/clc/bytecode.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/bytecode.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/bytecode.cpp.o.d"
+  "/root/repo/src/clc/codegen.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/codegen.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/codegen.cpp.o.d"
+  "/root/repo/src/clc/diag.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/diag.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/diag.cpp.o.d"
+  "/root/repo/src/clc/lexer.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/lexer.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/lexer.cpp.o.d"
+  "/root/repo/src/clc/parser.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/parser.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/parser.cpp.o.d"
+  "/root/repo/src/clc/sema.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/sema.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/sema.cpp.o.d"
+  "/root/repo/src/clc/serialize.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/serialize.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/serialize.cpp.o.d"
+  "/root/repo/src/clc/types.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/types.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/types.cpp.o.d"
+  "/root/repo/src/clc/vm.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/vm.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

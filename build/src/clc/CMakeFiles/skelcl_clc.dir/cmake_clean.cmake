@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_clc.dir/builtins.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/builtins.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/bytecode.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/bytecode.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/codegen.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/codegen.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/diag.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/diag.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/lexer.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/lexer.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/parser.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/parser.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/sema.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/sema.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/serialize.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/serialize.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/types.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/types.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/vm.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/vm.cpp.o.d"
+  "libskelcl_clc.a"
+  "libskelcl_clc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_clc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

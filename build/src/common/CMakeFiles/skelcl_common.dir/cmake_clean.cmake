@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_common.dir/byte_stream.cpp.o"
+  "CMakeFiles/skelcl_common.dir/byte_stream.cpp.o.d"
+  "CMakeFiles/skelcl_common.dir/error.cpp.o"
+  "CMakeFiles/skelcl_common.dir/error.cpp.o.d"
+  "CMakeFiles/skelcl_common.dir/hash.cpp.o"
+  "CMakeFiles/skelcl_common.dir/hash.cpp.o.d"
+  "CMakeFiles/skelcl_common.dir/logging.cpp.o"
+  "CMakeFiles/skelcl_common.dir/logging.cpp.o.d"
+  "CMakeFiles/skelcl_common.dir/string_util.cpp.o"
+  "CMakeFiles/skelcl_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/skelcl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/skelcl_common.dir/thread_pool.cpp.o.d"
+  "libskelcl_common.a"
+  "libskelcl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

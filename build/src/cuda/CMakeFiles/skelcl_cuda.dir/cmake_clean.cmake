@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_cuda.dir/runtime.cpp.o"
+  "CMakeFiles/skelcl_cuda.dir/runtime.cpp.o.d"
+  "libskelcl_cuda.a"
+  "libskelcl_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

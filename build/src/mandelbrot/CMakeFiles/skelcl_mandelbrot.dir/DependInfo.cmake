@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mandelbrot/mandelbrot_common.cpp" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_common.cpp.o" "gcc" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_common.cpp.o.d"
+  "/root/repo/src/mandelbrot/mandelbrot_cuda.cpp" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_cuda.cpp.o" "gcc" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_cuda.cpp.o.d"
+  "/root/repo/src/mandelbrot/mandelbrot_opencl.cpp" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_opencl.cpp.o" "gcc" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_opencl.cpp.o.d"
+  "/root/repo/src/mandelbrot/mandelbrot_skelcl.cpp" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_skelcl.cpp.o" "gcc" "src/mandelbrot/CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_skelcl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/skelcl/CMakeFiles/skelcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/skelcl_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/skelcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/skelcl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_common.cpp.o"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_common.cpp.o.d"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_cuda.cpp.o"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_cuda.cpp.o.d"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_opencl.cpp.o"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_opencl.cpp.o.d"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_skelcl.cpp.o"
+  "CMakeFiles/skelcl_mandelbrot.dir/mandelbrot_skelcl.cpp.o.d"
+  "libskelcl_mandelbrot.a"
+  "libskelcl_mandelbrot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_mandelbrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

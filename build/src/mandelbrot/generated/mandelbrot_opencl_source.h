@@ -1,0 +1,33 @@
+// Generated from /root/repo/src/mandelbrot/kernels/mandelbrot_opencl.cl - do not edit.
+#pragma once
+
+inline constexpr char kMandelbrotOpenClSource[] = R"CLCSRC(
+/* Mandelbrot kernel, OpenCL C. The kernel derives each pixel's complex
+ * coordinate from its global id. */
+__kernel void mandelbrot(__global int* out,
+                         int width,
+                         int height,
+                         float x0,
+                         float y0,
+                         float dx,
+                         float dy,
+                         int maxIter) {
+  int px = (int)get_global_id(0);
+  int py = (int)get_global_id(1);
+  if (px >= width || py >= height) {
+    return;
+  }
+  float cx = x0 + px * dx;
+  float cy = y0 + py * dy;
+  float zx = 0.0f;
+  float zy = 0.0f;
+  int n = 0;
+  while (zx * zx + zy * zy <= 4.0f && n < maxIter) {
+    float t = zx * zx - zy * zy + cx;
+    zy = 2.0f * zx * zy + cy;
+    zx = t;
+    n = n + 1;
+  }
+  out[py * width + px] = n;
+}
+)CLCSRC";

@@ -1,0 +1,24 @@
+// Generated from /root/repo/src/mandelbrot/kernels/mandelbrot_skelcl.cl - do not edit.
+#pragma once
+
+inline constexpr char kMandelbrotSkelClSource[] = R"CLCSRC(
+/* Mandelbrot customizing function for the SkelCL Map skeleton. Unlike
+ * the CUDA/OpenCL kernels, the pixel's complex coordinate arrives as the
+ * element itself (paper Sec. IV-A: "the input positions have to be given
+ * explicitly when using the Map skeleton"); the iteration budget is an
+ * additional argument. */
+int mandelbrot(PixelPos pos, int maxIter) {
+  float cx = pos.re;
+  float cy = pos.im;
+  float zx = 0.0f;
+  float zy = 0.0f;
+  int n = 0;
+  while (zx * zx + zy * zy <= 4.0f && n < maxIter) {
+    float t = zx * zx - zy * zy + cx;
+    zy = 2.0f * zx * zy + cy;
+    zx = t;
+    n = n + 1;
+  }
+  return n;
+}
+)CLCSRC";

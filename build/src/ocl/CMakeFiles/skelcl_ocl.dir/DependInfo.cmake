@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocl/context.cpp" "src/ocl/CMakeFiles/skelcl_ocl.dir/context.cpp.o" "gcc" "src/ocl/CMakeFiles/skelcl_ocl.dir/context.cpp.o.d"
+  "/root/repo/src/ocl/device.cpp" "src/ocl/CMakeFiles/skelcl_ocl.dir/device.cpp.o" "gcc" "src/ocl/CMakeFiles/skelcl_ocl.dir/device.cpp.o.d"
+  "/root/repo/src/ocl/program.cpp" "src/ocl/CMakeFiles/skelcl_ocl.dir/program.cpp.o" "gcc" "src/ocl/CMakeFiles/skelcl_ocl.dir/program.cpp.o.d"
+  "/root/repo/src/ocl/queue.cpp" "src/ocl/CMakeFiles/skelcl_ocl.dir/queue.cpp.o" "gcc" "src/ocl/CMakeFiles/skelcl_ocl.dir/queue.cpp.o.d"
+  "/root/repo/src/ocl/timing_model.cpp" "src/ocl/CMakeFiles/skelcl_ocl.dir/timing_model.cpp.o" "gcc" "src/ocl/CMakeFiles/skelcl_ocl.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clc/CMakeFiles/skelcl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl_ocl.dir/context.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/context.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/device.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/device.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/program.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/program.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/queue.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/queue.cpp.o.d"
+  "CMakeFiles/skelcl_ocl.dir/timing_model.cpp.o"
+  "CMakeFiles/skelcl_ocl.dir/timing_model.cpp.o.d"
+  "libskelcl_ocl.a"
+  "libskelcl_ocl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osem/events.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/events.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/events.cpp.o.d"
+  "/root/repo/src/osem/osem_common.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_common.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_common.cpp.o.d"
+  "/root/repo/src/osem/osem_cuda.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_cuda.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_cuda.cpp.o.d"
+  "/root/repo/src/osem/osem_opencl.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_opencl.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_opencl.cpp.o.d"
+  "/root/repo/src/osem/osem_skelcl.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/osem_skelcl.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/osem_skelcl.cpp.o.d"
+  "/root/repo/src/osem/phantom.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/phantom.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/phantom.cpp.o.d"
+  "/root/repo/src/osem/sequential.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/sequential.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/sequential.cpp.o.d"
+  "/root/repo/src/osem/siddon.cpp" "src/osem/CMakeFiles/skelcl_osem.dir/siddon.cpp.o" "gcc" "src/osem/CMakeFiles/skelcl_osem.dir/siddon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/skelcl/CMakeFiles/skelcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/skelcl_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/skelcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/skelcl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

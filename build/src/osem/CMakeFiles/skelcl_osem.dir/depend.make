@@ -1,0 +1,2 @@
+# Empty dependencies file for skelcl_osem.
+# This may be replaced when dependencies are built.

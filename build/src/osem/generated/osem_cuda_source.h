@@ -1,0 +1,168 @@
+// Generated from /root/repo/src/osem/kernels/osem_cuda.cl - do not edit.
+#pragma once
+
+inline constexpr char kOsemCudaSource[] = R"CLCSRC(
+/* List-mode OSEM device code, CUDA dialect. Same algorithm as the
+ * OpenCL version; CUDA provides atomicAdd on float natively. */
+
+typedef struct {
+  float x1; float y1; float z1;
+  float x2; float y2; float z2;
+} Event;
+
+typedef struct {
+  int nx; int ny; int nz;
+  float voxelSize;
+} OsemDims;
+
+__device__ float trace_event(Event ev, const float* f, float* c,
+                             OsemDims dims, int pass, float fp) {
+  float ox = ev.x1;
+  float oy = ev.y1;
+  float oz = ev.z1;
+  float dx = ev.x2 - ev.x1;
+  float dy = ev.y2 - ev.y1;
+  float dz = ev.z2 - ev.z1;
+  float len = sqrt(dx * dx + dy * dy + dz * dz);
+  if (len == 0.0f) {
+    return 0.0f;
+  }
+  float vs = dims.voxelSize;
+  float lox = -(float)dims.nx * vs * 0.5f;
+  float loy = -(float)dims.ny * vs * 0.5f;
+  float loz = -(float)dims.nz * vs * 0.5f;
+
+  float tmin = 0.0f;
+  float tmax = 1.0f;
+  if (dx != 0.0f) {
+    float t1 = (lox - ox) / dx;
+    float t2 = (-lox - ox) / dx;
+    tmin = fmax(tmin, fmin(t1, t2));
+    tmax = fmin(tmax, fmax(t1, t2));
+  } else if (ox < lox || ox > -lox) {
+    return 0.0f;
+  }
+  if (dy != 0.0f) {
+    float t1 = (loy - oy) / dy;
+    float t2 = (-loy - oy) / dy;
+    tmin = fmax(tmin, fmin(t1, t2));
+    tmax = fmin(tmax, fmax(t1, t2));
+  } else if (oy < loy || oy > -loy) {
+    return 0.0f;
+  }
+  if (dz != 0.0f) {
+    float t1 = (loz - oz) / dz;
+    float t2 = (-loz - oz) / dz;
+    tmin = fmax(tmin, fmin(t1, t2));
+    tmax = fmin(tmax, fmax(t1, t2));
+  } else if (oz < loz || oz > -loz) {
+    return 0.0f;
+  }
+  if (tmin >= tmax) {
+    return 0.0f;
+  }
+
+  float tEnter = tmin + 1e-6f;
+  int ix = clamp((int)floor((ox + tEnter * dx - lox) / vs), 0, dims.nx - 1);
+  int iy = clamp((int)floor((oy + tEnter * dy - loy) / vs), 0, dims.ny - 1);
+  int iz = clamp((int)floor((oz + tEnter * dz - loz) / vs), 0, dims.nz - 1);
+
+  float big = 1e30f;
+  int sx = 0; int sy = 0; int sz = 0;
+  float tx = big; float ty = big; float tz = big;
+  float dtx = big; float dty = big; float dtz = big;
+  if (dx > 0.0f) {
+    sx = 1; dtx = vs / dx; tx = (lox + (float)(ix + 1) * vs - ox) / dx;
+  } else if (dx < 0.0f) {
+    sx = -1; dtx = -vs / dx; tx = (lox + (float)ix * vs - ox) / dx;
+  }
+  if (dy > 0.0f) {
+    sy = 1; dty = vs / dy; ty = (loy + (float)(iy + 1) * vs - oy) / dy;
+  } else if (dy < 0.0f) {
+    sy = -1; dty = -vs / dy; ty = (loy + (float)iy * vs - oy) / dy;
+  }
+  if (dz > 0.0f) {
+    sz = 1; dtz = vs / dz; tz = (loz + (float)(iz + 1) * vs - oz) / dz;
+  } else if (dz < 0.0f) {
+    sz = -1; dtz = -vs / dz; tz = (loz + (float)iz * vs - oz) / dz;
+  }
+
+  float t = tmin;
+  float acc = 0.0f;
+  for (;;) {
+    if (t >= tmax) {
+      break;
+    }
+    float tn = fmin(fmin(tx, ty), fmin(tz, tmax));
+    float seg = (tn - t) * len;
+    if (seg > 0.0f) {
+      int voxel = ix + dims.nx * (iy + dims.ny * iz);
+      if (pass == 0) {
+        acc += f[voxel] * seg;
+      } else {
+        atomicAdd(&c[voxel], seg / fp);
+      }
+    }
+    if (tn >= tmax) {
+      break;
+    }
+    if (tx <= ty && tx <= tz) {
+      ix += sx;
+      tx += dtx;
+      if (ix < 0 || ix >= dims.nx) break;
+    } else if (ty <= tz) {
+      iy += sy;
+      ty += dty;
+      if (iy < 0 || iy >= dims.ny) break;
+    } else {
+      iz += sz;
+      tz += dtz;
+      if (iz < 0 || iz >= dims.nz) break;
+    }
+    t = tn;
+  }
+  return acc;
+}
+
+__global__ void compute_error_image(const Event* events,
+                                    unsigned int numEvents,
+                                    const float* f,
+                                    float* c,
+                                    OsemDims dims) {
+  unsigned int w = blockIdx.x * blockDim.x + threadIdx.x;
+  unsigned int workers = gridDim.x * blockDim.x;
+  unsigned int chunk = (numEvents + workers - 1) / workers;
+  unsigned int start = w * chunk;
+  unsigned int end = min(start + chunk, numEvents);
+  for (unsigned int i = start; i < end; ++i) {
+    Event ev = events[i];
+    float fp = trace_event(ev, f, c, dims, 0, 0.0f);
+    if (fp > 0.0f) {
+      trace_event(ev, f, c, dims, 1, fp);
+    }
+  }
+}
+
+/* Element-wise accumulation used when folding the per-device error
+ * images into one: dst[offset + i] += src[i]. */
+__global__ void add_images(float* dst, unsigned int offset,
+                           const float* src, unsigned int n) {
+  unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    dst[offset + i] = dst[offset + i] + src[i];
+  }
+}
+
+/* Multiplicative image update over this device's block [offset,
+ * offset + count) of the images. */
+__global__ void update_image(float* f, const float* c,
+                             unsigned int offset, unsigned int count) {
+  unsigned int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < count) {
+    unsigned int j = offset + i;
+    if (c[j] > 0.0f) {
+      f[j] = f[j] * c[j];
+    }
+  }
+}
+)CLCSRC";

@@ -1,0 +1,155 @@
+// Generated from /root/repo/src/osem/kernels/osem_skelcl.cl - do not edit.
+#pragma once
+
+inline constexpr char kOsemSkelClSource[] = R"CLCSRC(
+/* List-mode OSEM customizing function for the SkelCL Map skeleton.
+ *
+ * The skeleton maps over a vector of indices; each index names a
+ * disjoint sub-subset of the device's events (paper Sec. IV-B: "the
+ * input of the Map skeleton is not a subset, but rather a vector of 512
+ * indices"). Events, both images, and the volume descriptor arrive as
+ * additional arguments. The Event and OsemDims types are registered with
+ * SkelCL on the host side and prepended by the code generator. */
+
+void atomic_add_f(volatile __global float* addr, float value) {
+  __global int* iaddr = (__global int*)addr;
+  int oldBits = *iaddr;
+  for (;;) {
+    int assumed = oldBits;
+    float sum = as_float(assumed) + value;
+    oldBits = atomic_cmpxchg(iaddr, assumed, as_int(sum));
+    if (oldBits == assumed) {
+      return;
+    }
+  }
+}
+
+float trace_event(Event ev, __global const float* f, __global float* c,
+                  OsemDims dims, int pass, float fp) {
+  float ox = ev.x1;
+  float oy = ev.y1;
+  float oz = ev.z1;
+  float dx = ev.x2 - ev.x1;
+  float dy = ev.y2 - ev.y1;
+  float dz = ev.z2 - ev.z1;
+  float len = sqrt(dx * dx + dy * dy + dz * dz);
+  if (len == 0.0f) {
+    return 0.0f;
+  }
+  float vs = dims.voxelSize;
+  float lox = -(float)dims.nx * vs * 0.5f;
+  float loy = -(float)dims.ny * vs * 0.5f;
+  float loz = -(float)dims.nz * vs * 0.5f;
+
+  float tmin = 0.0f;
+  float tmax = 1.0f;
+  if (dx != 0.0f) {
+    float t1 = (lox - ox) / dx;
+    float t2 = (-lox - ox) / dx;
+    tmin = fmax(tmin, fmin(t1, t2));
+    tmax = fmin(tmax, fmax(t1, t2));
+  } else if (ox < lox || ox > -lox) {
+    return 0.0f;
+  }
+  if (dy != 0.0f) {
+    float t1 = (loy - oy) / dy;
+    float t2 = (-loy - oy) / dy;
+    tmin = fmax(tmin, fmin(t1, t2));
+    tmax = fmin(tmax, fmax(t1, t2));
+  } else if (oy < loy || oy > -loy) {
+    return 0.0f;
+  }
+  if (dz != 0.0f) {
+    float t1 = (loz - oz) / dz;
+    float t2 = (-loz - oz) / dz;
+    tmin = fmax(tmin, fmin(t1, t2));
+    tmax = fmin(tmax, fmax(t1, t2));
+  } else if (oz < loz || oz > -loz) {
+    return 0.0f;
+  }
+  if (tmin >= tmax) {
+    return 0.0f;
+  }
+
+  float tEnter = tmin + 1e-6f;
+  int ix = clamp((int)floor((ox + tEnter * dx - lox) / vs), 0, dims.nx - 1);
+  int iy = clamp((int)floor((oy + tEnter * dy - loy) / vs), 0, dims.ny - 1);
+  int iz = clamp((int)floor((oz + tEnter * dz - loz) / vs), 0, dims.nz - 1);
+
+  float big = 1e30f;
+  int sx = 0; int sy = 0; int sz = 0;
+  float tx = big; float ty = big; float tz = big;
+  float dtx = big; float dty = big; float dtz = big;
+  if (dx > 0.0f) {
+    sx = 1; dtx = vs / dx; tx = (lox + (float)(ix + 1) * vs - ox) / dx;
+  } else if (dx < 0.0f) {
+    sx = -1; dtx = -vs / dx; tx = (lox + (float)ix * vs - ox) / dx;
+  }
+  if (dy > 0.0f) {
+    sy = 1; dty = vs / dy; ty = (loy + (float)(iy + 1) * vs - oy) / dy;
+  } else if (dy < 0.0f) {
+    sy = -1; dty = -vs / dy; ty = (loy + (float)iy * vs - oy) / dy;
+  }
+  if (dz > 0.0f) {
+    sz = 1; dtz = vs / dz; tz = (loz + (float)(iz + 1) * vs - oz) / dz;
+  } else if (dz < 0.0f) {
+    sz = -1; dtz = -vs / dz; tz = (loz + (float)iz * vs - oz) / dz;
+  }
+
+  float t = tmin;
+  float acc = 0.0f;
+  for (;;) {
+    if (t >= tmax) {
+      break;
+    }
+    float tn = fmin(fmin(tx, ty), fmin(tz, tmax));
+    float seg = (tn - t) * len;
+    if (seg > 0.0f) {
+      int voxel = ix + dims.nx * (iy + dims.ny * iz);
+      if (pass == 0) {
+        acc += f[voxel] * seg;
+      } else {
+        atomic_add_f(&c[voxel], seg / fp);
+      }
+    }
+    if (tn >= tmax) {
+      break;
+    }
+    if (tx <= ty && tx <= tz) {
+      ix += sx;
+      tx += dtx;
+      if (ix < 0 || ix >= dims.nx) break;
+    } else if (ty <= tz) {
+      iy += sy;
+      ty += dty;
+      if (iy < 0 || iy >= dims.ny) break;
+    } else {
+      iz += sz;
+      tz += dtz;
+      if (iz < 0 || iz >= dims.nz) break;
+    }
+    t = tn;
+  }
+  return acc;
+}
+
+/* The Map customizing function: one call per index. The index is global
+ * across all devices; modulo the per-device worker count it selects this
+ * device's sub-subset of events. */
+void compute_c(int index, __global const Event* events, uint numEvents,
+               int workersPerDevice, __global const float* f,
+               __global float* c, OsemDims dims) {
+  uint w = (uint)(index % workersPerDevice);
+  uint workers = (uint)workersPerDevice;
+  uint chunk = (numEvents + workers - 1) / workers;
+  uint start = w * chunk;
+  uint end = min(start + chunk, numEvents);
+  for (uint i = start; i < end; ++i) {
+    Event ev = events[i];
+    float fp = trace_event(ev, f, c, dims, 0, 0.0f);
+    if (fp > 0.0f) {
+      trace_event(ev, f, c, dims, 1, fp);
+    }
+  }
+}
+)CLCSRC";

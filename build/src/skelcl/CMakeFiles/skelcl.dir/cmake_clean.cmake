@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelcl.dir/detail/runtime.cpp.o"
+  "CMakeFiles/skelcl.dir/detail/runtime.cpp.o.d"
+  "CMakeFiles/skelcl.dir/detail/source_utils.cpp.o"
+  "CMakeFiles/skelcl.dir/detail/source_utils.cpp.o.d"
+  "CMakeFiles/skelcl.dir/kernel_cache.cpp.o"
+  "CMakeFiles/skelcl.dir/kernel_cache.cpp.o.d"
+  "libskelcl.a"
+  "libskelcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/clc/codegen_test.cpp" "tests/CMakeFiles/test_clc_frontend.dir/clc/codegen_test.cpp.o" "gcc" "tests/CMakeFiles/test_clc_frontend.dir/clc/codegen_test.cpp.o.d"
+  "/root/repo/tests/clc/lexer_test.cpp" "tests/CMakeFiles/test_clc_frontend.dir/clc/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/test_clc_frontend.dir/clc/lexer_test.cpp.o.d"
+  "/root/repo/tests/clc/parser_test.cpp" "tests/CMakeFiles/test_clc_frontend.dir/clc/parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_clc_frontend.dir/clc/parser_test.cpp.o.d"
+  "/root/repo/tests/clc/preprocessor_test.cpp" "tests/CMakeFiles/test_clc_frontend.dir/clc/preprocessor_test.cpp.o" "gcc" "tests/CMakeFiles/test_clc_frontend.dir/clc/preprocessor_test.cpp.o.d"
+  "/root/repo/tests/clc/sema_test.cpp" "tests/CMakeFiles/test_clc_frontend.dir/clc/sema_test.cpp.o" "gcc" "tests/CMakeFiles/test_clc_frontend.dir/clc/sema_test.cpp.o.d"
+  "/root/repo/tests/clc/types_test.cpp" "tests/CMakeFiles/test_clc_frontend.dir/clc/types_test.cpp.o" "gcc" "tests/CMakeFiles/test_clc_frontend.dir/clc/types_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/skelcl_clc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clc_frontend.dir/clc/codegen_test.cpp.o"
+  "CMakeFiles/test_clc_frontend.dir/clc/codegen_test.cpp.o.d"
+  "CMakeFiles/test_clc_frontend.dir/clc/lexer_test.cpp.o"
+  "CMakeFiles/test_clc_frontend.dir/clc/lexer_test.cpp.o.d"
+  "CMakeFiles/test_clc_frontend.dir/clc/parser_test.cpp.o"
+  "CMakeFiles/test_clc_frontend.dir/clc/parser_test.cpp.o.d"
+  "CMakeFiles/test_clc_frontend.dir/clc/preprocessor_test.cpp.o"
+  "CMakeFiles/test_clc_frontend.dir/clc/preprocessor_test.cpp.o.d"
+  "CMakeFiles/test_clc_frontend.dir/clc/sema_test.cpp.o"
+  "CMakeFiles/test_clc_frontend.dir/clc/sema_test.cpp.o.d"
+  "CMakeFiles/test_clc_frontend.dir/clc/types_test.cpp.o"
+  "CMakeFiles/test_clc_frontend.dir/clc/types_test.cpp.o.d"
+  "test_clc_frontend"
+  "test_clc_frontend.pdb"
+  "test_clc_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clc_vm.dir/clc/serialize_test.cpp.o"
+  "CMakeFiles/test_clc_vm.dir/clc/serialize_test.cpp.o.d"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_control_flow_test.cpp.o"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_control_flow_test.cpp.o.d"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_math_test.cpp.o"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_math_test.cpp.o.d"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_memory_test.cpp.o"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_memory_test.cpp.o.d"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_test.cpp.o"
+  "CMakeFiles/test_clc_vm.dir/clc/vm_test.cpp.o.d"
+  "test_clc_vm"
+  "test_clc_vm.pdb"
+  "test_clc_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocl.dir/ocl/runtime_test.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/runtime_test.cpp.o.d"
+  "CMakeFiles/test_ocl.dir/ocl/timing_test.cpp.o"
+  "CMakeFiles/test_ocl.dir/ocl/timing_test.cpp.o.d"
+  "test_ocl"
+  "test_ocl.pdb"
+  "test_ocl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

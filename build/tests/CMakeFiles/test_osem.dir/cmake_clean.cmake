@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_osem.dir/apps/osem_test.cpp.o"
+  "CMakeFiles/test_osem.dir/apps/osem_test.cpp.o.d"
+  "test_osem"
+  "test_osem.pdb"
+  "test_osem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_osem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/skelcl/cache_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/cache_test.cpp.o.d"
+  "/root/repo/tests/skelcl/edge_cases_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/skelcl/map_reduce_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/map_reduce_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/map_reduce_test.cpp.o.d"
+  "/root/repo/tests/skelcl/misc_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/misc_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/misc_test.cpp.o.d"
+  "/root/repo/tests/skelcl/multi_device_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/multi_device_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/multi_device_test.cpp.o.d"
+  "/root/repo/tests/skelcl/skeleton_property_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/skeleton_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/skeleton_property_test.cpp.o.d"
+  "/root/repo/tests/skelcl/skeleton_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/skeleton_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/skeleton_test.cpp.o.d"
+  "/root/repo/tests/skelcl/vector_test.cpp" "tests/CMakeFiles/test_skelcl.dir/skelcl/vector_test.cpp.o" "gcc" "tests/CMakeFiles/test_skelcl.dir/skelcl/vector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/skelcl/CMakeFiles/skelcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/skelcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/skelcl_clc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skelcl.dir/skelcl/cache_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/cache_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/edge_cases_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/map_reduce_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/map_reduce_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/misc_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/misc_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/multi_device_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/multi_device_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/skeleton_property_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/skeleton_property_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/skeleton_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/skeleton_test.cpp.o.d"
+  "CMakeFiles/test_skelcl.dir/skelcl/vector_test.cpp.o"
+  "CMakeFiles/test_skelcl.dir/skelcl/vector_test.cpp.o.d"
+  "test_skelcl"
+  "test_skelcl.pdb"
+  "test_skelcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skelcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

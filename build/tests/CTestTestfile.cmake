@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_clc_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_clc_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_ocl[1]_include.cmake")
+include("/root/repo/build/tests/test_cuda[1]_include.cmake")
+include("/root/repo/build/tests/test_skelcl[1]_include.cmake")
+include("/root/repo/build/tests/test_mandelbrot[1]_include.cmake")
+include("/root/repo/build/tests/test_osem[1]_include.cmake")

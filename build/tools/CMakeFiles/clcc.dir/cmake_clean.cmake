@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clcc.dir/clcc.cpp.o"
+  "CMakeFiles/clcc.dir/clcc.cpp.o.d"
+  "clcc"
+  "clcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

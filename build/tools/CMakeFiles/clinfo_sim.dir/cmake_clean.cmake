@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinfo_sim.dir/clinfo_sim.cpp.o"
+  "CMakeFiles/clinfo_sim.dir/clinfo_sim.cpp.o.d"
+  "clinfo_sim"
+  "clinfo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinfo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
