@@ -1,0 +1,251 @@
+// Interpreter dispatch throughput: O0 vs O2 bytecode on the same launches.
+//
+// The optimizer's contract is "host-side speedup only": per-launch
+// simulated cycles must be identical across levels while the dynamic
+// instruction count (and with it wall-clock time) drops. This bench
+// measures instructions/second for a barrier-free hot kernel (the
+// mandelbrot inner loop, which takes the VM's straight-line fast path)
+// and a barrier-heavy tree reduction (round-robin scheduled), verifies
+// the invariants, and reports the O2 speedup.
+//
+// Output: human-readable lines plus machine-readable `BENCH {...}` JSON
+// lines, one object per measurement.
+//
+// `--smoke` shrinks the workload to seconds-free sizes; ctest runs that
+// mode under the `perf-smoke` label.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clc/codegen.h"
+#include "clc/opt.h"
+#include "clc/vm.h"
+#include "common/stopwatch.h"
+
+namespace {
+
+std::string readRepoFile(const std::string& relative) {
+  const std::string path =
+      std::string(SKELCL_REPRO_SOURCE_DIR) + "/" + relative;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const char* kReduceSource = R"(
+__kernel void reduce(__global float* out, __global const float* in,
+                     __local float* tmp) {
+  int lid = (int)get_local_id(0);
+  int gid = (int)get_global_id(0);
+  int lsz = (int)get_local_size(0);
+  tmp[lid] = in[gid];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = lsz / 2; s > 0; s /= 2) {
+    if (lid < s) {
+      tmp[lid] = tmp[lid] + tmp[lid + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (lid == 0) {
+    out[gid / lsz] = tmp[0];
+  }
+}
+)";
+
+struct Workload {
+  std::string name;
+  std::string kernel;
+  std::string source;
+  clc::NDRange range;
+  std::vector<clc::KernelArgValue> args;
+  std::vector<std::vector<std::uint8_t>> buffers; // pristine inputs
+  int repetitions = 1;
+};
+
+struct Measurement {
+  double seconds = 0;
+  clc::LaunchStats stats;                         // of one launch
+  std::vector<std::vector<std::uint8_t>> buffers; // after the last launch
+};
+
+Measurement run(const Workload& w, clc::OptLevel level) {
+  clc::Program program = clc::compile(w.source);
+  clc::optimize(program, level);
+
+  Measurement m;
+  // Warm-up launch (also produces the buffers used for the output check).
+  m.buffers = w.buffers;
+  {
+    std::vector<clc::Segment> segments;
+    for (auto& b : m.buffers) {
+      segments.push_back(clc::Segment{b.data(), b.size()});
+    }
+    m.stats = clc::executeKernel(program, w.kernel, w.range, w.args,
+                                 segments, nullptr);
+  }
+
+  common::Stopwatch timer;
+  for (int rep = 0; rep < w.repetitions; ++rep) {
+    auto buffers = w.buffers;
+    std::vector<clc::Segment> segments;
+    for (auto& b : buffers) {
+      segments.push_back(clc::Segment{b.data(), b.size()});
+    }
+    (void)clc::executeKernel(program, w.kernel, w.range, w.args, segments,
+                             nullptr);
+  }
+  m.seconds = timer.elapsedSeconds();
+  return m;
+}
+
+clc::KernelArgValue bufferArg(std::uint32_t segmentIndex) {
+  clc::KernelArgValue arg;
+  arg.kind = clc::KernelArgValue::Kind::Buffer;
+  arg.segmentIndex = segmentIndex;
+  return arg;
+}
+
+clc::KernelArgValue scalarI32(std::int32_t v) {
+  clc::KernelArgValue arg;
+  arg.scalar = std::uint64_t(std::int64_t(v));
+  return arg;
+}
+
+clc::KernelArgValue scalarF32(float v) {
+  clc::KernelArgValue arg;
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  arg.scalar = bits;
+  return arg;
+}
+
+Workload mandelbrotWorkload(bool smoke) {
+  Workload w;
+  w.name = "mandelbrot (barrier-free)";
+  w.kernel = "mandelbrot";
+  w.source = readRepoFile("src/mandelbrot/kernels/mandelbrot_opencl.cl");
+  const int width = smoke ? 32 : 192;
+  const int height = smoke ? 16 : 128;
+  const int maxIter = smoke ? 32 : 256;
+  w.range.dims = 2;
+  w.range.globalSize[0] = std::size_t(width);
+  w.range.globalSize[1] = std::size_t(height);
+  w.range.localSize[0] = 16;
+  w.range.localSize[1] = 8;
+  w.buffers.emplace_back(std::size_t(width) * height * 4, 0xff);
+  w.args = {bufferArg(0),
+            scalarI32(width),
+            scalarI32(height),
+            scalarF32(-2.0f),
+            scalarF32(-1.0f),
+            scalarF32(3.0f / float(width)),
+            scalarF32(2.0f / float(height)),
+            scalarI32(maxIter)};
+  w.repetitions = smoke ? 1 : 3;
+  return w;
+}
+
+Workload reduceWorkload(bool smoke) {
+  Workload w;
+  w.name = "tree reduction (barrier-heavy)";
+  w.kernel = "reduce";
+  w.source = kReduceSource;
+  const std::size_t n = smoke ? 1024 : 1 << 16;
+  const std::size_t local = 64;
+  w.range.dims = 1;
+  w.range.globalSize[0] = n;
+  w.range.localSize[0] = local;
+  std::vector<float> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = float(i % 97) * 0.5f - 10.0f;
+  }
+  std::vector<std::uint8_t> inBytes(n * 4);
+  std::memcpy(inBytes.data(), in.data(), inBytes.size());
+  w.buffers.emplace_back(n / local * 4, 0);
+  w.buffers.push_back(std::move(inBytes));
+  clc::KernelArgValue localArg;
+  localArg.kind = clc::KernelArgValue::Kind::Local;
+  localArg.localSize = std::uint32_t(local * 4);
+  w.args = {bufferArg(0), bufferArg(1), localArg};
+  w.repetitions = smoke ? 1 : 3;
+  return w;
+}
+
+/// Runs one workload at O0 and O2, checks the invariants, and prints the
+/// comparison. Returns false on an invariant violation.
+bool compare(const Workload& w) {
+  const Measurement o0 = run(w, clc::OptLevel::O0);
+  const Measurement o2 = run(w, clc::OptLevel::O2);
+
+  const bool sameOutput = o0.buffers == o2.buffers;
+  const bool sameCycles =
+      o0.stats.totalCycles == o2.stats.totalCycles &&
+      o0.stats.globalBytesRead == o2.stats.globalBytesRead &&
+      o0.stats.globalBytesWritten == o2.stats.globalBytesWritten &&
+      o0.stats.barrierWaits == o2.stats.barrierWaits;
+
+  const double launches = double(w.repetitions);
+  const double ips0 = double(o0.stats.instructions) * launches / o0.seconds;
+  const double ips2 = double(o2.stats.instructions) * launches / o2.seconds;
+  const double speedup = o0.seconds / o2.seconds;
+
+  std::printf("\n=== %s ===\n", w.name.c_str());
+  std::printf("  O0: %10llu instr/launch  %8.3f s  %12.0f instr/s\n",
+              (unsigned long long)o0.stats.instructions, o0.seconds, ips0);
+  std::printf("  O2: %10llu instr/launch  %8.3f s  %12.0f instr/s\n",
+              (unsigned long long)o2.stats.instructions, o2.seconds, ips2);
+  std::printf("  wall-clock speedup O2/O0: %.2fx\n", speedup);
+  std::printf("  simulated cycles: %llu (O0) vs %llu (O2) -> %s\n",
+              (unsigned long long)o0.stats.totalCycles,
+              (unsigned long long)o2.stats.totalCycles,
+              sameCycles ? "invariant" : "VIOLATION");
+  std::printf("  outputs bit-identical: %s\n", sameOutput ? "yes" : "NO");
+
+  for (int level = 0; level <= 2; level += 2) {
+    const Measurement& m = level == 0 ? o0 : o2;
+    const double ips = level == 0 ? ips0 : ips2;
+    std::printf("BENCH {\"bench\":\"vm_dispatch\",\"kernel\":\"%s\","
+                "\"opt\":%d,\"instructions_per_launch\":%llu,"
+                "\"seconds\":%.6f,\"instr_per_sec\":%.0f,"
+                "\"total_cycles\":%llu}\n",
+                w.kernel.c_str(), level,
+                (unsigned long long)m.stats.instructions, m.seconds, ips,
+                (unsigned long long)m.stats.totalCycles);
+  }
+  std::printf("BENCH {\"bench\":\"vm_dispatch\",\"kernel\":\"%s\","
+              "\"speedup_o2\":%.3f,\"cycles_invariant\":%s,"
+              "\"outputs_identical\":%s}\n",
+              w.kernel.c_str(), speedup, sameCycles ? "true" : "false",
+              sameOutput ? "true" : "false");
+
+  return sameOutput && sameCycles;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  bool ok = true;
+  ok = compare(mandelbrotWorkload(smoke)) && ok;
+  ok = compare(reduceWorkload(smoke)) && ok;
+
+  if (!ok) {
+    std::fprintf(stderr, "\ninvariant violation: O0 and O2 disagree\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_vm_dispatch.cpp" "bench/CMakeFiles/bench_vm_dispatch.dir/bench_vm_dispatch.cpp.o" "gcc" "bench/CMakeFiles/bench_vm_dispatch.dir/bench_vm_dispatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/skelcl/CMakeFiles/skelcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocl/CMakeFiles/skelcl_ocl.dir/DependInfo.cmake"
+  "/root/repo/build/src/clc/CMakeFiles/skelcl_clc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skelcl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vm_dispatch.dir/bench_vm_dispatch.cpp.o"
+  "CMakeFiles/bench_vm_dispatch.dir/bench_vm_dispatch.cpp.o.d"
+  "bench_vm_dispatch"
+  "bench_vm_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vm_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(perf_smoke_vm_dispatch "/root/repo/build/bench/bench_vm_dispatch" "--smoke")
+set_tests_properties(perf_smoke_vm_dispatch PROPERTIES  LABELS "perf-smoke" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")

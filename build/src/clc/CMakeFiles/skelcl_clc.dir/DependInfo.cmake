@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/clc/codegen.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/codegen.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/codegen.cpp.o.d"
   "/root/repo/src/clc/diag.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/diag.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/diag.cpp.o.d"
   "/root/repo/src/clc/lexer.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/lexer.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/lexer.cpp.o.d"
+  "/root/repo/src/clc/opt.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/opt.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/opt.cpp.o.d"
   "/root/repo/src/clc/parser.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/parser.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/parser.cpp.o.d"
   "/root/repo/src/clc/sema.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/sema.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/sema.cpp.o.d"
   "/root/repo/src/clc/serialize.cpp" "src/clc/CMakeFiles/skelcl_clc.dir/serialize.cpp.o" "gcc" "src/clc/CMakeFiles/skelcl_clc.dir/serialize.cpp.o.d"

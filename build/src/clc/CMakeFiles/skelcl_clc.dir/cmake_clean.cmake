@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/skelcl_clc.dir/diag.cpp.o.d"
   "CMakeFiles/skelcl_clc.dir/lexer.cpp.o"
   "CMakeFiles/skelcl_clc.dir/lexer.cpp.o.d"
+  "CMakeFiles/skelcl_clc.dir/opt.cpp.o"
+  "CMakeFiles/skelcl_clc.dir/opt.cpp.o.d"
   "CMakeFiles/skelcl_clc.dir/parser.cpp.o"
   "CMakeFiles/skelcl_clc.dir/parser.cpp.o.d"
   "CMakeFiles/skelcl_clc.dir/sema.cpp.o"

@@ -247,4 +247,4 @@ src/clc/CMakeFiles/skelcl_clc.dir/vm.cpp.o: /root/repo/src/clc/vm.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/clc/eval.h

@@ -229,4 +229,5 @@ src/ocl/CMakeFiles/skelcl_ocl.dir/program.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/clc/codegen.h /root/repo/src/clc/ast.h \
  /root/repo/src/clc/token.h /root/repo/src/clc/diag.h \
- /root/repo/src/clc/types.h /root/repo/src/clc/serialize.h
+ /root/repo/src/clc/types.h /root/repo/src/clc/opt.h \
+ /root/repo/src/clc/serialize.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clc_opt.dir/clc/opt_test.cpp.o"
+  "CMakeFiles/test_clc_opt.dir/clc/opt_test.cpp.o.d"
+  "test_clc_opt"
+  "test_clc_opt.pdb"
+  "test_clc_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

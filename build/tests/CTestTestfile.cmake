@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/test_common[1]_include.cmake")
 include("/root/repo/build/tests/test_clc_frontend[1]_include.cmake")
 include("/root/repo/build/tests/test_clc_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_clc_opt[1]_include.cmake")
 include("/root/repo/build/tests/test_ocl[1]_include.cmake")
 include("/root/repo/build/tests/test_cuda[1]_include.cmake")
 include("/root/repo/build/tests/test_skelcl[1]_include.cmake")

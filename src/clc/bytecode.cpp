@@ -82,6 +82,15 @@ const char* opName(Op op) noexcept {
     case Op::RetVal: return "ret_val";
     case Op::RetStruct: return "ret_struct";
     case Op::Trap: return "trap";
+    case Op::LoadFrame: return "load_frame";
+    case Op::StoreFrame: return "store_frame";
+    case Op::BinConst: return "bin_const";
+    case Op::FrameBin: return "frame_bin";
+    case Op::LoadBin: return "load_bin";
+    case Op::CmpJz: return "cmp_jz";
+    case Op::CmpJnz: return "cmp_jnz";
+    case Op::MulAdd: return "mul_add";
+    case Op::FrameBin2: return "frame_bin2";
   }
   return "?";
 }
@@ -102,6 +111,28 @@ std::string disassemble(const Program& program) {
           break;
         case Op::Call:
           out << " " << program.functions[std::size_t(instr.a)].name;
+          break;
+        case Op::BinConst:
+          out << " " << opName(embeddedOp(instr.a)) << " #"
+              << embeddedOperand(instr.a) << " ("
+              << program.constants[std::size_t(embeddedOperand(instr.a))]
+              << ")";
+          break;
+        case Op::FrameBin:
+          out << " " << opName(embeddedOp(instr.a)) << " @"
+              << embeddedOperand(instr.a);
+          break;
+        case Op::LoadBin:
+          out << " " << opName(Op(instr.a));
+          break;
+        case Op::FrameBin2:
+          out << " " << opName(frame2Op(instr.a)) << " @" << frame2X(instr.a)
+              << " @" << frame2Y(instr.a);
+          break;
+        case Op::CmpJz:
+        case Op::CmpJnz:
+          out << " " << opName(cmpFromJump(instr.a)) << " -> "
+              << cmpJumpTarget(instr.a);
           break;
         default:
           if (instr.a != 0) {

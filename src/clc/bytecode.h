@@ -71,7 +71,83 @@ enum class Op : std::uint8_t {
   RetStruct,   // a = byte count; pops value address; copies to sret pointer
 
   Trap,        // a = trap code (unreachable, etc.)
+
+  // --- superinstructions (emitted only by the optimizer, opt.h) ------------
+  //
+  // Each one is semantically identical to the instruction sequence it
+  // replaces and, through Program::cycleCosts, is charged exactly the
+  // cycles of that sequence — optimization is a host-side speedup, never
+  // a timing-model change.
+  LoadFrame,   // a = frame byte offset; pushes canon(load) — PFA+Load
+  StoreFrame,  // a = frame byte offset; pops value, stores — PFA+...+Store
+  BinConst,    // a = (binop << 20) | const index; rhs from the pool
+  FrameBin,    // a = (binop << 20) | frame offset; rhs loaded from frame
+  LoadBin,     // a = binop; pops ptr, loads rhs, pops lhs — Load+binop
+  CmpJz,       // a = (cmpIdx << 28) | target; jump when compare is false
+  CmpJnz,      // a = (cmpIdx << 28) | target; jump when compare is true
+  MulAdd,      // pops rhs, lhs, acc; pushes acc + lhs*rhs (two-step, no fma)
+  FrameBin2,   // a = (binop << 24) | (lhs off << 12) | rhs off; both operands
+               // loaded from the frame — LoadFrame+FrameBin
 };
+
+constexpr Op kMaxOp = Op::FrameBin2;
+
+/// True for binary arithmetic/bitwise ops embeddable in BinConst/FrameBin.
+constexpr bool isBinaryArithOp(Op op) noexcept {
+  return (op >= Op::Add && op <= Op::Rem) ||
+         (op >= Op::Shl && op <= Op::BitXor);
+}
+
+/// True for the six comparison ops.
+constexpr bool isCompareOp(Op op) noexcept {
+  return op >= Op::CmpEq && op <= Op::CmpGe;
+}
+
+// Encoding helpers for the packed superinstruction immediates.
+constexpr int kEmbedOpShift = 20; // BinConst/FrameBin: a = (op << 20) | operand
+constexpr std::int32_t kEmbedOperandMask = (1 << kEmbedOpShift) - 1;
+constexpr int kCmpJumpShift = 28; // CmpJz/CmpJnz: a = (cmpIdx << 28) | target
+constexpr std::int32_t kCmpJumpTargetMask = (1 << kCmpJumpShift) - 1;
+
+constexpr std::int32_t encodeEmbedOp(Op op, std::int32_t operand) noexcept {
+  return (std::int32_t(op) << kEmbedOpShift) | operand;
+}
+constexpr Op embeddedOp(std::int32_t a) noexcept {
+  return Op(a >> kEmbedOpShift);
+}
+constexpr std::int32_t embeddedOperand(std::int32_t a) noexcept {
+  return a & kEmbedOperandMask;
+}
+constexpr std::int32_t encodeCmpJump(Op cmp, std::int32_t target) noexcept {
+  return ((std::int32_t(cmp) - std::int32_t(Op::CmpEq)) << kCmpJumpShift) |
+         target;
+}
+constexpr Op cmpFromJump(std::int32_t a) noexcept {
+  return Op(std::int32_t(Op::CmpEq) + (a >> kCmpJumpShift));
+}
+constexpr std::int32_t cmpJumpTarget(std::int32_t a) noexcept {
+  return a & kCmpJumpTargetMask;
+}
+
+// FrameBin2: a = (binop << 24) | (lhs offset << 12) | rhs offset. Frame
+// offsets must fit 12 bits; the optimizer skips the fusion otherwise.
+constexpr int kFrame2OpShift = 24;
+constexpr int kFrame2XShift = 12;
+constexpr std::int32_t kFrame2OffsetMask = (1 << kFrame2XShift) - 1;
+
+constexpr std::int32_t encodeFrame2(Op op, std::int32_t x,
+                                    std::int32_t y) noexcept {
+  return (std::int32_t(op) << kFrame2OpShift) | (x << kFrame2XShift) | y;
+}
+constexpr Op frame2Op(std::int32_t a) noexcept {
+  return Op(a >> kFrame2OpShift);
+}
+constexpr std::int32_t frame2X(std::int32_t a) noexcept {
+  return (a >> kFrame2XShift) & kFrame2OffsetMask;
+}
+constexpr std::int32_t frame2Y(std::int32_t a) noexcept {
+  return a & kFrame2OffsetMask;
+}
 
 const char* opName(Op op) noexcept;
 
@@ -120,13 +196,20 @@ struct KernelInfo {
 
 /// A fully compiled translation unit.
 struct Program {
-  static constexpr std::uint32_t kSerialVersion = 3;
+  static constexpr std::uint32_t kSerialVersion = 4;
 
   std::vector<Instr> code;
   std::vector<std::uint64_t> constants;
   std::vector<FunctionInfo> functions;
   std::vector<KernelInfo> kernels;
   std::string sourceHash; // SHA-256 hex of the source text
+  /// Per-instruction cycle cost maintained by the optimizer so that
+  /// optimized code is charged exactly the cycles of the unoptimized
+  /// sequence it replaces (timing-invariance contract, see opt.h).
+  /// Empty = derive each instruction's cost from instrCycleCost().
+  std::vector<std::uint32_t> cycleCosts;
+  /// Optimization level the code was produced at (0 = raw codegen output).
+  std::uint8_t optLevel = 0;
 
   const KernelInfo* findKernel(const std::string& name) const noexcept {
     for (const auto& k : kernels) {

@@ -1,0 +1,285 @@
+// Scalar evaluation semantics of the clc bytecode, shared between the VM
+// (vm.cpp) and the bytecode optimizer (opt.cpp). The optimizer folds
+// constants by calling exactly the routines the interpreter executes, so
+// an O2 program is bit-identical to O0 by construction.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "clc/bytecode.h"
+
+namespace clc::eval {
+
+// --- slot helpers ------------------------------------------------------------
+
+inline float slotF32(std::uint64_t s) noexcept {
+  float f;
+  const std::uint32_t b = static_cast<std::uint32_t>(s);
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+inline std::uint64_t f32Slot(float f) noexcept {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+inline double slotF64(std::uint64_t s) noexcept {
+  double d;
+  std::memcpy(&d, &s, 8);
+  return d;
+}
+
+inline std::uint64_t f64Slot(double d) noexcept {
+  std::uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+/// Canonicalizes an integer slot for its tag (sign/zero extension).
+inline std::uint64_t canon(std::uint64_t v, TypeTag tag) noexcept {
+  switch (tag) {
+    case TypeTag::I8: return std::uint64_t(std::int64_t(std::int8_t(v)));
+    case TypeTag::U8: return v & 0xffULL;
+    case TypeTag::I16: return std::uint64_t(std::int64_t(std::int16_t(v)));
+    case TypeTag::U16: return v & 0xffffULL;
+    case TypeTag::I32: return std::uint64_t(std::int64_t(std::int32_t(v)));
+    case TypeTag::U32: return v & 0xffffffffULL;
+    default: return v;
+  }
+}
+
+inline bool isSignedTag(TypeTag tag) noexcept {
+  switch (tag) {
+    case TypeTag::I8:
+    case TypeTag::I16:
+    case TypeTag::I32:
+    case TypeTag::I64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool isFloatTag(TypeTag tag) noexcept {
+  return tag == TypeTag::F32 || tag == TypeTag::F64;
+}
+
+inline unsigned tagBits(TypeTag tag) noexcept {
+  switch (tag) {
+    case TypeTag::I8:
+    case TypeTag::U8: return 8;
+    case TypeTag::I16:
+    case TypeTag::U16: return 16;
+    case TypeTag::I32:
+    case TypeTag::U32:
+    case TypeTag::F32: return 32;
+    default: return 64;
+  }
+}
+
+/// Safe float-to-integer conversion (clamps like hardware instead of UB).
+template <typename To, typename From>
+std::uint64_t floatToInt(From value) noexcept {
+  if (std::isnan(value)) {
+    return 0;
+  }
+  constexpr double lo = double(std::numeric_limits<To>::min());
+  constexpr double hi = double(std::numeric_limits<To>::max());
+  const double d = double(value);
+  if (d <= lo) return std::uint64_t(std::int64_t(std::numeric_limits<To>::min()));
+  if (d >= hi) return std::uint64_t(std::int64_t(std::numeric_limits<To>::max()));
+  return std::uint64_t(std::int64_t(To(value)));
+}
+
+inline std::uint64_t convert(std::uint64_t v, TypeTag from, TypeTag to) {
+  if (from == to) {
+    return v;
+  }
+  // Source value as double / i64 / u64 views.
+  if (isFloatTag(from)) {
+    const double d = from == TypeTag::F32 ? double(slotF32(v)) : slotF64(v);
+    switch (to) {
+      case TypeTag::F32: return f32Slot(float(d));
+      case TypeTag::F64: return f64Slot(d);
+      case TypeTag::I8: return floatToInt<std::int8_t>(d);
+      case TypeTag::U8: return canon(floatToInt<std::int64_t>(d), to);
+      case TypeTag::I16: return floatToInt<std::int16_t>(d);
+      case TypeTag::U16: return canon(floatToInt<std::int64_t>(d), to);
+      case TypeTag::I32: return floatToInt<std::int32_t>(d);
+      case TypeTag::U32: {
+        if (std::isnan(d) || d <= 0) return 0;
+        if (d >= 4294967295.0) return 0xffffffffULL;
+        return std::uint64_t(d);
+      }
+      case TypeTag::I64: return floatToInt<std::int64_t>(d);
+      case TypeTag::U64:
+      case TypeTag::Ptr: {
+        if (std::isnan(d) || d <= 0) return 0;
+        if (d >= 18446744073709551615.0) return ~0ULL;
+        return std::uint64_t(d);
+      }
+    }
+    return v;
+  }
+  // Integer source.
+  if (to == TypeTag::F32) {
+    return isSignedTag(from) ? f32Slot(float(std::int64_t(v)))
+                             : f32Slot(float(v));
+  }
+  if (to == TypeTag::F64) {
+    return isSignedTag(from) ? f64Slot(double(std::int64_t(v)))
+                             : f64Slot(double(v));
+  }
+  return canon(v, to);
+}
+
+// --- arithmetic / comparison -------------------------------------------------
+
+enum class EvalStatus {
+  Ok,
+  DivByZero,   // integer division/remainder by zero (the VM traps)
+  BadOp,       // op/tag combination the VM would trap on
+};
+
+/// Binary arithmetic with the VM's exact semantics. On EvalStatus::Ok the
+/// result is in `out`; otherwise the VM would trap and the optimizer must
+/// leave the instruction alone.
+inline EvalStatus evalArith(Op op, TypeTag tag, std::uint64_t lhs,
+                            std::uint64_t rhs, std::uint64_t& out) noexcept {
+  if (tag == TypeTag::F32) {
+    const float a = slotF32(lhs);
+    const float b = slotF32(rhs);
+    switch (op) {
+      case Op::Add: out = f32Slot(a + b); return EvalStatus::Ok;
+      case Op::Sub: out = f32Slot(a - b); return EvalStatus::Ok;
+      case Op::Mul: out = f32Slot(a * b); return EvalStatus::Ok;
+      case Op::Div: out = f32Slot(a / b); return EvalStatus::Ok;
+      case Op::Rem: out = f32Slot(std::fmod(a, b)); return EvalStatus::Ok;
+      default: return EvalStatus::BadOp;
+    }
+  }
+  if (tag == TypeTag::F64) {
+    const double a = slotF64(lhs);
+    const double b = slotF64(rhs);
+    switch (op) {
+      case Op::Add: out = f64Slot(a + b); return EvalStatus::Ok;
+      case Op::Sub: out = f64Slot(a - b); return EvalStatus::Ok;
+      case Op::Mul: out = f64Slot(a * b); return EvalStatus::Ok;
+      case Op::Div: out = f64Slot(a / b); return EvalStatus::Ok;
+      case Op::Rem: out = f64Slot(std::fmod(a, b)); return EvalStatus::Ok;
+      default: return EvalStatus::BadOp;
+    }
+  }
+  const unsigned bits = tagBits(tag);
+  switch (op) {
+    case Op::Add: out = canon(lhs + rhs, tag); return EvalStatus::Ok;
+    case Op::Sub: out = canon(lhs - rhs, tag); return EvalStatus::Ok;
+    case Op::Mul: out = canon(lhs * rhs, tag); return EvalStatus::Ok;
+    case Op::Div: {
+      if (rhs == 0) return EvalStatus::DivByZero;
+      if (isSignedTag(tag)) {
+        const auto a = std::int64_t(lhs);
+        const auto b = std::int64_t(rhs);
+        if (b == -1 && a == std::numeric_limits<std::int64_t>::min()) {
+          out = canon(std::uint64_t(a), tag); // wraps, avoids host UB
+          return EvalStatus::Ok;
+        }
+        out = canon(std::uint64_t(a / b), tag);
+        return EvalStatus::Ok;
+      }
+      out = canon(lhs / rhs, tag);
+      return EvalStatus::Ok;
+    }
+    case Op::Rem: {
+      if (rhs == 0) return EvalStatus::DivByZero;
+      if (isSignedTag(tag)) {
+        const auto a = std::int64_t(lhs);
+        const auto b = std::int64_t(rhs);
+        if (b == -1) {
+          out = 0;
+          return EvalStatus::Ok;
+        }
+        out = canon(std::uint64_t(a % b), tag);
+        return EvalStatus::Ok;
+      }
+      out = canon(lhs % rhs, tag);
+      return EvalStatus::Ok;
+    }
+    case Op::Shl:
+      out = canon(lhs << (rhs & (bits - 1)), tag);
+      return EvalStatus::Ok;
+    case Op::Shr:
+      if (isSignedTag(tag)) {
+        out = canon(std::uint64_t(std::int64_t(lhs) >> (rhs & (bits - 1))),
+                    tag);
+        return EvalStatus::Ok;
+      }
+      out = canon((lhs & (bits == 64 ? ~0ULL : ((1ULL << bits) - 1))) >>
+                      (rhs & (bits - 1)),
+                  tag);
+      return EvalStatus::Ok;
+    case Op::BitAnd: out = canon(lhs & rhs, tag); return EvalStatus::Ok;
+    case Op::BitOr: out = canon(lhs | rhs, tag); return EvalStatus::Ok;
+    case Op::BitXor: out = canon(lhs ^ rhs, tag); return EvalStatus::Ok;
+    default:
+      return EvalStatus::BadOp;
+  }
+}
+
+/// Comparison with the VM's exact semantics.
+inline EvalStatus evalCompare(Op op, TypeTag tag, std::uint64_t lhs,
+                              std::uint64_t rhs, bool& out) noexcept {
+  if (tag == TypeTag::F32 || tag == TypeTag::F64) {
+    const double a = tag == TypeTag::F32 ? double(slotF32(lhs)) : slotF64(lhs);
+    const double b = tag == TypeTag::F32 ? double(slotF32(rhs)) : slotF64(rhs);
+    switch (op) {
+      case Op::CmpEq: out = a == b; return EvalStatus::Ok;
+      case Op::CmpNe: out = a != b; return EvalStatus::Ok;
+      case Op::CmpLt: out = a < b; return EvalStatus::Ok;
+      case Op::CmpLe: out = a <= b; return EvalStatus::Ok;
+      case Op::CmpGt: out = a > b; return EvalStatus::Ok;
+      case Op::CmpGe: out = a >= b; return EvalStatus::Ok;
+      default: return EvalStatus::BadOp;
+    }
+  }
+  if (isSignedTag(tag)) {
+    const auto a = std::int64_t(lhs);
+    const auto b = std::int64_t(rhs);
+    switch (op) {
+      case Op::CmpEq: out = a == b; return EvalStatus::Ok;
+      case Op::CmpNe: out = a != b; return EvalStatus::Ok;
+      case Op::CmpLt: out = a < b; return EvalStatus::Ok;
+      case Op::CmpLe: out = a <= b; return EvalStatus::Ok;
+      case Op::CmpGt: out = a > b; return EvalStatus::Ok;
+      case Op::CmpGe: out = a >= b; return EvalStatus::Ok;
+      default: return EvalStatus::BadOp;
+    }
+  }
+  switch (op) {
+    case Op::CmpEq: out = lhs == rhs; return EvalStatus::Ok;
+    case Op::CmpNe: out = lhs != rhs; return EvalStatus::Ok;
+    case Op::CmpLt: out = lhs < rhs; return EvalStatus::Ok;
+    case Op::CmpLe: out = lhs <= rhs; return EvalStatus::Ok;
+    case Op::CmpGt: out = lhs > rhs; return EvalStatus::Ok;
+    case Op::CmpGe: out = lhs >= rhs; return EvalStatus::Ok;
+    default: return EvalStatus::BadOp;
+  }
+}
+
+/// Unary negation with the VM's exact semantics.
+inline std::uint64_t evalNeg(TypeTag tag, std::uint64_t v) noexcept {
+  if (tag == TypeTag::F32) {
+    return f32Slot(-slotF32(v));
+  }
+  if (tag == TypeTag::F64) {
+    return f64Slot(-slotF64(v));
+  }
+  return canon(0 - v, tag);
+}
+
+} // namespace clc::eval

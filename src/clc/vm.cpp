@@ -5,135 +5,15 @@
 #include <cstring>
 
 #include "clc/builtins.h"
+#include "clc/eval.h"
 
 namespace clc {
 
 namespace {
 
-// --- slot helpers ------------------------------------------------------------
-
-inline float slotF32(std::uint64_t s) noexcept {
-  float f;
-  const std::uint32_t b = static_cast<std::uint32_t>(s);
-  std::memcpy(&f, &b, 4);
-  return f;
-}
-
-inline std::uint64_t f32Slot(float f) noexcept {
-  std::uint32_t b;
-  std::memcpy(&b, &f, 4);
-  return b;
-}
-
-inline double slotF64(std::uint64_t s) noexcept {
-  double d;
-  std::memcpy(&d, &s, 8);
-  return d;
-}
-
-inline std::uint64_t f64Slot(double d) noexcept {
-  std::uint64_t b;
-  std::memcpy(&b, &d, 8);
-  return b;
-}
-
-/// Canonicalizes an integer slot for its tag (sign/zero extension).
-inline std::uint64_t canon(std::uint64_t v, TypeTag tag) noexcept {
-  switch (tag) {
-    case TypeTag::I8: return std::uint64_t(std::int64_t(std::int8_t(v)));
-    case TypeTag::U8: return v & 0xffULL;
-    case TypeTag::I16: return std::uint64_t(std::int64_t(std::int16_t(v)));
-    case TypeTag::U16: return v & 0xffffULL;
-    case TypeTag::I32: return std::uint64_t(std::int64_t(std::int32_t(v)));
-    case TypeTag::U32: return v & 0xffffffffULL;
-    default: return v;
-  }
-}
-
-inline bool isSignedTag(TypeTag tag) noexcept {
-  switch (tag) {
-    case TypeTag::I8:
-    case TypeTag::I16:
-    case TypeTag::I32:
-    case TypeTag::I64:
-      return true;
-    default:
-      return false;
-  }
-}
-
-inline bool isFloatTag(TypeTag tag) noexcept {
-  return tag == TypeTag::F32 || tag == TypeTag::F64;
-}
-
-inline unsigned tagBits(TypeTag tag) noexcept {
-  switch (tag) {
-    case TypeTag::I8:
-    case TypeTag::U8: return 8;
-    case TypeTag::I16:
-    case TypeTag::U16: return 16;
-    case TypeTag::I32:
-    case TypeTag::U32:
-    case TypeTag::F32: return 32;
-    default: return 64;
-  }
-}
-
-/// Safe float-to-integer conversion (clamps like hardware instead of UB).
-template <typename To, typename From>
-std::uint64_t floatToInt(From value) noexcept {
-  if (std::isnan(value)) {
-    return 0;
-  }
-  constexpr double lo = double(std::numeric_limits<To>::min());
-  constexpr double hi = double(std::numeric_limits<To>::max());
-  const double d = double(value);
-  if (d <= lo) return std::uint64_t(std::int64_t(std::numeric_limits<To>::min()));
-  if (d >= hi) return std::uint64_t(std::int64_t(std::numeric_limits<To>::max()));
-  return std::uint64_t(std::int64_t(To(value)));
-}
-
-std::uint64_t convert(std::uint64_t v, TypeTag from, TypeTag to) {
-  if (from == to) {
-    return v;
-  }
-  // Source value as double / i64 / u64 views.
-  if (isFloatTag(from)) {
-    const double d = from == TypeTag::F32 ? double(slotF32(v)) : slotF64(v);
-    switch (to) {
-      case TypeTag::F32: return f32Slot(float(d));
-      case TypeTag::F64: return f64Slot(d);
-      case TypeTag::I8: return floatToInt<std::int8_t>(d);
-      case TypeTag::U8: return canon(floatToInt<std::int64_t>(d), to);
-      case TypeTag::I16: return floatToInt<std::int16_t>(d);
-      case TypeTag::U16: return canon(floatToInt<std::int64_t>(d), to);
-      case TypeTag::I32: return floatToInt<std::int32_t>(d);
-      case TypeTag::U32: {
-        if (std::isnan(d) || d <= 0) return 0;
-        if (d >= 4294967295.0) return 0xffffffffULL;
-        return std::uint64_t(d);
-      }
-      case TypeTag::I64: return floatToInt<std::int64_t>(d);
-      case TypeTag::U64:
-      case TypeTag::Ptr: {
-        if (std::isnan(d) || d <= 0) return 0;
-        if (d >= 18446744073709551615.0) return ~0ULL;
-        return std::uint64_t(d);
-      }
-    }
-    return v;
-  }
-  // Integer source.
-  if (to == TypeTag::F32) {
-    return isSignedTag(from) ? f32Slot(float(std::int64_t(v)))
-                             : f32Slot(float(v));
-  }
-  if (to == TypeTag::F64) {
-    return isSignedTag(from) ? f64Slot(double(std::int64_t(v)))
-                             : f64Slot(double(v));
-  }
-  return canon(v, to);
-}
+// Scalar semantics (slot helpers, canon, convert, arithmetic, compare)
+// live in clc/eval.h so the optimizer folds with the VM's exact behavior.
+using namespace clc::eval;
 
 // --- per-launch immutable context ---------------------------------------------
 
@@ -147,6 +27,10 @@ struct LaunchContext {
   std::uint32_t totalLocalSize = 0;
   NDRange range;
   std::size_t groupCount[3] = {1, 1, 1};
+  /// Per-instruction cycle costs (Program::cycleCosts or derived).
+  const std::uint32_t* costs = nullptr;
+  /// Barrier-free kernels take the straight-line group runner.
+  bool hasBarrier = true;
 };
 
 struct Frame {
@@ -183,6 +67,7 @@ public:
     bytesRead_ = 0;
     bytesWritten_ = 0;
     atomics_ = 0;
+    cachedSeg_ = ~0u;
     status_ = ItemStatus::Running;
 
     const FunctionInfo& f = *ctx.kernelFunc;
@@ -208,11 +93,22 @@ public:
   void resume() {
     COMMON_CHECK(status_ != ItemStatus::Done);
     status_ = ItemStatus::Running;
-    const std::vector<Instr>& code = ctx_->program->code;
+    const Instr* const code = ctx_->program->code.data();
+    const std::uint32_t* const costs = ctx_->costs;
+    // Instruction/cycle counters are accumulated in locals and flushed at
+    // the (rare) suspension points; resolve()/doBuiltin() still add their
+    // dynamic extras (global latency, builtin costs) to cycles_ directly.
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    const auto flush = [&] {
+      instructions_ += instructions;
+      cycles_ += cycles;
+    };
     for (;;) {
-      const Instr instr = code[pc_++];
-      ++instructions_;
-      cycles_ += opCycleCost(instr.op);
+      const Instr instr = code[pc_];
+      cycles += costs[pc_];
+      ++pc_;
+      ++instructions;
       switch (instr.op) {
         case Op::Nop:
           break;
@@ -300,17 +196,9 @@ public:
           push(arith(instr.op, instr.tag, lhs, rhs));
           break;
         }
-        case Op::Neg: {
-          const std::uint64_t v = pop();
-          if (instr.tag == TypeTag::F32) {
-            push(f32Slot(-slotF32(v)));
-          } else if (instr.tag == TypeTag::F64) {
-            push(f64Slot(-slotF64(v)));
-          } else {
-            push(canon(0 - v, instr.tag));
-          }
+        case Op::Neg:
+          push(evalNeg(instr.tag, pop()));
           break;
-        }
         case Op::BitNot:
           push(canon(~pop(), instr.tag));
           break;
@@ -351,15 +239,22 @@ public:
           break;
         case Op::Barrier:
           status_ = ItemStatus::AtBarrier;
+          flush();
           return;
         case Op::Ret:
-          if (doReturn()) return;
+          if (doReturn()) {
+            flush();
+            return;
+          }
           break;
         case Op::RetVal: {
           const std::uint64_t v = pop();
           const bool done = doReturn();
           push(v);
-          if (done) return;
+          if (done) {
+            flush();
+            return;
+          }
           break;
         }
         case Op::RetStruct: {
@@ -376,7 +271,10 @@ public:
           const std::uint8_t* s = resolve(src, size, /*write=*/false);
           std::uint8_t* d = resolve(sret, size, /*write=*/true);
           std::memmove(d, s, size);
-          if (doReturn()) return;
+          if (doReturn()) {
+            flush();
+            return;
+          }
           break;
         }
         case Op::Trap:
@@ -384,6 +282,106 @@ public:
                    ? "control reached the end of a non-void function"
                    : "kernel trap");
           break;
+        case Op::LoadFrame: {
+          // Offsets are statically verified (optimizer/serializer), so no
+          // per-access bounds check is needed here.
+          std::uint64_t v = 0;
+          std::memcpy(&v,
+                      arena_.data() + frames_.back().frameBase +
+                          std::uint32_t(instr.a),
+                      typeTagSize(instr.tag));
+          push(canon(v, instr.tag));
+          break;
+        }
+        case Op::StoreFrame: {
+          const std::uint64_t v = pop();
+          std::memcpy(arena_.data() + frames_.back().frameBase +
+                          std::uint32_t(instr.a),
+                      &v, typeTagSize(instr.tag));
+          break;
+        }
+        case Op::BinConst: {
+          const Op bop = embeddedOp(instr.a);
+          const std::uint64_t rhs =
+              ctx_->program->constants[std::size_t(embeddedOperand(instr.a))];
+          const std::uint64_t lhs = pop();
+          if (isCompareOp(bop)) {
+            push(compare(bop, instr.tag, lhs, rhs) ? 1 : 0);
+          } else {
+            push(arith(bop, instr.tag, lhs, rhs));
+          }
+          break;
+        }
+        case Op::FrameBin: {
+          const Op bop = embeddedOp(instr.a);
+          std::uint64_t rhs = 0;
+          std::memcpy(&rhs,
+                      arena_.data() + frames_.back().frameBase +
+                          std::uint32_t(embeddedOperand(instr.a)),
+                      typeTagSize(instr.tag));
+          rhs = canon(rhs, instr.tag);
+          const std::uint64_t lhs = pop();
+          if (isCompareOp(bop)) {
+            push(compare(bop, instr.tag, lhs, rhs) ? 1 : 0);
+          } else {
+            push(arith(bop, instr.tag, lhs, rhs));
+          }
+          break;
+        }
+        case Op::LoadBin: {
+          const Op bop = Op(instr.a);
+          const std::uint64_t ptr = pop();
+          const std::size_t size = typeTagSize(instr.tag);
+          const std::uint8_t* p = resolve(ptr, size, /*write=*/false);
+          std::uint64_t rhs = 0;
+          std::memcpy(&rhs, p, size);
+          rhs = canon(rhs, instr.tag);
+          const std::uint64_t lhs = pop();
+          if (isCompareOp(bop)) {
+            push(compare(bop, instr.tag, lhs, rhs) ? 1 : 0);
+          } else {
+            push(arith(bop, instr.tag, lhs, rhs));
+          }
+          break;
+        }
+        case Op::CmpJz:
+        case Op::CmpJnz: {
+          const std::uint64_t rhs = pop();
+          const std::uint64_t lhs = pop();
+          const bool hit =
+              compare(cmpFromJump(instr.a), instr.tag, lhs, rhs);
+          if (hit == (instr.op == Op::CmpJnz)) {
+            pc_ = std::uint32_t(cmpJumpTarget(instr.a));
+          }
+          break;
+        }
+        case Op::MulAdd: {
+          // Two-step multiply-then-add: bit-identical to the Mul+Add pair
+          // it replaces (deliberately *not* a fused fma).
+          const std::uint64_t rhs = pop();
+          const std::uint64_t lhs = pop();
+          const std::uint64_t acc = pop();
+          push(arith(Op::Add, instr.tag, acc,
+                     arith(Op::Mul, instr.tag, lhs, rhs)));
+          break;
+        }
+        case Op::FrameBin2: {
+          const Op bop = frame2Op(instr.a);
+          const std::uint8_t* frame = arena_.data() + frames_.back().frameBase;
+          const std::size_t size = typeTagSize(instr.tag);
+          std::uint64_t lhs = 0;
+          std::uint64_t rhs = 0;
+          std::memcpy(&lhs, frame + std::uint32_t(frame2X(instr.a)), size);
+          std::memcpy(&rhs, frame + std::uint32_t(frame2Y(instr.a)), size);
+          lhs = canon(lhs, instr.tag);
+          rhs = canon(rhs, instr.tag);
+          if (isCompareOp(bop)) {
+            push(compare(bop, instr.tag, lhs, rhs) ? 1 : 0);
+          } else {
+            push(arith(bop, instr.tag, lhs, rhs));
+          }
+          break;
+        }
       }
     }
   }
@@ -442,15 +440,22 @@ private:
       }
       case MemSpace::Global: {
         const std::uint64_t seg = pointerSegment(ptr);
-        if (seg >= ctx_->segments->size()) {
-          trap("invalid __global pointer (null or stale?)");
+        // One-entry segment cache: kernels overwhelmingly stream through a
+        // single buffer, so hoist the table lookup out of the common case.
+        if (std::uint32_t(seg) != cachedSeg_) {
+          if (seg >= ctx_->segments->size()) {
+            trap("invalid __global pointer (null or stale?)");
+          }
+          const Segment& segment = (*ctx_->segments)[seg];
+          cachedSeg_ = std::uint32_t(seg);
+          cachedBase_ = segment.base;
+          cachedSize_ = segment.size;
         }
-        const Segment& segment = (*ctx_->segments)[seg];
-        if (offset + size > segment.size) {
+        if (offset + size > cachedSize_) {
           trap("__global memory access out of bounds (buffer " +
                std::to_string(seg) + ", offset " + std::to_string(offset) +
                ", size " + std::to_string(size) + ", buffer size " +
-               std::to_string(segment.size) + ")");
+               std::to_string(cachedSize_) + ")");
         }
         if (write) {
           bytesWritten_ += size;
@@ -458,7 +463,7 @@ private:
           bytesRead_ += size;
         }
         cycles_ += 8; // global memory latency beyond the base op cost
-        return segment.base + offset;
+        return cachedBase_ + offset;
       }
     }
     trap("wild pointer");
@@ -466,112 +471,25 @@ private:
 
   std::uint64_t arith(Op op, TypeTag tag, std::uint64_t lhs,
                       std::uint64_t rhs) {
-    if (tag == TypeTag::F32) {
-      const float a = slotF32(lhs);
-      const float b = slotF32(rhs);
-      switch (op) {
-        case Op::Add: return f32Slot(a + b);
-        case Op::Sub: return f32Slot(a - b);
-        case Op::Mul: return f32Slot(a * b);
-        case Op::Div: return f32Slot(a / b);
-        case Op::Rem: return f32Slot(std::fmod(a, b));
-        default: trap("float bitwise op");
-      }
+    std::uint64_t out = 0;
+    switch (evalArith(op, tag, lhs, rhs, out)) {
+      case EvalStatus::Ok:
+        return out;
+      case EvalStatus::DivByZero:
+        trap(op == Op::Rem ? "integer remainder by zero"
+                           : "integer division by zero");
+      case EvalStatus::BadOp:
+        break;
     }
-    if (tag == TypeTag::F64) {
-      const double a = slotF64(lhs);
-      const double b = slotF64(rhs);
-      switch (op) {
-        case Op::Add: return f64Slot(a + b);
-        case Op::Sub: return f64Slot(a - b);
-        case Op::Mul: return f64Slot(a * b);
-        case Op::Div: return f64Slot(a / b);
-        case Op::Rem: return f64Slot(std::fmod(a, b));
-        default: trap("float bitwise op");
-      }
-    }
-    const unsigned bits = tagBits(tag);
-    switch (op) {
-      case Op::Add: return canon(lhs + rhs, tag);
-      case Op::Sub: return canon(lhs - rhs, tag);
-      case Op::Mul: return canon(lhs * rhs, tag);
-      case Op::Div: {
-        if (rhs == 0) trap("integer division by zero");
-        if (isSignedTag(tag)) {
-          const auto a = std::int64_t(lhs);
-          const auto b = std::int64_t(rhs);
-          if (b == -1 && a == std::numeric_limits<std::int64_t>::min()) {
-            return canon(std::uint64_t(a), tag); // wraps, avoids host UB
-          }
-          return canon(std::uint64_t(a / b), tag);
-        }
-        return canon(lhs / rhs, tag);
-      }
-      case Op::Rem: {
-        if (rhs == 0) trap("integer remainder by zero");
-        if (isSignedTag(tag)) {
-          const auto a = std::int64_t(lhs);
-          const auto b = std::int64_t(rhs);
-          if (b == -1) return 0;
-          return canon(std::uint64_t(a % b), tag);
-        }
-        return canon(lhs % rhs, tag);
-      }
-      case Op::Shl: return canon(lhs << (rhs & (bits - 1)), tag);
-      case Op::Shr:
-        if (isSignedTag(tag)) {
-          return canon(std::uint64_t(std::int64_t(lhs) >>
-                                     (rhs & (bits - 1))),
-                       tag);
-        }
-        return canon((lhs & (bits == 64 ? ~0ULL : ((1ULL << bits) - 1))) >>
-                         (rhs & (bits - 1)),
-                     tag);
-      case Op::BitAnd: return canon(lhs & rhs, tag);
-      case Op::BitOr: return canon(lhs | rhs, tag);
-      case Op::BitXor: return canon(lhs ^ rhs, tag);
-      default:
-        trap("bad arithmetic op");
-    }
+    trap(isFloatTag(tag) ? "float bitwise op" : "bad arithmetic op");
   }
 
   bool compare(Op op, TypeTag tag, std::uint64_t lhs, std::uint64_t rhs) {
-    if (tag == TypeTag::F32 || tag == TypeTag::F64) {
-      const double a = tag == TypeTag::F32 ? double(slotF32(lhs)) : slotF64(lhs);
-      const double b = tag == TypeTag::F32 ? double(slotF32(rhs)) : slotF64(rhs);
-      switch (op) {
-        case Op::CmpEq: return a == b;
-        case Op::CmpNe: return a != b;
-        case Op::CmpLt: return a < b;
-        case Op::CmpLe: return a <= b;
-        case Op::CmpGt: return a > b;
-        case Op::CmpGe: return a >= b;
-        default: break;
-      }
-    } else if (isSignedTag(tag)) {
-      const auto a = std::int64_t(lhs);
-      const auto b = std::int64_t(rhs);
-      switch (op) {
-        case Op::CmpEq: return a == b;
-        case Op::CmpNe: return a != b;
-        case Op::CmpLt: return a < b;
-        case Op::CmpLe: return a <= b;
-        case Op::CmpGt: return a > b;
-        case Op::CmpGe: return a >= b;
-        default: break;
-      }
-    } else {
-      switch (op) {
-        case Op::CmpEq: return lhs == rhs;
-        case Op::CmpNe: return lhs != rhs;
-        case Op::CmpLt: return lhs < rhs;
-        case Op::CmpLe: return lhs <= rhs;
-        case Op::CmpGt: return lhs > rhs;
-        case Op::CmpGe: return lhs >= rhs;
-        default: break;
-      }
+    bool out = false;
+    if (evalCompare(op, tag, lhs, rhs, out) != EvalStatus::Ok) {
+      trap("bad compare op");
     }
-    trap("bad compare op");
+    return out;
   }
 
   void doCall(std::uint32_t funcIndex) {
@@ -953,6 +871,11 @@ private:
   std::uint32_t pc_ = 0;
   ItemStatus status_ = ItemStatus::Running;
 
+  // One-entry __global segment cache (see resolve()).
+  std::uint32_t cachedSeg_ = ~0u;
+  std::uint8_t* cachedBase_ = nullptr;
+  std::size_t cachedSize_ = 0;
+
   std::uint64_t cycles_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint64_t bytesRead_ = 0;
@@ -979,6 +902,38 @@ void runGroup(const LaunchContext& ctx, std::size_t groupLinear,
 
   std::vector<std::uint8_t> localMem(ctx.totalLocalSize, 0);
   const std::size_t itemCount = ctx.range.totalLocal();
+
+  if (!ctx.hasBarrier) {
+    // Fast path: the kernel can never yield, so each work-item runs
+    // straight through on one reusable interpreter. Arena/stack capacity
+    // carries over between items and there is no fiber bookkeeping.
+    ItemVM vm;
+    for (std::size_t lz = 0; lz < ctx.range.localSize[2]; ++lz) {
+      for (std::size_t ly = 0; ly < ctx.range.localSize[1]; ++ly) {
+        for (std::size_t lx = 0; lx < ctx.range.localSize[0]; ++lx) {
+          const std::size_t localId[3] = {lx, ly, lz};
+          const std::size_t globalId[3] = {
+              gx * ctx.range.localSize[0] + lx,
+              gy * ctx.range.localSize[1] + ly,
+              gz * ctx.range.localSize[2] + lz,
+          };
+          vm.init(ctx, localMem.data(), localMem.size(), globalId, localId,
+                  groupId);
+          vm.resume();
+          COMMON_CHECK_MSG(vm.status() == ItemStatus::Done,
+                           "barrier in a kernel classified barrier-free");
+          result.cost.sumCycles += vm.cycles();
+          result.cost.maxCycles = std::max(result.cost.maxCycles, vm.cycles());
+          result.instructions += vm.instructions();
+          result.bytesRead += vm.bytesRead();
+          result.bytesWritten += vm.bytesWritten();
+          result.atomics += vm.atomics();
+        }
+      }
+    }
+    return;
+  }
+
   std::vector<ItemVM> items(itemCount);
 
   std::size_t idx = 0;
@@ -1092,8 +1047,71 @@ std::uint32_t opCycleCost(Op op) noexcept {
       return 16;
     case Op::Trap:
       return 0;
+    // Superinstructions: the cost of the canonical sequence they replace.
+    // Embedded ops are not visible here; instrCycleCost decodes them.
+    case Op::LoadFrame:
+    case Op::StoreFrame:
+      return 3; // PushFrameAddr (1) + Load/Store (2)
+    case Op::BinConst:
+      return 2; // PushConst (1) + binop (1)
+    case Op::FrameBin:
+      return 4; // LoadFrame (3) + binop (1)
+    case Op::LoadBin:
+      return 3; // Load (2) + binop (1)
+    case Op::CmpJz:
+    case Op::CmpJnz:
+      return 2; // compare (1) + conditional jump (1)
+    case Op::MulAdd:
+      return 2; // Mul (1) + Add (1)
+    case Op::FrameBin2:
+      return 7; // LoadFrame (3) + FrameBin without op (3) + binop (1)
   }
   return 1;
+}
+
+std::uint32_t instrCycleCost(const Instr& instr) noexcept {
+  switch (instr.op) {
+    case Op::BinConst:
+      return 1 + opCycleCost(embeddedOp(instr.a));
+    case Op::FrameBin:
+      return 3 + opCycleCost(embeddedOp(instr.a));
+    case Op::LoadBin:
+      return 2 + opCycleCost(Op(instr.a));
+    case Op::FrameBin2:
+      return 6 + opCycleCost(frame2Op(instr.a));
+    default:
+      return opCycleCost(instr.op);
+  }
+}
+
+bool kernelHasBarrier(const Program& program, const KernelInfo& kernel) {
+  if (kernel.functionIndex >= program.functions.size()) {
+    return true; // malformed; take the conservative path
+  }
+  std::vector<bool> seen(program.functions.size(), false);
+  std::vector<std::uint32_t> worklist = {kernel.functionIndex};
+  seen[kernel.functionIndex] = true;
+  while (!worklist.empty()) {
+    const FunctionInfo& f = program.functions[worklist.back()];
+    worklist.pop_back();
+    const std::uint32_t end =
+        std::min<std::uint32_t>(f.codeEnd,
+                                std::uint32_t(program.code.size()));
+    for (std::uint32_t pc = f.codeStart; pc < end; ++pc) {
+      const Instr& instr = program.code[pc];
+      if (instr.op == Op::Barrier) {
+        return true;
+      }
+      if (instr.op == Op::Call) {
+        const auto callee = std::uint32_t(instr.a);
+        if (callee < seen.size() && !seen[callee]) {
+          seen[callee] = true;
+          worklist.push_back(callee);
+        }
+      }
+    }
+  }
+  return false;
 }
 
 LaunchStats executeKernel(const Program& program,
@@ -1113,6 +1131,21 @@ LaunchStats executeKernel(const Program& program,
   ctx.kernelFunc = &program.functions[kernel->functionIndex];
   ctx.args = &args;
   ctx.range = range;
+  ctx.hasBarrier = kernelHasBarrier(program, *kernel);
+
+  // Per-instruction cycle costs: the optimizer's table when present
+  // (timing-invariance contract), otherwise derived from the opcode.
+  std::vector<std::uint32_t> derivedCosts;
+  if (program.cycleCosts.size() == program.code.size() &&
+      !program.code.empty()) {
+    ctx.costs = program.cycleCosts.data();
+  } else {
+    derivedCosts.reserve(program.code.size());
+    for (const Instr& instr : program.code) {
+      derivedCosts.push_back(instrCycleCost(instr));
+    }
+    ctx.costs = derivedCosts.data();
+  }
 
   if (args.size() != ctx.kernelFunc->params.size()) {
     throw common::InvalidArgument(

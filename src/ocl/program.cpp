@@ -4,9 +4,50 @@
 
 #include "clc/codegen.h"
 #include "clc/diag.h"
+#include "clc/opt.h"
 #include "clc/serialize.h"
 
 namespace ocl {
+
+namespace {
+
+/// Parses `-cl-opt-level=N` out of an OpenCL-style build-options string.
+/// Unknown tokens are ignored (real drivers do the same); a malformed
+/// level value is a build error. Default is O2.
+clc::OptLevel parseOptLevel(const std::string& options) {
+  static const std::string kFlag = "-cl-opt-level=";
+  std::size_t pos = 0;
+  clc::OptLevel level = clc::OptLevel::O2;
+  while (pos < options.size()) {
+    const std::size_t start = options.find_first_not_of(" \t", pos);
+    if (start == std::string::npos) {
+      break;
+    }
+    std::size_t stop = options.find_first_of(" \t", start);
+    if (stop == std::string::npos) {
+      stop = options.size();
+    }
+    const std::string token = options.substr(start, stop - start);
+    if (token.rfind(kFlag, 0) == 0) {
+      const std::string value = token.substr(kFlag.size());
+      if (value == "0") {
+        level = clc::OptLevel::O0;
+      } else if (value == "1") {
+        level = clc::OptLevel::O1;
+      } else if (value == "2") {
+        level = clc::OptLevel::O2;
+      } else {
+        throw BuildError("invalid build options",
+                         "unsupported value in '" + token +
+                             "' (expected -cl-opt-level=0|1|2)");
+      }
+    }
+    pos = stop;
+  }
+  return level;
+}
+
+} // namespace
 
 Program Program::fromSource(std::string source) {
   Program p;
@@ -25,13 +66,14 @@ Program Program::fromBinary(const std::vector<std::uint8_t>& binary) {
 }
 
 void Program::build(const std::string& options) {
-  (void)options;
   COMMON_CHECK_MSG(impl_ != nullptr, "build on invalid Program");
   if (impl_->built) {
     return;
   }
+  const clc::OptLevel level = parseOptLevel(options);
   try {
     impl_->program = clc::compile(impl_->source);
+    clc::optimize(impl_->program, level);
     impl_->built = true;
     impl_->buildLog = "build successful";
   } catch (const clc::CompileError& e) {

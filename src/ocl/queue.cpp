@@ -80,6 +80,11 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
   std::uint64_t start = commandStartNs(deps);
   std::uint64_t duration;
   if (src.device() == dst.device()) {
+    // On-device copy: the copy runs on the buffers' device, so it must be
+    // the queue's device — otherwise the duration would be computed from
+    // the wrong device's bandwidth and charged to the wrong timeline.
+    COMMON_EXPECTS(src.device() == device_,
+                   "buffer belongs to a different device than the queue");
     // On-device copy runs at memory bandwidth (read + write).
     const double bw = device_.spec().memBandwidthGBs * 1e9;
     duration = std::uint64_t(double(2 * bytes) / bw * 1e9);

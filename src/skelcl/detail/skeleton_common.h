@@ -19,8 +19,8 @@ public:
     auto it = programs_.find(source);
     if (it == programs_.end()) {
       auto& runtime = Runtime::instance();
-      ocl::Program program =
-          runtime.kernelCache().getOrBuild(runtime.context(), source);
+      ocl::Program program = runtime.kernelCache().getOrBuild(
+          runtime.context(), source, kDefaultBuildOptions);
       it = programs_.emplace(source, std::move(program)).first;
     }
     return it->second;

@@ -64,7 +64,8 @@ ocl::Program buildCombineProgram(const std::string& elementType,
             "(dst[i], src[i]);\n"
             "}\n";
   auto& runtime = Runtime::instance();
-  return runtime.kernelCache().getOrBuild(runtime.context(), source);
+  return runtime.kernelCache().getOrBuild(runtime.context(), source,
+                                          kDefaultBuildOptions);
 }
 
 } // namespace skelcl::detail

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "clc/bytecode.h"
 #include "common/byte_stream.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -28,13 +29,20 @@ KernelCache::KernelCache(std::string directory)
     : directory_(directory.empty() ? defaultDirectory()
                                    : std::move(directory)) {}
 
-std::string KernelCache::entryPath(const std::string& source) const {
-  return directory_ + "/" + common::Sha256::hexDigest(source) + ".clcbin";
+std::string KernelCache::entryPath(const std::string& source,
+                                   const std::string& options) const {
+  // Key = source digest + bytecode format version + options digest, so a
+  // format bump or a different optimization level can never resolve to a
+  // stale entry.
+  return directory_ + "/" + common::Sha256::hexDigest(source) + "-v" +
+         std::to_string(clc::Program::kSerialVersion) + "-" +
+         common::Sha256::hexDigest(options).substr(0, 8) + ".clcbin";
 }
 
 ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
-                                     const std::string& source) {
-  const std::string path = entryPath(source);
+                                     const std::string& source,
+                                     const std::string& options) {
+  const std::string path = entryPath(source, options);
   if (enabled_ && common::fileExists(path)) {
     try {
       common::Stopwatch timer;
@@ -52,7 +60,7 @@ ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
 
   common::Stopwatch timer;
   ocl::Program program = context.createProgram(source);
-  program.build();
+  program.build(options);
   stats_.buildSeconds += timer.elapsedSeconds();
   ++stats_.misses;
 

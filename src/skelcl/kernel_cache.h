@@ -4,9 +4,11 @@
 //    task [...] Therefore, SkelCL saves already compiled kernels on disk.
 //    They can be loaded later if the same kernel is used again."
 //
-// Entries are keyed by the SHA-256 of the kernel source (plus the
-// bytecode format version, implicitly, since mismatched binaries fail to
-// deserialize and fall back to a rebuild).
+// Entries are keyed by the SHA-256 of the kernel source, the bytecode
+// format version, and the build options (optimization level): bumping the
+// format or changing the options makes old entries unfindable, and a
+// version check in the deserializer rejects stale or hand-patched files
+// that are found anyway, falling back to a rebuild.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,10 @@
 
 namespace skelcl {
 
+/// Build options every skeleton passes by default: full bytecode
+/// optimization (see clc/opt.h).
+inline constexpr const char* kDefaultBuildOptions = "-cl-opt-level=2";
+
 class KernelCache {
 public:
   /// `directory`: cache location; empty selects $SKELCL_CACHE_DIR or
@@ -23,9 +29,10 @@ public:
   explicit KernelCache(std::string directory = "");
 
   /// Returns a *built* program for `source`: loaded from disk when a
-  /// valid entry exists, compiled (and stored) otherwise.
+  /// valid entry exists, compiled with `options` (and stored) otherwise.
   ocl::Program getOrBuild(const ocl::Context& context,
-                          const std::string& source);
+                          const std::string& source,
+                          const std::string& options = kDefaultBuildOptions);
 
   void setEnabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
@@ -44,7 +51,8 @@ public:
   void resetStats() noexcept { stats_ = Stats{}; }
 
 private:
-  std::string entryPath(const std::string& source) const;
+  std::string entryPath(const std::string& source,
+                        const std::string& options) const;
 
   std::string directory_;
   bool enabled_ = true;

@@ -224,6 +224,22 @@ TEST_F(OclRuntime, CrossDeviceCopy) {
   EXPECT_EQ(in, out);
 }
 
+TEST_F(OclRuntime, SameDeviceCopyOnForeignQueueThrows) {
+  // Regression: both buffers live on gpu1 but the queue belongs to gpu0.
+  // The on-device copy path used to skip the ownership check and charge
+  // gpu0's timeline with gpu1's copy.
+  auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  ocl::Context ctx({gpus[0], gpus[1]});
+  ocl::CommandQueue q0(gpus[0]);
+  ocl::Buffer a = ctx.createBuffer(gpus[1], 16);
+  ocl::Buffer b = ctx.createBuffer(gpus[1], 16);
+  EXPECT_THROW(q0.enqueueCopyBuffer(a, 0, b, 0, 16),
+               common::InvalidArgument);
+  // On the owning queue the same copy is fine.
+  ocl::CommandQueue q1(gpus[1]);
+  EXPECT_NO_THROW(q1.enqueueCopyBuffer(a, 0, b, 0, 16));
+}
+
 TEST_F(OclRuntime, WorkGroupSizeLimitEnforced) {
   auto gpus = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
   ocl::Context ctx({gpus[0]});

@@ -90,6 +90,46 @@ TEST_F(CacheTest, CorruptedEntryFallsBackToRebuild) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST_F(CacheTest, StaleFormatVersionIsRejectedAndRebuilt) {
+  KernelCache cache(dir_);
+  cache.getOrBuild(context_, source_);
+  // Corrupt the on-disk format version (bytes [4,8) after the magic) to
+  // impersonate an entry from an older library build.
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".clcbin") {
+      auto bytes = common::readFile(e.path().string());
+      ASSERT_GE(bytes.size(), 8u);
+      bytes[4] = 0xfe;
+      bytes[5] = 0xff;
+      common::writeFile(e.path().string(), bytes);
+    }
+  }
+  ocl::Program p = cache.getOrBuild(context_, source_);
+  EXPECT_TRUE(p.isBuilt());
+  EXPECT_EQ(cache.stats().misses, 2u) << "stale version must force a rebuild";
+  // The rebuild overwrote the stale entry with the current format.
+  cache.getOrBuild(context_, source_);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST_F(CacheTest, DifferentOptLevelsGetDifferentEntries) {
+  KernelCache cache(dir_);
+  ocl::Program fast = cache.getOrBuild(context_, source_); // default: O2
+  ocl::Program slow = cache.getOrBuild(context_, source_, "-cl-opt-level=0");
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(fast.compiled().optLevel, 2u);
+  EXPECT_EQ(slow.compiled().optLevel, 0u);
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".clcbin") ++entries;
+  }
+  EXPECT_EQ(entries, 2u) << "each opt level keys its own entry";
+  // Both entries hit independently afterwards.
+  cache.getOrBuild(context_, source_);
+  cache.getOrBuild(context_, source_, "-cl-opt-level=0");
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
 TEST_F(CacheTest, DisabledCacheAlwaysBuilds) {
   KernelCache cache(dir_);
   cache.setEnabled(false);
