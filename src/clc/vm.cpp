@@ -913,9 +913,9 @@ void runGroup(const LaunchContext& ctx, std::size_t groupLinear,
         for (std::size_t lx = 0; lx < ctx.range.localSize[0]; ++lx) {
           const std::size_t localId[3] = {lx, ly, lz};
           const std::size_t globalId[3] = {
-              gx * ctx.range.localSize[0] + lx,
-              gy * ctx.range.localSize[1] + ly,
-              gz * ctx.range.localSize[2] + lz,
+              ctx.range.globalOffset[0] + gx * ctx.range.localSize[0] + lx,
+              ctx.range.globalOffset[1] + gy * ctx.range.localSize[1] + ly,
+              ctx.range.globalOffset[2] + gz * ctx.range.localSize[2] + lz,
           };
           vm.init(ctx, localMem.data(), localMem.size(), globalId, localId,
                   groupId);
@@ -942,9 +942,9 @@ void runGroup(const LaunchContext& ctx, std::size_t groupLinear,
       for (std::size_t lx = 0; lx < ctx.range.localSize[0]; ++lx) {
         const std::size_t localId[3] = {lx, ly, lz};
         const std::size_t globalId[3] = {
-            gx * ctx.range.localSize[0] + lx,
-            gy * ctx.range.localSize[1] + ly,
-            gz * ctx.range.localSize[2] + lz,
+            ctx.range.globalOffset[0] + gx * ctx.range.localSize[0] + lx,
+            ctx.range.globalOffset[1] + gy * ctx.range.localSize[1] + ly,
+            ctx.range.globalOffset[2] + gz * ctx.range.localSize[2] + lz,
         };
         items[idx++].init(ctx, localMem.data(), localMem.size(), globalId,
                           localId, groupId);

@@ -47,6 +47,11 @@ struct NDRange {
   std::uint32_t dims = 1;
   std::size_t globalSize[3] = {1, 1, 1};
   std::size_t localSize[3] = {1, 1, 1};
+  // Global work offset (clEnqueueNDRangeKernel's global_work_offset):
+  // added to get_global_id; group ids stay launch-local, matching OpenCL.
+  // Lets a host split one logical launch into sub-launches that pipeline
+  // against split transfers without touching kernel source.
+  std::size_t globalOffset[3] = {0, 0, 0};
 
   std::size_t totalGlobal() const noexcept {
     return globalSize[0] * globalSize[1] * globalSize[2];

@@ -14,6 +14,15 @@ const char* deviceTypeName(DeviceType type) noexcept {
   return "?";
 }
 
+const char* engineName(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::Compute: return "compute";
+    case Engine::HostToDevice: return "h2d";
+    case Engine::DeviceToHost: return "d2h";
+  }
+  return "?";
+}
+
 DeviceSpec DeviceSpec::teslaT10() {
   DeviceSpec spec;
   spec.name = "Tesla T10 (simulated)";

@@ -2,9 +2,13 @@
 //
 // The "machine" the runtime exposes is configurable: tests and benchmarks
 // instantiate the paper's testbed (a Tesla S1070 — four Tesla T10 GPUs —
-// attached to a Xeon E5520 host) or any other topology. Each device owns a
-// virtual timeline; the timing model (timing_model.h) converts executed
-// work into nanoseconds on that timeline.
+// attached to a Xeon E5520 host) or any other topology. Each device owns
+// three virtual hardware timelines — one per engine: the compute engine
+// and the two DMA engines (host→device, device→host), mirroring the
+// dual-copy-engine design of real discrete GPUs. Commands on different
+// engines of the same device may overlap in virtual time; commands on the
+// same engine execute FIFO. The timing model (timing_model.h) converts
+// executed work into nanoseconds on those timelines.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +23,20 @@ namespace ocl {
 enum class DeviceType { GPU, CPU, All };
 
 const char* deviceTypeName(DeviceType type) noexcept;
+
+/// The hardware engines of one simulated device. A discrete GPU executes
+/// kernels and DMA transfers on separate units: commands occupying
+/// different engines overlap in virtual time, commands on the same
+/// engine serialize FIFO.
+enum class Engine : std::uint8_t {
+  Compute = 0,      // kernel launches and on-device copies
+  HostToDevice = 1, // upload DMA (enqueueWriteBuffer, copy-in)
+  DeviceToHost = 2, // download DMA (enqueueReadBuffer, copy-out)
+};
+
+inline constexpr std::size_t kEngineCount = 3;
+
+const char* engineName(Engine engine) noexcept;
 
 /// Static description of a device's hardware capabilities.
 struct DeviceSpec {
@@ -45,8 +63,8 @@ struct DeviceSpec {
   static DeviceSpec xeonE5520();
 };
 
-/// Live per-device simulation state: allocation tracking + virtual
-/// timeline. Shared by all handles to the same device.
+/// Live per-device simulation state: allocation tracking + one virtual
+/// timeline per engine. Shared by all handles to the same device.
 class DeviceState {
 public:
   explicit DeviceState(DeviceSpec spec, std::uint32_t index)
@@ -55,8 +73,22 @@ public:
   const DeviceSpec& spec() const noexcept { return spec_; }
   std::uint32_t index() const noexcept { return index_; }
 
-  std::uint64_t readyTimeNs() const noexcept { return readyNs_; }
-  void setReadyTimeNs(std::uint64_t t) noexcept { readyNs_ = t; }
+  /// When the given engine finishes its last scheduled command.
+  std::uint64_t readyTimeNs(Engine engine) const noexcept {
+    return engineReadyNs_[std::size_t(engine)];
+  }
+  void setReadyTimeNs(Engine engine, std::uint64_t t) noexcept {
+    engineReadyNs_[std::size_t(engine)] = t;
+  }
+
+  /// When the whole device goes idle: max over all three engines.
+  std::uint64_t readyTimeNs() const noexcept {
+    std::uint64_t ready = 0;
+    for (std::uint64_t t : engineReadyNs_) {
+      ready = ready < t ? t : ready;
+    }
+    return ready;
+  }
 
   std::uint64_t allocatedBytes() const noexcept { return allocated_; }
   void allocate(std::uint64_t bytes);
@@ -65,7 +97,7 @@ public:
 private:
   DeviceSpec spec_;
   std::uint32_t index_;
-  std::uint64_t readyNs_ = 0;
+  std::uint64_t engineReadyNs_[kEngineCount] = {0, 0, 0};
   std::uint64_t allocated_ = 0;
 };
 

@@ -1,5 +1,9 @@
 // Events carry the virtual-time profile of one enqueued command,
-// mirroring clGetEventProfilingInfo.
+// mirroring clGetEventProfilingInfo, plus the engine the command occupied
+// (compute, H2D DMA, D2H DMA). Passing events as dependencies to later
+// enqueues forms a real dependency DAG: a dependent command starts no
+// earlier than the end of every event it waits on, even when the two
+// commands occupy different engines or devices.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@ struct EventState {
   std::uint64_t queuedNs = 0;
   std::uint64_t startNs = 0;
   std::uint64_t endNs = 0;
+  Engine engine = Engine::Compute;
 };
 
 class Event {
@@ -35,6 +40,9 @@ public:
   std::uint64_t startNs() const { return state().startNs; }
   std::uint64_t endNs() const { return state().endNs; }
   std::uint64_t durationNs() const { return state().endNs - state().startNs; }
+
+  /// Which device engine the command ran on.
+  Engine engine() const { return state().engine; }
 
 private:
   const EventState& state() const {

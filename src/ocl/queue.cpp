@@ -6,14 +6,27 @@
 
 namespace ocl {
 
-CommandQueue::CommandQueue(Device device, Backend backend)
+CommandQueue::CommandQueue(Device device, Backend backend, QueueOrder order)
     : device_(std::move(device)),
       backend_(backend),
+      order_(order),
       model_(device_.spec(), backend) {}
 
 std::uint64_t CommandQueue::commandStartNs(
-    const std::vector<Event>& deps) const {
-  std::uint64_t start = std::max(hostTimeNs(), device_.state().readyTimeNs());
+    Engine engine, const std::vector<Event>& deps) const {
+  // An in-order queue serializes against the *whole device* (the max
+  // over all engines), not just the engine the command occupies — this
+  // matches the classic single-timeline device model, and it is what
+  // the CUDA veneer's default-stream semantics rely on even across
+  // separate queue objects. Out-of-order queues wait only for their own
+  // engine plus explicit dependencies.
+  std::uint64_t start = std::max(
+      hostTimeNs(), order_ == QueueOrder::InOrder
+                        ? device_.state().readyTimeNs()
+                        : device_.state().readyTimeNs(engine));
+  if (order_ == QueueOrder::InOrder && last_.valid()) {
+    start = std::max(start, last_.endNs());
+  }
   for (const Event& e : deps) {
     if (e.valid()) {
       start = std::max(start, e.endNs());
@@ -22,14 +35,19 @@ std::uint64_t CommandQueue::commandStartNs(
   return start;
 }
 
-Event CommandQueue::retire(std::uint64_t startNs, std::uint64_t durationNs) {
+Event CommandQueue::retire(Engine engine, std::uint64_t startNs,
+                           std::uint64_t durationNs) {
   auto state = std::make_shared<EventState>();
   state->queuedNs = hostTimeNs();
   state->startNs = startNs;
   state->endNs = startNs + durationNs;
-  device_.state().setReadyTimeNs(state->endNs);
+  state->engine = engine;
+  device_.state().setReadyTimeNs(engine, state->endNs);
+  lastSubmittedEndNs_ = std::max(lastSubmittedEndNs_, state->endNs);
   advanceHostTimeNs(model_.enqueueOverheadNs());
-  return Event(std::move(state));
+  Event event(std::move(state));
+  last_ = event;
+  return event;
 }
 
 Event CommandQueue::enqueueWriteBuffer(const Buffer& buffer,
@@ -42,7 +60,9 @@ Event CommandQueue::enqueueWriteBuffer(const Buffer& buffer,
   COMMON_EXPECTS(offset + bytes <= buffer.size(),
                  "write exceeds buffer size");
   std::memcpy(buffer.state().data() + offset, src, bytes);
-  return retire(commandStartNs(deps), model_.transferDurationNs(bytes));
+  return retire(Engine::HostToDevice,
+                commandStartNs(Engine::HostToDevice, deps),
+                model_.transferDurationNs(bytes));
 }
 
 Event CommandQueue::enqueueReadBuffer(const Buffer& buffer,
@@ -55,8 +75,9 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& buffer,
   COMMON_EXPECTS(offset + bytes <= buffer.size(),
                  "read exceeds buffer size");
   std::memcpy(dst, buffer.state().data() + offset, bytes);
-  Event event =
-      retire(commandStartNs(deps), model_.transferDurationNs(bytes));
+  Event event = retire(Engine::DeviceToHost,
+                       commandStartNs(Engine::DeviceToHost, deps),
+                       model_.transferDurationNs(bytes));
   if (blocking) {
     event.wait();
   }
@@ -77,30 +98,55 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
   std::memcpy(dst.state().data() + dstOffset,
               src.state().data() + srcOffset, bytes);
 
-  std::uint64_t start = commandStartNs(deps);
-  std::uint64_t duration;
   if (src.device() == dst.device()) {
     // On-device copy: the copy runs on the buffers' device, so it must be
     // the queue's device — otherwise the duration would be computed from
-    // the wrong device's bandwidth and charged to the wrong timeline.
+    // the wrong device's bandwidth and charged to the wrong timeline. It
+    // occupies the compute engine (the copy saturates the memory system
+    // the compute engine feeds from).
     COMMON_EXPECTS(src.device() == device_,
                    "buffer belongs to a different device than the queue");
-    // On-device copy runs at memory bandwidth (read + write).
-    const double bw = device_.spec().memBandwidthGBs * 1e9;
-    duration = std::uint64_t(double(2 * bytes) / bw * 1e9);
-  } else {
-    // Cross-device: staged over PCIe (down from src, up to dst). Both
-    // devices are busy for the whole transfer.
-    const TimingModel srcModel(src.device().spec(), backend_);
-    const TimingModel dstModel(dst.device().spec(), backend_);
-    start = std::max(start, src.device().state().readyTimeNs());
-    start = std::max(start, dst.device().state().readyTimeNs());
-    duration = srcModel.transferDurationNs(bytes) +
-               dstModel.transferDurationNs(bytes);
-    src.device().state().setReadyTimeNs(start + duration);
-    dst.device().state().setReadyTimeNs(start + duration);
+    return retire(Engine::Compute, commandStartNs(Engine::Compute, deps),
+                  model_.deviceCopyDurationNs(bytes));
   }
-  return retire(start, duration);
+
+  // Cross-device: staged over PCIe (down from src, up to dst). The
+  // source's D2H engine and the destination's H2D engine are both
+  // occupied for the whole transfer; the compute engines of both devices
+  // stay free to overlap kernels with the copy. In-order queues wait on
+  // the full timelines of both devices instead (single-timeline model).
+  const bool inOrder = order_ == QueueOrder::InOrder;
+  const TimingModel srcModel(src.device().spec(), backend_);
+  const TimingModel dstModel(dst.device().spec(), backend_);
+  std::uint64_t start = std::max(hostTimeNs(), std::max(
+      inOrder ? src.device().state().readyTimeNs()
+              : src.device().state().readyTimeNs(Engine::DeviceToHost),
+      inOrder ? dst.device().state().readyTimeNs()
+              : dst.device().state().readyTimeNs(Engine::HostToDevice)));
+  if (inOrder && last_.valid()) {
+    start = std::max(start, last_.endNs());
+  }
+  for (const Event& e : deps) {
+    if (e.valid()) {
+      start = std::max(start, e.endNs());
+    }
+  }
+  const std::uint64_t duration = srcModel.transferDurationNs(bytes) +
+                                 dstModel.transferDurationNs(bytes);
+  src.device().state().setReadyTimeNs(Engine::DeviceToHost,
+                                      start + duration);
+
+  auto state = std::make_shared<EventState>();
+  state->queuedNs = hostTimeNs();
+  state->startNs = start;
+  state->endNs = start + duration;
+  state->engine = Engine::HostToDevice;
+  dst.device().state().setReadyTimeNs(Engine::HostToDevice, state->endNs);
+  lastSubmittedEndNs_ = std::max(lastSubmittedEndNs_, state->endNs);
+  advanceHostTimeNs(model_.enqueueOverheadNs());
+  Event event(std::move(state));
+  last_ = event;
+  return event;
 }
 
 Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
@@ -140,7 +186,9 @@ Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
   lastStats_ = clc::executeKernel(kernel.program(), kernel.name(), range,
                                   args, segments,
                                   &common::ThreadPool::global());
-  return retire(commandStartNs(deps), model_.kernelDurationNs(lastStats_));
+  cumulativeKernelCycles_ += lastStats_.totalCycles;
+  return retire(Engine::Compute, commandStartNs(Engine::Compute, deps),
+                model_.kernelDurationNs(lastStats_));
 }
 
 Event CommandQueue::enqueueNDRange(Kernel& kernel, NDRange1D range,
@@ -149,11 +197,13 @@ Event CommandQueue::enqueueNDRange(Kernel& kernel, NDRange1D range,
   full.dims = 1;
   full.globalSize[0] = range.global;
   full.localSize[0] = range.local;
+  full.globalOffset[0] = range.offset;
   return enqueueNDRange(kernel, full, deps);
 }
 
 void CommandQueue::finish() {
-  syncHostTimeToNs(device_.state().readyTimeNs());
+  syncHostTimeToNs(
+      std::max(device_.state().readyTimeNs(), lastSubmittedEndNs_));
 }
 
 } // namespace ocl

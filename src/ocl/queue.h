@@ -1,9 +1,21 @@
-// In-order command queue: the only way work reaches a device.
+// Command queue: the only way work reaches a device.
 //
 // Each enqueue executes the command's real effect immediately (memcpy,
-// kernel interpretation) and places it on the device's *virtual* timeline:
-//   start = max(device ready, host now, dependencies' end)
+// kernel interpretation) and schedules it onto the *engine* it occupies
+// on the device's virtual timelines — kernel launches and on-device
+// copies on the compute engine, uploads on the H2D DMA engine, downloads
+// on the D2H DMA engine (cross-device copies occupy the source's D2H and
+// the destination's H2D engines):
+//   start = max(engine ready, host now, dependencies' end)
 //   end   = start + modeled duration
+// Commands on one engine execute FIFO; commands on different engines
+// overlap unless an event dependency orders them. An *in-order* queue
+// (the default, matching clCreateCommandQueue without
+// CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE) additionally chains every
+// command after the previous one, serializing across engines exactly like
+// a real in-order queue. Out-of-order queues schedule purely from the
+// event dependency DAG — SkelCL's runtime uses them to overlap transfers
+// with compute.
 // Blocking variants advance the host clock to the command's end, exactly
 // like clFinish / blocking clEnqueueReadBuffer would stall a real host.
 #pragma once
@@ -20,40 +32,58 @@ namespace ocl {
 struct NDRange1D {
   std::size_t global = 0;
   std::size_t local = 0;
+  std::size_t offset = 0; // global work offset (clEnqueueNDRangeKernel)
+};
+
+/// Execution discipline of a CommandQueue (CL_QUEUE_OUT_OF_ORDER_...).
+enum class QueueOrder {
+  InOrder,    // every command implicitly depends on the previous one
+  OutOfOrder, // commands are ordered only by engines and explicit deps
 };
 
 class CommandQueue {
 public:
   CommandQueue() = default;
-  CommandQueue(Device device, Backend backend = Backend::OpenCL);
+  CommandQueue(Device device, Backend backend = Backend::OpenCL,
+               QueueOrder order = QueueOrder::InOrder);
 
   bool valid() const noexcept { return device_.valid(); }
   Device device() const noexcept { return device_; }
   Backend backend() const noexcept { return backend_; }
+  QueueOrder order() const noexcept { return order_; }
 
-  /// Host -> device. Non-blocking in virtual time (data is staged now).
+  /// Host -> device on the H2D DMA engine. Non-blocking in virtual time
+  /// (data is staged now); the returned event marks when the device-side
+  /// copy is complete — pass it as a dependency to commands that read the
+  /// buffer from another engine.
   Event enqueueWriteBuffer(const Buffer& buffer, std::size_t offset,
                            std::size_t bytes, const void* src,
                            const std::vector<Event>& deps = {});
 
-  /// Device -> host. `blocking` advances the host clock to completion.
+  /// Device -> host on the D2H DMA engine. Pass the event of the command
+  /// that produced the buffer contents in `deps`; with `blocking` the
+  /// host clock advances to completion, otherwise wait on the returned
+  /// event at the true consumption point.
   Event enqueueReadBuffer(const Buffer& buffer, std::size_t offset,
                           std::size_t bytes, void* dst, bool blocking = true,
                           const std::vector<Event>& deps = {});
 
-  /// Device -> device copy (possibly across devices, staged via PCIe).
+  /// Buffer -> buffer copy. Same-device copies run on the compute engine
+  /// at memory bandwidth; cross-device copies are staged via PCIe and
+  /// occupy the source's D2H and the destination's H2D engines.
   Event enqueueCopyBuffer(const Buffer& src, std::size_t srcOffset,
                           const Buffer& dst, std::size_t dstOffset,
                           std::size_t bytes,
                           const std::vector<Event>& deps = {});
 
-  /// ND-range kernel launch (1D convenience below).
+  /// ND-range kernel launch on the compute engine (1D convenience below).
   Event enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
                        const std::vector<Event>& deps = {});
   Event enqueueNDRange(Kernel& kernel, NDRange1D range,
                        const std::vector<Event>& deps = {});
 
-  /// Blocks the virtual host until every enqueued command has completed.
+  /// Blocks the virtual host until every enqueued command has completed
+  /// (the max over all three engine timelines).
   void finish();
 
   /// Profile of the last kernel launch (for tests and benchmarks).
@@ -61,14 +91,27 @@ public:
     return lastStats_;
   }
 
+  /// Total simulated kernel cycles enqueued through this queue since
+  /// construction. Scheduling-invariance checks compare this across
+  /// serialized and overlapped runs of the same workload.
+  std::uint64_t cumulativeKernelCycles() const noexcept {
+    return cumulativeKernelCycles_;
+  }
+
 private:
-  std::uint64_t commandStartNs(const std::vector<Event>& deps) const;
-  Event retire(std::uint64_t startNs, std::uint64_t durationNs);
+  std::uint64_t commandStartNs(Engine engine,
+                               const std::vector<Event>& deps) const;
+  Event retire(Engine engine, std::uint64_t startNs,
+               std::uint64_t durationNs);
 
   Device device_;
   Backend backend_ = Backend::OpenCL;
+  QueueOrder order_ = QueueOrder::InOrder;
   TimingModel model_{DeviceSpec{}, Backend::OpenCL};
   clc::LaunchStats lastStats_;
+  Event last_; // previous command, for in-order chaining
+  std::uint64_t lastSubmittedEndNs_ = 0;
+  std::uint64_t cumulativeKernelCycles_ = 0;
 };
 
 } // namespace ocl

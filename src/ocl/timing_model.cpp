@@ -60,4 +60,9 @@ std::uint64_t TimingModel::transferDurationNs(std::uint64_t bytes) const {
   return std::uint64_t(latencyNs + transferNs);
 }
 
+std::uint64_t TimingModel::deviceCopyDurationNs(std::uint64_t bytes) const {
+  const double bw = spec_.memBandwidthGBs * 1e9;
+  return std::uint64_t(double(2 * bytes) / bw * 1e9);
+}
+
 } // namespace ocl

@@ -14,6 +14,10 @@
 //   memory   = global bytes moved / device bandwidth
 //   transfer = pcie_latency + bytes / pcie_bandwidth
 //
+// Durations are placed on per-engine device timelines (device.h): kernels
+// occupy the compute engine, uploads/downloads the H2D/D2H DMA engines,
+// so transfers can overlap compute when the command queue allows it.
+//
 // Cycle counts come from the VM's per-instruction accounting. The one
 // deliberately calibrated constant pair is the backend efficiency /
 // launch overhead difference between the "CUDA" and "OpenCL" backends:
@@ -50,8 +54,13 @@ public:
   /// Duration of a kernel launch with the given execution profile.
   std::uint64_t kernelDurationNs(const clc::LaunchStats& stats) const;
 
-  /// Duration of a host<->device transfer of `bytes`.
+  /// Duration of a host<->device transfer of `bytes` over one PCIe DMA
+  /// engine (latency + bytes/bandwidth).
   std::uint64_t transferDurationNs(std::uint64_t bytes) const;
+
+  /// Duration of an on-device buffer-to-buffer copy of `bytes`: runs at
+  /// global-memory bandwidth and pays for a read plus a write.
+  std::uint64_t deviceCopyDurationNs(std::uint64_t bytes) const;
 
   /// Host-side cost of submitting one command.
   std::uint64_t enqueueOverheadNs() const noexcept {

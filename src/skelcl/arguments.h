@@ -104,6 +104,35 @@ public:
     }
   }
 
+  /// Appends the ready events of every vector argument's chunk on
+  /// `deviceIndex` to `deps`, so a skeleton launch that binds them waits
+  /// for their uploads without a finish(). Arguments without data on the
+  /// device (e.g. index vectors under other distributions) contribute
+  /// nothing.
+  void collectDeps(std::vector<ocl::Event>& deps,
+                   std::size_t deviceIndex) const {
+    for (const Entry& e : entries_) {
+      if (e.kind == Kind::VectorArg && e.vector != nullptr) {
+        ocl::Event ready = e.vector->readyEventOn(deviceIndex);
+        if (ready.valid()) {
+          deps.push_back(std::move(ready));
+        }
+      }
+    }
+  }
+
+  /// Records `event` as the last writer of every vector argument's chunk
+  /// on `deviceIndex`. Conservative: a kernel may write any __global
+  /// pointer it was handed, so all vector arguments are treated as
+  /// potentially modified — later consumers then order after the launch.
+  void recordEvent(const ocl::Event& event, std::size_t deviceIndex) const {
+    for (const Entry& e : entries_) {
+      if (e.kind == Kind::VectorArg && e.vector != nullptr) {
+        e.vector->recordEventOn(deviceIndex, event);
+      }
+    }
+  }
+
   /// Binds the extra arguments to a kernel for one device's launch.
   void apply(ocl::Kernel& kernel, std::size_t firstIndex,
              std::size_t deviceIndex) const {

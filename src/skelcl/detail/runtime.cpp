@@ -1,5 +1,7 @@
 #include "skelcl/detail/runtime.h"
 
+#include <cstdlib>
+
 #include "common/logging.h"
 #include "skelcl/distribution.h"
 
@@ -45,9 +47,23 @@ void Runtime::init(const DeviceSelection& selection) {
         " devices, only " + std::to_string(devices_.size()) + " available");
   }
   context_ = std::make_unique<ocl::Context>(devices_);
+  // Out-of-order queues let transfers overlap compute on each device's
+  // engine timelines; the skeletons express ordering through event
+  // dependencies. SKELCL_SERIALIZE=1 restores the pre-overlap behavior
+  // (in-order queues) without changing which commands are enqueued.
+  const char* serialize = std::getenv("SKELCL_SERIALIZE");
+  serializedQueues_ =
+      serialize != nullptr && serialize[0] != '\0' && serialize[0] != '0';
+  transferPieces_ = 4;
+  if (const char* pieces = std::getenv("SKELCL_TRANSFER_CHUNKS")) {
+    const long n = std::atol(pieces);
+    transferPieces_ = n < 1 ? 1 : std::size_t(n);
+  }
   queues_.clear();
   for (const auto& device : devices_) {
-    queues_.emplace_back(device, ocl::Backend::OpenCL);
+    queues_.emplace_back(device, ocl::Backend::OpenCL,
+                         serializedQueues_ ? ocl::QueueOrder::InOrder
+                                           : ocl::QueueOrder::OutOfOrder);
   }
   if (cache_ == nullptr) {
     cache_ = std::make_unique<KernelCache>();

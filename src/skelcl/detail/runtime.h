@@ -46,10 +46,24 @@ public:
   /// default work-group size of 256").
   std::size_t defaultWorkGroupSize() const noexcept { return 256; }
 
+  /// True when SKELCL_SERIALIZE=1 forced in-order queues at init():
+  /// identical commands are enqueued, but every command serializes after
+  /// the previous one instead of scheduling from the event DAG. Escape
+  /// hatch and the baseline for the transfer/compute-overlap ablation.
+  bool serializedQueues() const noexcept { return serializedQueues_; }
+
+  /// Number of pieces large host->device uploads are split into so the
+  /// compute engine can start on early pieces while later ones stream in
+  /// (double buffering). SKELCL_TRANSFER_CHUNKS overrides; values <= 1
+  /// disable splitting.
+  std::size_t transferPieces() const noexcept { return transferPieces_; }
+
 private:
   Runtime() = default;
 
   bool initialized_ = false;
+  bool serializedQueues_ = false;
+  std::size_t transferPieces_ = 4;
   std::vector<ocl::Device> devices_;
   std::unique_ptr<ocl::Context> context_;
   std::vector<ocl::CommandQueue> queues_;

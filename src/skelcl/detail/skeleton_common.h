@@ -1,9 +1,13 @@
 // Shared machinery for the skeleton implementations: generated-program
-// memoization on top of the on-disk kernel cache, and launch geometry.
+// memoization on top of the on-disk kernel cache, launch geometry, and
+// the event plumbing that lets skeleton launches pipeline against split
+// uploads instead of serializing behind a finish().
 #pragma once
 
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "skelcl/detail/runtime.h"
 #include "skelcl/detail/source_utils.h"
@@ -43,6 +47,103 @@ inline std::size_t effectiveWorkGroupSize(std::size_t userChoice,
   const std::size_t wanted =
       userChoice != 0 ? userChoice : runtime.defaultWorkGroupSize();
   return std::min<std::size_t>(wanted, device.maxWorkGroupSize());
+}
+
+/// (end element, event) list of a split upload, ascending by end.
+using UploadPieces = std::vector<std::pair<std::size_t, ocl::Event>>;
+
+inline void appendEvent(std::vector<ocl::Event>& deps,
+                        const ocl::Event& event) {
+  if (event.valid()) {
+    deps.push_back(event);
+  }
+}
+
+/// Event of the upload piece that covers host elements [0, elemEnd).
+/// Pieces run FIFO on the H2D engine, so the first piece whose end
+/// reaches elemEnd completes after every earlier piece.
+inline ocl::Event pieceCovering(const UploadPieces& pieces,
+                                std::size_t elemEnd) {
+  for (const auto& piece : pieces) {
+    if (piece.first >= elemEnd) {
+      return piece.second;
+    }
+  }
+  return pieces.empty() ? ocl::Event() : pieces.back().second;
+}
+
+/// Enqueues one logical data-parallel launch of `count` elements with
+/// work-group size `wg`, split into wg-aligned sub-launches pipelined
+/// against split upload pieces: slice i starts as soon as the pieces
+/// covering its elements have landed, while later pieces still stream
+/// over PCIe (double buffering). Slice boundaries are piece ends rounded
+/// *down* to `wg` (last slice absorbs the rest), so the slices partition
+/// the unsplit ND-range exactly — every work item runs once with the
+/// same global id, keeping total kernel cycles invariant; no slice reads
+/// elements its dependency pieces have not delivered. With no multi-
+/// piece list this degenerates to the plain single launch.
+///
+/// `baseDeps` must NOT contain the ready events of chunks whose piece
+/// lists are passed here (that event is the *last* piece — depending on
+/// it from every slice would serialize the pipeline).
+///
+/// Splitting is skipped when a slice would hold fewer than a few waves
+/// of work-groups per compute unit: small launches suffer wave
+/// quantization (the tail effect — a launch of ~1 group per CU runs as
+/// long as its slowest CU with nothing to backfill), which costs a
+/// compute-bound kernel far more than transfer overlap can win back.
+/// Memory-bound launches — where overlap pays — have their duration set
+/// by bytes moved, which splits exactly linearly.
+inline ocl::Event launchPipelined(
+    ocl::CommandQueue& queue, ocl::Kernel& kernel, std::size_t count,
+    std::size_t wg, const std::vector<ocl::Event>& baseDeps,
+    const std::vector<const UploadPieces*>& pieceLists) {
+  constexpr std::size_t kMinWavesPerSlice = 4;
+  const std::size_t total = roundUp(count, wg);
+  const UploadPieces* driver = nullptr;
+  for (const UploadPieces* list : pieceLists) {
+    if (list != nullptr && list->size() > 1 &&
+        (driver == nullptr || list->size() > driver->size())) {
+      driver = list;
+    }
+  }
+  if (driver != nullptr) {
+    const std::size_t cus = std::max<std::size_t>(
+        1, queue.device().spec().computeUnits);
+    const std::size_t minGroupsPerSlice = kMinWavesPerSlice * cus;
+    if (total / wg < driver->size() * minGroupsPerSlice) {
+      driver = nullptr;
+    }
+  }
+  if (driver == nullptr || total <= wg) {
+    std::vector<ocl::Event> deps = baseDeps;
+    for (const UploadPieces* list : pieceLists) {
+      if (list != nullptr && !list->empty()) {
+        appendEvent(deps, list->back().second);
+      }
+    }
+    return queue.enqueueNDRange(kernel, ocl::NDRange1D{total, wg}, deps);
+  }
+  ocl::Event last;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < driver->size(); ++i) {
+    const bool isLast = i + 1 == driver->size();
+    const std::size_t end =
+        isLast ? total : std::min((*driver)[i].first / wg * wg, total);
+    if (end <= begin) {
+      continue; // piece smaller than a work-group: next slice absorbs it
+    }
+    std::vector<ocl::Event> deps = baseDeps;
+    for (const UploadPieces* list : pieceLists) {
+      if (list != nullptr) {
+        appendEvent(deps, pieceCovering(*list, std::min(end, count)));
+      }
+    }
+    last = queue.enqueueNDRange(kernel,
+                                ocl::NDRange1D{end - begin, wg, begin}, deps);
+    begin = end;
+  }
+  return last;
 }
 
 } // namespace skelcl::detail

@@ -76,12 +76,29 @@ private:
       kernel.setArg(arg++, std::uint32_t(chunk.count));
       args.apply(kernel, arg, chunk.deviceIndex);
 
+      // The launch depends on the input upload (piecewise when it was
+      // split — sub-launches then pipeline against the pieces), vector
+      // arguments, and, when aliased, the output chunk's last writer.
+      const detail::UploadPieces pieces =
+          input.state().takeUploadPieces(chunk.deviceIndex);
+      std::vector<ocl::Event> deps;
+      if (pieces.empty()) {
+        detail::appendEvent(deps, chunk.ready);
+      }
+      if (!aliased) {
+        detail::appendEvent(
+            deps,
+            output.state().readyEventOn(chunk.deviceIndex));
+      }
+      args.collectDeps(deps, chunk.deviceIndex);
+
       const std::size_t wg =
           detail::effectiveWorkGroupSize(workGroupSize_, device);
-      runtime.queue(chunk.deviceIndex)
-          .enqueueNDRange(kernel,
-                          ocl::NDRange1D{detail::roundUp(chunk.count, wg),
-                                         wg});
+      ocl::Event done = detail::launchPipelined(
+          runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
+          {&pieces});
+      output.state().recordEventOn(chunk.deviceIndex, done);
+      args.recordEvent(done, chunk.deviceIndex);
     }
     output.state().markDevicesModified();
   }
@@ -139,12 +156,22 @@ public:
       kernel.setArg(arg++, std::uint32_t(chunk.count));
       args.apply(kernel, arg, chunk.deviceIndex);
 
+      // No sub-launch splitting here: a side-effect map may scatter to
+      // arbitrary indices of its argument vectors, so the whole launch
+      // waits for the whole input upload and every argument's writer.
+      std::vector<ocl::Event> deps;
+      detail::appendEvent(deps, chunk.ready);
+      args.collectDeps(deps, chunk.deviceIndex);
+
       const std::size_t wg =
           detail::effectiveWorkGroupSize(workGroupSize_, device);
-      runtime.queue(chunk.deviceIndex)
-          .enqueueNDRange(kernel,
-                          ocl::NDRange1D{detail::roundUp(chunk.count, wg),
-                                         wg});
+      ocl::Event done =
+          runtime.queue(chunk.deviceIndex)
+              .enqueueNDRange(
+                  kernel,
+                  ocl::NDRange1D{detail::roundUp(chunk.count, wg), wg},
+                  deps);
+      args.recordEvent(done, chunk.deviceIndex);
     }
   }
 

@@ -39,6 +39,7 @@ public:
 
     struct Partial {
       ocl::Buffer buffer;
+      ocl::Event ready;
       std::size_t deviceIndex;
     };
     std::vector<Partial> partials;
@@ -48,7 +49,9 @@ public:
       if (chunk.count == 0) {
         continue;
       }
-      // First pass applies f and reduces to per-group partials...
+      // First pass applies f and reduces to per-group partials; it
+      // starts as soon as this device's upload lands (chunk ready
+      // event) and runs concurrently with the other devices' passes.
       const auto& device = runtime.devices()[chunk.deviceIndex];
       auto& queue = runtime.queue(chunk.deviceIndex);
       const std::size_t groups =
@@ -59,7 +62,9 @@ public:
       kernel.setArg(0, chunk.buffer);
       kernel.setArg(1, stage);
       kernel.setArg(2, std::uint32_t(chunk.count));
-      queue.enqueueNDRange(kernel, ocl::NDRange1D{groups * kWg, kWg});
+      ocl::Event last =
+          queue.enqueueNDRange(kernel, ocl::NDRange1D{groups * kWg, kWg},
+                               detail::VectorState<Tin>::depsOf(chunk));
       // ...then plain reduction passes finish the device.
       std::size_t count = groups;
       ocl::Buffer buffer = stage;
@@ -72,11 +77,13 @@ public:
         reduce.setArg(0, buffer);
         reduce.setArg(1, next);
         reduce.setArg(2, std::uint32_t(count));
-        queue.enqueueNDRange(reduce, ocl::NDRange1D{g * kWg, kWg});
+        last = queue.enqueueNDRange(reduce, ocl::NDRange1D{g * kWg, kWg},
+                                    {last});
         buffer = std::move(next);
         count = g;
       }
-      partials.push_back(Partial{std::move(buffer), chunk.deviceIndex});
+      partials.push_back(
+          Partial{std::move(buffer), std::move(last), chunk.deviceIndex});
       if (copyDist) {
         break;
       }
@@ -86,30 +93,37 @@ public:
     if (partials.size() == 1) {
       Vector<Tout> holder;
       holder.state().adoptDeviceBuffer(partials[0].buffer, 1,
-                                       partials[0].deviceIndex);
+                                       partials[0].deviceIndex,
+                                       partials[0].ready);
       return Scalar<Tout>(std::move(holder));
     }
     // Cross-device combine on device 0 (device order = element order).
+    // Non-blocking downloads overlap on the devices' D2H links; the
+    // staging upload and final kernel chain on them through events.
     std::vector<Tout> values(partials.size());
+    std::vector<ocl::Event> reads;
     for (std::size_t i = 0; i < partials.size(); ++i) {
-      runtime.queue(partials[i].deviceIndex)
-          .enqueueReadBuffer(partials[i].buffer, 0, sizeof(Tout),
-                             &values[i], /*blocking=*/true);
+      reads.push_back(
+          runtime.queue(partials[i].deviceIndex)
+              .enqueueReadBuffer(partials[i].buffer, 0, sizeof(Tout),
+                                 &values[i], /*blocking=*/false,
+                                 {partials[i].ready}));
     }
     ocl::Buffer staging = runtime.context().createBuffer(
         runtime.devices()[0], values.size() * sizeof(Tout));
-    runtime.queue(0).enqueueWriteBuffer(staging, 0,
-                                        values.size() * sizeof(Tout),
-                                        values.data());
+    ocl::Event staged = runtime.queue(0).enqueueWriteBuffer(
+        staging, 0, values.size() * sizeof(Tout), values.data(), reads);
     ocl::Kernel reduce = combine.createKernel("skelcl_reduce_only");
     ocl::Buffer result =
         runtime.context().createBuffer(runtime.devices()[0], sizeof(Tout));
     reduce.setArg(0, staging);
     reduce.setArg(1, result);
     reduce.setArg(2, std::uint32_t(values.size()));
-    runtime.queue(0).enqueueNDRange(reduce, ocl::NDRange1D{kWg, kWg});
+    ocl::Event done = runtime.queue(0).enqueueNDRange(
+        reduce, ocl::NDRange1D{kWg, kWg}, {staged});
     Vector<Tout> holder;
-    holder.state().adoptDeviceBuffer(std::move(result), 1, 0);
+    holder.state().adoptDeviceBuffer(std::move(result), 1, 0,
+                                     std::move(done));
     return Scalar<Tout>(std::move(holder));
   }
 

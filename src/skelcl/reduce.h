@@ -39,8 +39,11 @@ public:
 
     // Per-device partial reduction. Under the copy distribution every
     // device holds the whole vector, so reducing one copy suffices.
+    // Each device's pass starts as soon as that device's upload lands
+    // (its chunk's ready event); nothing blocks the host in between.
     struct Partial {
       ocl::Buffer buffer;
+      ocl::Event ready;
       std::size_t deviceIndex;
     };
     std::vector<Partial> partials;
@@ -51,10 +54,13 @@ public:
       if (chunk.count == 0) {
         continue;
       }
-      partials.push_back(Partial{
+      auto reduced =
           reduceOnDevice(program, chunk.buffer, chunk.count,
-                         chunk.deviceIndex),
-          chunk.deviceIndex});
+                         chunk.deviceIndex,
+                         detail::VectorState<T>::depsOf(chunk));
+      partials.push_back(Partial{std::move(reduced.first),
+                                 std::move(reduced.second),
+                                 chunk.deviceIndex});
       if (copyDist) {
         break;
       }
@@ -64,28 +70,37 @@ public:
     if (partials.size() == 1) {
       Vector<T> holder;
       holder.state().adoptDeviceBuffer(partials[0].buffer, 1,
-                                       partials[0].deviceIndex);
+                                       partials[0].deviceIndex,
+                                       partials[0].ready);
       return Scalar<T>(std::move(holder));
     }
 
     // Combine the per-device results on device 0. Device order equals
-    // element order, so associativity is still all we need.
+    // element order, so associativity is still all we need. All reads
+    // are non-blocking (each depending on its device's reduction) and
+    // overlap across the devices' D2H links; the staging upload waits on
+    // them through events, never by stalling the host. The result is
+    // consumed at the Scalar's getValue(), which waits on the final
+    // event — the true consumption point.
     std::vector<T> values(partials.size());
+    std::vector<ocl::Event> reads;
     for (std::size_t i = 0; i < partials.size(); ++i) {
-      runtime.queue(partials[i].deviceIndex)
-          .enqueueReadBuffer(partials[i].buffer, 0, sizeof(T), &values[i],
-                             /*blocking=*/true);
+      reads.push_back(
+          runtime.queue(partials[i].deviceIndex)
+              .enqueueReadBuffer(partials[i].buffer, 0, sizeof(T),
+                                 &values[i], /*blocking=*/false,
+                                 {partials[i].ready}));
     }
     const auto& device0 = runtime.devices()[0];
     ocl::Buffer staging = runtime.context().createBuffer(
         device0, values.size() * sizeof(T));
-    runtime.queue(0).enqueueWriteBuffer(staging, 0,
-                                        values.size() * sizeof(T),
-                                        values.data());
-    ocl::Buffer result =
-        reduceOnDevice(program, staging, values.size(), 0);
+    ocl::Event staged = runtime.queue(0).enqueueWriteBuffer(
+        staging, 0, values.size() * sizeof(T), values.data(), reads);
+    auto finalReduce =
+        reduceOnDevice(program, staging, values.size(), 0, {staged});
     Vector<T> holder;
-    holder.state().adoptDeviceBuffer(std::move(result), 1, 0);
+    holder.state().adoptDeviceBuffer(std::move(finalReduce.first), 1, 0,
+                                     std::move(finalReduce.second));
     return Scalar<T>(std::move(holder));
   }
 
@@ -94,14 +109,20 @@ private:
   static constexpr std::size_t kMaxGroups = 64;
 
   /// Reduces `count` elements of `buffer` (on device `deviceIndex`) down
-  /// to a single element; returns the one-element result buffer.
-  ocl::Buffer reduceOnDevice(ocl::Program& program, ocl::Buffer buffer,
-                             std::size_t count, std::size_t deviceIndex) {
+  /// to a single element; the first pass waits on `deps`. Returns the
+  /// one-element result buffer and the event of the last pass.
+  std::pair<ocl::Buffer, ocl::Event> reduceOnDevice(
+      ocl::Program& program, ocl::Buffer buffer, std::size_t count,
+      std::size_t deviceIndex, std::vector<ocl::Event> deps) {
     auto& runtime = detail::Runtime::instance();
     auto& queue = runtime.queue(deviceIndex);
     const auto& device = runtime.devices()[deviceIndex];
 
     ocl::Buffer in = std::move(buffer);
+    ocl::Event last;
+    if (!deps.empty()) {
+      last = deps.front();
+    }
     while (count > 1) {
       const std::size_t groups =
           std::min(kMaxGroups, (count + kWg - 1) / kWg);
@@ -111,11 +132,13 @@ private:
       kernel.setArg(0, in);
       kernel.setArg(1, out);
       kernel.setArg(2, std::uint32_t(count));
-      queue.enqueueNDRange(kernel, ocl::NDRange1D{groups * kWg, kWg});
+      last = queue.enqueueNDRange(kernel,
+                                  ocl::NDRange1D{groups * kWg, kWg}, deps);
+      deps = {last};
       in = std::move(out);
       count = groups;
     }
-    return in;
+    return {std::move(in), std::move(last)};
   }
 
   std::string generateSource() const {

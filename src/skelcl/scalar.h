@@ -4,7 +4,11 @@
 //   float c = C.getValue();
 //
 // The value stays on the device until getValue() forces the download —
-// the same lazy-copying rule Vector follows.
+// the same lazy-copying rule Vector follows. The wrapped chunk carries
+// the reduction's completion event, so the skeleton call itself never
+// blocks: chained skeletons keep enqueueing while earlier reductions are
+// still in flight, and only getValue() waits (on the event-ordered
+// download) — the true consumption point.
 #pragma once
 
 #include "skelcl/vector.h"

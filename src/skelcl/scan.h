@@ -52,20 +52,27 @@ public:
 
     ocl::Buffer out = runtime.context().createBuffer(
         device, std::max<std::size_t>(1, n * sizeof(T)));
+    ocl::Event done;
     if (n > 0) {
-      scanBuffer(chunk.buffer, out, n, deviceIndex);
+      // The whole pass chains on the input upload through events; the
+      // result is downloaded only when the output vector is read on the
+      // host, waiting on `done` then.
+      done = scanBuffer(chunk.buffer, out, n, deviceIndex,
+                        detail::VectorState<T>::depsOf(chunk));
     }
 
     Vector<T> output;
-    output.state().adoptDeviceBuffer(std::move(out), n, deviceIndex);
+    output.state().adoptDeviceBuffer(std::move(out), n, deviceIndex,
+                                     std::move(done));
     return output;
   }
 
 private:
   static constexpr std::size_t kWg = 256; // power of two (Blelloch tree)
 
-  void scanBuffer(const ocl::Buffer& in, const ocl::Buffer& out,
-                  std::size_t n, std::size_t deviceIndex) {
+  ocl::Event scanBuffer(const ocl::Buffer& in, const ocl::Buffer& out,
+                        std::size_t n, std::size_t deviceIndex,
+                        const std::vector<ocl::Event>& deps) {
     auto& runtime = detail::Runtime::instance();
     auto& queue = runtime.queue(deviceIndex);
     const auto& device = runtime.devices()[deviceIndex];
@@ -80,19 +87,24 @@ private:
     block.setArg(1, out);
     block.setArg(2, sums);
     block.setArg(3, std::uint32_t(n));
-    queue.enqueueNDRange(block, ocl::NDRange1D{groups * kWg, kWg});
+    ocl::Event blocked =
+        queue.enqueueNDRange(block, ocl::NDRange1D{groups * kWg, kWg},
+                             deps);
 
     if (groups > 1) {
       ocl::Buffer sumsScanned =
           runtime.context().createBuffer(device, groups * sizeof(T));
-      scanBuffer(sums, sumsScanned, groups, deviceIndex);
+      ocl::Event sumsDone =
+          scanBuffer(sums, sumsScanned, groups, deviceIndex, {blocked});
 
       ocl::Kernel add = program.createKernel("skelcl_scan_add");
       add.setArg(0, out);
       add.setArg(1, sumsScanned);
       add.setArg(2, std::uint32_t(n));
-      queue.enqueueNDRange(add, ocl::NDRange1D{groups * kWg, kWg});
+      return queue.enqueueNDRange(add, ocl::NDRange1D{groups * kWg, kWg},
+                                  {blocked, sumsDone});
     }
+    return blocked;
   }
 
   std::string generateSource() const {

@@ -5,6 +5,12 @@
 //    reads it holds a stale copy ("Before every data transfer, the vector
 //    implementation checks whether the data transfer is necessary; only
 //    then the data is actually transferred");
+//  * *asynchronous* transfers: every upload/download is a non-blocking
+//    enqueue whose completion event rides on the chunk (Chunk::ready);
+//    skeleton launches depend on those events instead of finish(), so
+//    transfers overlap compute on the device's DMA engines, and large
+//    uploads are split into pieces that double-buffer against the first
+//    consuming kernel (see upload());
 //  * multi-device distributions (single / copy / block) with automatic
 //    redistribution, including a user combine function when collapsing
 //    copies into blocks (Sec. III-D, used by list-mode OSEM).
@@ -33,6 +39,15 @@ struct Chunk {
   std::size_t deviceIndex = 0;
   std::size_t offset = 0; // element offset into the full vector
   std::size_t count = 0;  // element count on this device
+  /// Event of the last command that wrote this chunk (upload, kernel,
+  /// combine...). Invalid when the chunk was never written on-device.
+  /// Consumers pass it as a dependency instead of calling finish().
+  ocl::Event ready;
+  /// When the last upload was split for double buffering: (end element,
+  /// event) per piece, ascending. A skeleton can launch the sub-range
+  /// covered by piece i as soon as that piece's transfer lands, instead
+  /// of waiting for `ready` (the last piece). Cleared once consumed.
+  std::vector<std::pair<std::size_t, ocl::Event>> pieces;
 };
 
 /// Type-erased interface so Arguments can hold vectors of any element
@@ -47,6 +62,13 @@ public:
   virtual const Chunk& chunkForDevice(std::size_t deviceIndex) const = 0;
   virtual void markDevicesModified() = 0;
   virtual std::string elementTypeName() const = 0;
+  /// Event the device-`deviceIndex` chunk becomes valid at (invalid Event
+  /// when the vector has no chunk there or it was never written).
+  virtual ocl::Event readyEventOn(std::size_t deviceIndex) const = 0;
+  /// Records `event` as the last writer of the device-`deviceIndex`
+  /// chunk, so later consumers depend on it instead of a finish().
+  virtual void recordEventOn(std::size_t deviceIndex,
+                             const ocl::Event& event) = 0;
 };
 
 template <typename T>
@@ -144,28 +166,46 @@ public:
       const auto& device = runtime.devices()[d];
       block.buffer = runtime.context().createBuffer(
           device, std::max<std::size_t>(1, block.count * sizeof(T)));
-      // Own portion seeds the block.
-      queue.enqueueCopyBuffer(chunks_[d].buffer, block.offset * sizeof(T),
-                              block.buffer, 0, block.count * sizeof(T));
-      // Fold in every other device's copy of the same region.
-      ocl::Buffer temp = runtime.context().createBuffer(
+      // Own portion seeds the block (depends on the chunk being valid).
+      ocl::Event seeded = queue.enqueueCopyBuffer(
+          chunks_[d].buffer, block.offset * sizeof(T), block.buffer, 0,
+          block.count * sizeof(T), depsOf(chunks_[d]));
+      // Fold in every other device's copy of the same region. Two temp
+      // buffers double-buffer the pipeline: the cross-device copy of
+      // portion j+1 streams over PCIe into one temp while the combine
+      // kernel folds the other temp into the block.
+      ocl::Buffer temps[2];
+      ocl::Event tempFree[2]; // last kernel that *read* each temp
+      temps[0] = runtime.context().createBuffer(
           device, std::max<std::size_t>(1, block.count * sizeof(T)));
+      temps[1] = runtime.context().createBuffer(
+          device, std::max<std::size_t>(1, block.count * sizeof(T)));
+      ocl::Event folded = seeded;
+      std::size_t slot = 0;
       for (std::size_t j = 0; j < devices; ++j) {
         if (j == d || block.count == 0) {
           continue;
         }
-        queue.enqueueCopyBuffer(chunks_[j].buffer,
-                                block.offset * sizeof(T), temp, 0,
-                                block.count * sizeof(T));
+        std::vector<ocl::Event> copyDeps = depsOf(chunks_[j]);
+        if (tempFree[slot].valid()) {
+          copyDeps.push_back(tempFree[slot]);
+        }
+        ocl::Event copied = queue.enqueueCopyBuffer(
+            chunks_[j].buffer, block.offset * sizeof(T), temps[slot], 0,
+            block.count * sizeof(T), copyDeps);
         ocl::Kernel kernel = program.createKernel("skelcl_combine");
         kernel.setArg(0, block.buffer);
-        kernel.setArg(1, temp);
+        kernel.setArg(1, temps[slot]);
         kernel.setArg(2, std::uint32_t(block.count));
         const std::size_t wg = std::min<std::size_t>(
             runtime.defaultWorkGroupSize(), device.maxWorkGroupSize());
         const std::size_t global = (block.count + wg - 1) / wg * wg;
-        queue.enqueueNDRange(kernel, ocl::NDRange1D{global, wg});
+        folded = queue.enqueueNDRange(kernel, ocl::NDRange1D{global, wg},
+                                      {copied, folded});
+        tempFree[slot] = folded;
+        slot ^= 1;
       }
+      block.ready = folded;
     }
     chunks_ = std::move(blocks);
     dist_ = Distribution::Block;
@@ -219,17 +259,65 @@ public:
 
   std::string elementTypeName() const override { return typeName<T>(); }
 
+  ocl::Event readyEventOn(std::size_t deviceIndex) const override {
+    for (const Chunk& chunk : chunks_) {
+      if (chunk.deviceIndex == deviceIndex) {
+        return chunk.ready;
+      }
+    }
+    return ocl::Event();
+  }
+
+  void recordEventOn(std::size_t deviceIndex,
+                     const ocl::Event& event) override {
+    for (Chunk& chunk : chunks_) {
+      if (chunk.deviceIndex == deviceIndex) {
+        chunk.ready = event;
+        chunk.pieces.clear();
+        return;
+      }
+    }
+  }
+
+  /// Moves the split-upload piece events of the device-`deviceIndex`
+  /// chunk out (empty when the last upload was not split). Consuming
+  /// skeletons call this once and pipeline their sub-launches against
+  /// the pieces; afterwards only Chunk::ready remains.
+  std::vector<std::pair<std::size_t, ocl::Event>> takeUploadPieces(
+      std::size_t deviceIndex) {
+    for (Chunk& chunk : chunks_) {
+      if (chunk.deviceIndex == deviceIndex) {
+        return std::move(chunk.pieces);
+      }
+    }
+    return {};
+  }
+
+  /// Dependency list for commands reading `chunk`: its ready event when
+  /// it has one, nothing otherwise.
+  static std::vector<ocl::Event> depsOf(const Chunk& chunk) {
+    std::vector<ocl::Event> deps;
+    if (chunk.ready.valid()) {
+      deps.push_back(chunk.ready);
+    }
+    return deps;
+  }
+
   /// Adopts an existing device buffer as this vector's single-device
   /// contents (used by Reduce/Scan to wrap their result buffers without
-  /// a round-trip through the host).
+  /// a round-trip through the host). `ready` is the event of the command
+  /// that produced the buffer contents; the eventual download depends on
+  /// it instead of the producer having to finish() first.
   void adoptDeviceBuffer(ocl::Buffer buffer, std::size_t count,
-                         std::size_t deviceIndex) {
+                         std::size_t deviceIndex,
+                         ocl::Event ready = ocl::Event()) {
     host_.assign(count, T{});
     Chunk chunk;
     chunk.buffer = std::move(buffer);
     chunk.deviceIndex = deviceIndex;
     chunk.offset = 0;
     chunk.count = count;
+    chunk.ready = std::move(ready);
     chunks_ = {std::move(chunk)};
     dist_ = Distribution::Single;
     singleDevice_ = deviceIndex;
@@ -268,7 +356,7 @@ public:
                   .enqueueReadBuffer(chunk.buffer, 0,
                                      chunk.count * sizeof(T),
                                      host_.data() + chunk.offset,
-                                     /*blocking=*/false));
+                                     /*blocking=*/false, depsOf(chunk)));
         }
         break;
       case Distribution::Copy:
@@ -279,7 +367,7 @@ public:
               runtime.queue(chunk.deviceIndex)
                   .enqueueReadBuffer(chunk.buffer, 0,
                                      chunk.count * sizeof(T), host_.data(),
-                                     /*blocking=*/false));
+                                     /*blocking=*/false, depsOf(chunk)));
         }
         break;
     }
@@ -290,6 +378,13 @@ public:
   }
 
 private:
+  /// Minimum bytes per upload piece. Every piece pays the fixed PCIe
+  /// latency (~8us) on top of its bandwidth time, so pieces must be
+  /// large enough to keep that tax a small fraction (1 MiB at ~5 GB/s
+  /// is ~200us of bandwidth time, making the latency < 5%); smaller
+  /// uploads transfer in one piece and overlap nothing.
+  static constexpr std::size_t kSplitMinBytes = 1024 * 1024;
+
   std::vector<Chunk> blockLayout(std::size_t devices) const {
     std::vector<Chunk> layout;
     const std::size_t n = host_.size();
@@ -348,13 +443,41 @@ private:
     }
   }
 
+  /// Uploads every stale chunk. Large chunks are split into
+  /// Runtime::transferPieces() back-to-back writes so a consumer can
+  /// start computing on piece i while piece i+1 still streams over PCIe
+  /// (double buffering); the per-piece events land in Chunk::pieces and
+  /// the last one becomes Chunk::ready. The H2D engine runs the pieces
+  /// FIFO, so total transfer time is unchanged.
   void upload() {
     auto& runtime = Runtime::instance();
-    for (const Chunk& chunk : chunks_) {
+    for (Chunk& chunk : chunks_) {
       if (chunk.count == 0) continue;
-      runtime.queue(chunk.deviceIndex)
-          .enqueueWriteBuffer(chunk.buffer, 0, chunk.count * sizeof(T),
-                              host_.data() + chunk.offset);
+      auto& queue = runtime.queue(chunk.deviceIndex);
+      chunk.pieces.clear();
+      const std::size_t bytes = chunk.count * sizeof(T);
+      // Every piece must stay >= kSplitMinBytes: each one pays the fixed
+      // PCIe latency, so small pieces cost more than overlap wins.
+      const std::size_t pieces = std::min(
+          runtime.transferPieces(),
+          std::min(chunk.count, bytes / kSplitMinBytes));
+      if (pieces <= 1) {
+        chunk.ready = queue.enqueueWriteBuffer(
+            chunk.buffer, 0, bytes, host_.data() + chunk.offset);
+        continue;
+      }
+      std::size_t begin = 0;
+      for (std::size_t p = 0; p < pieces; ++p) {
+        const std::size_t end =
+            p + 1 == pieces ? chunk.count : (p + 1) * chunk.count / pieces;
+        if (end == begin) continue;
+        ocl::Event event = queue.enqueueWriteBuffer(
+            chunk.buffer, begin * sizeof(T), (end - begin) * sizeof(T),
+            host_.data() + chunk.offset + begin);
+        chunk.pieces.emplace_back(end, event);
+        chunk.ready = event;
+        begin = end;
+      }
     }
   }
 

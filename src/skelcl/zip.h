@@ -94,12 +94,34 @@ private:
       kernel.setArg(arg++, std::uint32_t(chunk.count));
       args.apply(kernel, arg, chunk.deviceIndex);
 
+      // Depend on both operands' uploads — piecewise where split, so
+      // sub-launches pipeline against whichever transfer streams last —
+      // plus vector arguments and the aliased output's last writer.
+      const bool sameState =
+          static_cast<const void*>(&right.state()) ==
+          static_cast<const void*>(&left.state());
+      const detail::UploadPieces leftPieces =
+          left.state().takeUploadPieces(chunk.deviceIndex);
+      const detail::UploadPieces rightPieces =
+          sameState ? detail::UploadPieces{}
+                    : right.state().takeUploadPieces(chunk.deviceIndex);
+      std::vector<ocl::Event> deps;
+      if (leftPieces.empty()) {
+        detail::appendEvent(deps, chunk.ready);
+      }
+      if (!sameState && rightPieces.empty()) {
+        detail::appendEvent(
+            deps, right.state().readyEventOn(chunk.deviceIndex));
+      }
+      args.collectDeps(deps, chunk.deviceIndex);
+
       const std::size_t wg =
           detail::effectiveWorkGroupSize(workGroupSize_, device);
-      runtime.queue(chunk.deviceIndex)
-          .enqueueNDRange(kernel,
-                          ocl::NDRange1D{detail::roundUp(chunk.count, wg),
-                                         wg});
+      ocl::Event done = detail::launchPipelined(
+          runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
+          {&leftPieces, &rightPieces});
+      output.state().recordEventOn(chunk.deviceIndex, done);
+      args.recordEvent(done, chunk.deviceIndex);
     }
     output.state().markDevicesModified();
   }

@@ -139,6 +139,128 @@ TEST_F(OclTiming, CudaBackendIsFasterThanOpenCl) {
   EXPECT_LT(double(opencl) / double(cuda), 1.8);
 }
 
+// --- Engine timelines and out-of-order scheduling (overlap model) ---
+
+class OclEngines : public OclTiming {
+protected:
+  void SetUp() override {
+    OclTiming::SetUp();
+    ctx_ = ocl::Context({gpus_[0]});
+    queue_ = ocl::CommandQueue(gpus_[0], ocl::Backend::OpenCL,
+                               ocl::QueueOrder::OutOfOrder);
+    program_ = ctx_.createProgram(R"(
+      __kernel void f(__global float* data, uint n) {
+        size_t i = get_global_id(0);
+        if (i < n) data[i] = data[i] * 2.0f + 1.0f;
+      }
+    )");
+    program_.build();
+  }
+
+  ocl::Event launchKernel(const ocl::Buffer& buf, std::size_t n,
+                          const std::vector<ocl::Event>& deps = {}) {
+    ocl::Kernel kernel = program_.createKernel("f");
+    kernel.setArg(0, buf);
+    kernel.setArg(1, std::uint32_t(n));
+    return queue_.enqueueNDRange(
+        kernel, ocl::NDRange1D{(n + 255) / 256 * 256, 256}, deps);
+  }
+
+  ocl::Context ctx_;
+  ocl::CommandQueue queue_;
+  ocl::Program program_;
+};
+
+TEST_F(OclEngines, CommandsReportTheirEngine) {
+  std::vector<float> data(1 << 12, 1.0f);
+  const std::size_t bytes = data.size() * sizeof(float);
+  ocl::Buffer buf = ctx_.createBuffer(gpus_[0], bytes);
+  ocl::Event up = queue_.enqueueWriteBuffer(buf, 0, bytes, data.data());
+  ocl::Event k = launchKernel(buf, data.size(), {up});
+  ocl::Event down = queue_.enqueueReadBuffer(buf, 0, bytes, data.data(),
+                                             /*blocking=*/false, {k});
+  EXPECT_EQ(up.engine(), ocl::Engine::HostToDevice);
+  EXPECT_EQ(k.engine(), ocl::Engine::Compute);
+  EXPECT_EQ(down.engine(), ocl::Engine::DeviceToHost);
+}
+
+TEST_F(OclEngines, IndependentWriteOverlapsCompute) {
+  // A kernel occupies the compute engine; an independent upload runs on
+  // the free H2D DMA engine and starts before the kernel ends — the
+  // overlap a single-timeline device model cannot express.
+  std::vector<float> a(1 << 18, 1.0f), b(8 << 20, 0.0f);
+  ocl::Buffer bufA = ctx_.createBuffer(gpus_[0], a.size() * sizeof(float));
+  ocl::Buffer bufB = ctx_.createBuffer(gpus_[0], b.size() * sizeof(float));
+  ocl::Event seed = queue_.enqueueWriteBuffer(
+      bufA, 0, a.size() * sizeof(float), a.data());
+  ocl::Event k = launchKernel(bufA, a.size(), {seed});
+  ocl::Event up = queue_.enqueueWriteBuffer(
+      bufB, 0, b.size() * sizeof(float), b.data());
+  EXPECT_LT(up.startNs(), k.endNs());
+  EXPECT_GT(up.endNs(), k.startNs()); // genuinely concurrent intervals
+}
+
+TEST_F(OclEngines, DependentCommandNeverStartsBeforeDependency) {
+  std::vector<float> data(4 << 20, 1.0f);
+  const std::size_t bytes = data.size() * sizeof(float);
+  ocl::Buffer buf = ctx_.createBuffer(gpus_[0], bytes);
+  ocl::Event up = queue_.enqueueWriteBuffer(buf, 0, bytes, data.data());
+  ocl::Event k = launchKernel(buf, data.size(), {up});
+  EXPECT_GE(k.startNs(), up.endNs());
+  ocl::Event down = queue_.enqueueReadBuffer(buf, 0, bytes, data.data(),
+                                             /*blocking=*/false, {k});
+  EXPECT_GE(down.startNs(), k.endNs());
+}
+
+TEST_F(OclEngines, SameEngineExecutesFifo) {
+  // No explicit dependency, but both commands occupy the H2D DMA engine:
+  // they serialize FIFO even on an out-of-order queue.
+  std::vector<float> data(1 << 20, 1.0f);
+  const std::size_t bytes = data.size() * sizeof(float);
+  ocl::Buffer buf = ctx_.createBuffer(gpus_[0], bytes);
+  ocl::Event e1 = queue_.enqueueWriteBuffer(buf, 0, bytes, data.data());
+  ocl::Event e2 = queue_.enqueueWriteBuffer(buf, 0, bytes, data.data());
+  EXPECT_GE(e2.startNs(), e1.endNs());
+}
+
+TEST_F(OclEngines, FinishWaitsForAllThreeEngines) {
+  std::vector<float> a(1 << 18, 1.0f), b(8 << 20, 0.0f);
+  std::vector<float> out(1 << 18, 0.0f);
+  ocl::Buffer bufA = ctx_.createBuffer(gpus_[0], a.size() * sizeof(float));
+  ocl::Buffer bufB = ctx_.createBuffer(gpus_[0], b.size() * sizeof(float));
+  ocl::Event seed = queue_.enqueueWriteBuffer(
+      bufA, 0, a.size() * sizeof(float), a.data());
+  ocl::Event k = launchKernel(bufA, a.size(), {seed});
+  ocl::Event down = queue_.enqueueReadBuffer(
+      bufA, 0, out.size() * sizeof(float), out.data(),
+      /*blocking=*/false, {k});
+  ocl::Event up = queue_.enqueueWriteBuffer(
+      bufB, 0, b.size() * sizeof(float), b.data());
+  const std::uint64_t lastEnd =
+      std::max({k.endNs(), down.endNs(), up.endNs()});
+  EXPECT_LT(ocl::hostTimeNs(), lastEnd); // enqueues returned immediately
+  queue_.finish();
+  EXPECT_EQ(ocl::hostTimeNs(), lastEnd); // max over all three engines
+}
+
+TEST_F(OclEngines, InOrderQueueSerializesAcrossEngines) {
+  // The same command pair on an in-order queue: the independent upload
+  // still waits for the kernel (classic single-timeline behavior).
+  ocl::CommandQueue inOrder(gpus_[0]);
+  std::vector<float> a(1 << 18, 1.0f), b(8 << 20, 0.0f);
+  ocl::Buffer bufA = ctx_.createBuffer(gpus_[0], a.size() * sizeof(float));
+  ocl::Buffer bufB = ctx_.createBuffer(gpus_[0], b.size() * sizeof(float));
+  inOrder.enqueueWriteBuffer(bufA, 0, a.size() * sizeof(float), a.data());
+  ocl::Kernel kernel = program_.createKernel("f");
+  kernel.setArg(0, bufA);
+  kernel.setArg(1, std::uint32_t(a.size()));
+  ocl::Event k = inOrder.enqueueNDRange(
+      kernel, ocl::NDRange1D{(a.size() + 255) / 256 * 256, 256});
+  ocl::Event up = inOrder.enqueueWriteBuffer(
+      bufB, 0, b.size() * sizeof(float), b.data());
+  EXPECT_GE(up.startNs(), k.endNs());
+}
+
 TEST_F(OclTiming, MoreComputeUnitsRunFaster) {
   ocl::DeviceSpec big = ocl::DeviceSpec::teslaT10();
   ocl::DeviceSpec half = big;

@@ -1,0 +1,139 @@
+// Scheduling-invariance regression for the transfer/compute-overlap
+// runtime: the same chained-skeleton workload run on out-of-order queues
+// (default) and with SKELCL_SERIALIZE=1 (classic in-order queues) must
+// produce bit-identical buffers and identical total simulated kernel
+// cycles — overlap changes *when* commands run, never what they compute
+// — and the overlapped schedule must never be slower.
+#include "skelcl_test_util.h"
+
+namespace {
+
+using skelcl::Arguments;
+using skelcl::Distribution;
+using skelcl::Map;
+using skelcl::Reduce;
+using skelcl::Scalar;
+using skelcl::Vector;
+using skelcl::Zip;
+
+struct RunOutput {
+  std::vector<float> result;
+  std::uint64_t virtualNs = 0;
+  std::uint64_t kernelCycles = 0;
+};
+
+std::uint64_t sumQueueCycles() {
+  auto& runtime = skelcl::detail::Runtime::instance();
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d < runtime.deviceCount(); ++d) {
+    total += runtime.queue(d).cumulativeKernelCycles();
+  }
+  return total;
+}
+
+void initRuntime(bool serialized, std::uint32_t gpus) {
+  if (serialized) {
+    ::setenv("SKELCL_SERIALIZE", "1", 1);
+  } else {
+    ::unsetenv("SKELCL_SERIALIZE");
+  }
+  skelcl_test::useTempCacheDir();
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+}
+
+void syncAllQueues() {
+  auto& runtime = skelcl::detail::Runtime::instance();
+  for (std::size_t d = 0; d < runtime.deviceCount(); ++d) {
+    runtime.queue(d).finish();
+  }
+}
+
+/// Map -> Zip -> Reduce chain on one GPU. The input is big enough that
+/// its upload is split into pieces and the Zip pipelines against them.
+RunOutput runChain(bool serialized) {
+  initRuntime(serialized, 1);
+  RunOutput out;
+  {
+    Map<float> inc("float inc(float x) { return x + 1.0f; }");
+    Zip<float> add("float add(float x, float y) { return x + y; }");
+    Reduce<float> sum("float sum(float x, float y) { return x + y; }");
+
+    const std::size_t n = std::size_t(1) << 19; // 2 MiB: split upload
+    std::vector<float> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = float(i % 97) * 0.5f;
+    }
+    const std::uint64_t t0 = ocl::hostTimeNs();
+    Vector<float> x(std::move(data));
+    Vector<float> y = inc(x);
+    Vector<float> z = add(x, y);
+    Scalar<float> s = sum(z);
+    out.result = z.hostData();
+    out.result.push_back(s.getValue());
+    syncAllQueues();
+    out.virtualNs = ocl::hostTimeNs() - t0;
+    out.kernelCycles = sumQueueCycles();
+  }
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SERIALIZE");
+  return out;
+}
+
+/// Copy -> block redistribution with a combine function on 4 GPUs: the
+/// path whose cross-device copies double-buffer against the combine
+/// kernels when overlap is on.
+RunOutput runMerge(bool serialized) {
+  initRuntime(serialized, 4);
+  RunOutput out;
+  {
+    Map<float> touch("float touch(float x) { return x * 2.0f; }");
+    const std::size_t n = std::size_t(1) << 14;
+    const std::uint64_t t0 = ocl::hostTimeNs();
+    Vector<float> c(n, 1.5f);
+    c.setDistribution(Distribution::Copy);
+    touch(c, Arguments{}, c); // dirty every device's copy on-device
+    c.setDistribution(Distribution::Block,
+                      "float add(float x, float y) { return x + y; }");
+    out.result = c.hostData();
+    syncAllQueues();
+    out.virtualNs = ocl::hostTimeNs() - t0;
+    out.kernelCycles = sumQueueCycles();
+  }
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SERIALIZE");
+  return out;
+}
+
+TEST(OverlapRegression, ChainedSkeletonsMatchSerializedMode) {
+  const RunOutput serialized = runChain(/*serialized=*/true);
+  const RunOutput overlapped = runChain(/*serialized=*/false);
+  EXPECT_EQ(serialized.result, overlapped.result); // bit-identical
+  EXPECT_EQ(serialized.kernelCycles, overlapped.kernelCycles);
+  EXPECT_LE(overlapped.virtualNs, serialized.virtualNs);
+}
+
+TEST(OverlapRegression, CopyToBlockMergeMatchesSerializedMode) {
+  const RunOutput serialized = runMerge(/*serialized=*/true);
+  const RunOutput overlapped = runMerge(/*serialized=*/false);
+  EXPECT_EQ(serialized.result, overlapped.result); // bit-identical
+  EXPECT_EQ(serialized.kernelCycles, overlapped.kernelCycles);
+  EXPECT_LE(overlapped.virtualNs, serialized.virtualNs);
+}
+
+TEST(OverlapRegression, SerializeEnvSelectsInOrderQueues) {
+  initRuntime(/*serialized=*/true, 1);
+  EXPECT_TRUE(skelcl::detail::Runtime::instance().serializedQueues());
+  EXPECT_EQ(skelcl::detail::Runtime::instance().queue(0).order(),
+            ocl::QueueOrder::InOrder);
+  skelcl::terminate();
+
+  initRuntime(/*serialized=*/false, 1);
+  EXPECT_FALSE(skelcl::detail::Runtime::instance().serializedQueues());
+  EXPECT_EQ(skelcl::detail::Runtime::instance().queue(0).order(),
+            ocl::QueueOrder::OutOfOrder);
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SERIALIZE");
+}
+
+} // namespace
