@@ -62,8 +62,10 @@ void setSerialized(bool serialized) {
 /// bound kernels + large uploads => transfer dominated; the overlap run
 /// pipelines upload pieces into the Zip and keeps every reduction on the
 /// device until the final getValue().
-RunResult runDotChain(bool serialized, bool smoke) {
+RunResult runDotChain(bool serialized, bool smoke,
+                      const std::string& traceTag) {
   setSerialized(serialized);
+  bench::ScopedTrace trace(traceTag);
   bench::setupSystem(1);
 
   const std::size_t n = smoke ? std::size_t(1) << 16
@@ -111,8 +113,10 @@ RunResult runDotChain(bool serialized, bool smoke) {
 /// combine function. The overlap run streams each foreign portion into
 /// one temporary while the combine kernel folds the other (double
 /// buffering), and the four devices' merges proceed concurrently.
-RunResult runOsemMerge(bool serialized, bool smoke) {
+RunResult runOsemMerge(bool serialized, bool smoke,
+                       const std::string& traceTag) {
   setSerialized(serialized);
+  bench::ScopedTrace trace(traceTag);
   bench::setupSystem(4);
 
   const std::size_t n =
@@ -150,8 +154,10 @@ RunResult runOsemMerge(bool serialized, bool smoke) {
 /// element) on a strictly sequential upload -> kernel -> download chain.
 /// Every command depends on the previous one, so the event-graph
 /// scheduler has nothing to overlap and both modes must coincide.
-RunResult runComputeBound(bool serialized, bool smoke) {
+RunResult runComputeBound(bool serialized, bool smoke,
+                          const std::string& traceTag) {
   setSerialized(serialized);
+  bench::ScopedTrace trace(traceTag);
   bench::setupSystem(1);
 
   const std::size_t n = smoke ? std::size_t(1) << 14
@@ -188,13 +194,16 @@ RunResult runComputeBound(bool serialized, bool smoke) {
 
 struct Scenario {
   const char* name;
-  RunResult (*run)(bool serialized, bool smoke);
+  RunResult (*run)(bool serialized, bool smoke,
+                   const std::string& traceTag);
   bool expectStrictWin; // overlapped must be strictly below serialized
 };
 
 bool compare(const Scenario& s, bool smoke) {
-  const RunResult serialized = s.run(/*serialized=*/true, smoke);
-  const RunResult overlapped = s.run(/*serialized=*/false, smoke);
+  const RunResult serialized =
+      s.run(/*serialized=*/true, smoke, std::string(s.name) + ".ser");
+  const RunResult overlapped =
+      s.run(/*serialized=*/false, smoke, std::string(s.name) + ".ooo");
 
   const bool identical = serialized.outputs == overlapped.outputs;
   const bool cyclesInvariant =
@@ -212,15 +221,15 @@ bool compare(const Scenario& s, bool smoke) {
               double(overlapped.virtualNs) * 1e-6, ratio,
               identical ? "identical" : "DIFFER",
               cyclesInvariant ? "cycles-invariant" : "CYCLES-DRIFT");
-  std::printf("BENCH {\"bench\":\"ablation_overlap\",\"scenario\":\"%s\","
-              "\"serialized_ms\":%.6f,\"overlapped_ms\":%.6f,"
-              "\"ratio\":%.4f,\"kernel_cycles\":%llu,"
-              "\"outputs_identical\":%s,\"cycles_invariant\":%s}\n",
-              s.name, double(serialized.virtualNs) * 1e-6,
-              double(overlapped.virtualNs) * 1e-6, ratio,
-              (unsigned long long)overlapped.kernelCycles,
-              identical ? "true" : "false",
-              cyclesInvariant ? "true" : "false");
+  bench::BenchJson("ablation_overlap")
+      .field("scenario", s.name)
+      .field("serialized_ms", double(serialized.virtualNs) * 1e-6)
+      .field("overlapped_ms", double(overlapped.virtualNs) * 1e-6)
+      .field("ratio", ratio)
+      .field("kernel_cycles", overlapped.kernelCycles)
+      .field("outputs_identical", identical)
+      .field("cycles_invariant", cyclesInvariant)
+      .print();
 
   return identical && cyclesInvariant && timeOk;
 }
@@ -235,6 +244,10 @@ int main(int argc, char** argv) {
     }
   }
   bench::setupCacheDir("ablation-overlap");
+  // Claim SKELCL_TRACE before the first init(): each scenario run writes
+  // its own <base>.<scenario>.<ser|ooo>.sktrace instead of the runtime
+  // overwriting one file per init()/terminate() cycle.
+  bench::traceSpec();
 
   const Scenario scenarios[] = {
       {"dot_chain", runDotChain, true},

@@ -4,15 +4,19 @@
 // shape comparison is visible in one place (see EXPERIMENTS.md).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/byte_stream.h"
+#include "common/env.h"
 #include "common/string_util.h"
 #include "ocl/ocl.h"
 #include "skelcl/skelcl.h"
+#include "trace/recorder.h"
+#include "trace/serialize.h"
 
 namespace bench {
 
@@ -28,11 +32,110 @@ inline std::size_t fileLoc(const std::string& path) {
 /// values enlarge workloads toward the paper's sizes; the default keeps
 /// every binary comfortable on an interpreted substrate.
 inline double scale() {
-  if (const char* env = std::getenv("SKELCL_BENCH_SCALE")) {
-    return std::atof(env);
-  }
-  return 1.0;
+  return common::envDouble("SKELCL_BENCH_SCALE", 1.0);
 }
+
+/// Trace destination requested via SKELCL_TRACE, claimed by the bench
+/// harness: the first call caches the value and *unsets* the variable so
+/// the SkelCL runtime does not also try to manage the trace across the
+/// init()/terminate() cycles benches run internally. Benches that
+/// support tracing wrap each measured region in a ScopedTrace, which
+/// derives per-run file names from this base path.
+inline const std::string& traceSpec() {
+  static const std::string spec = [] {
+    std::string s = common::envStr("SKELCL_TRACE");
+    if (!s.empty()) {
+      ::unsetenv("SKELCL_TRACE");
+    }
+    return s;
+  }();
+  return spec;
+}
+
+/// Records one benchmark run into `<traceSpec>.<tag>.sktrace` (binary
+/// skeltrace format). No-op when SKELCL_TRACE was not set. Construct
+/// after the scenario decided its env knobs and before setupSystem();
+/// the trace is written at scope exit.
+class ScopedTrace {
+public:
+  explicit ScopedTrace(const std::string& tag) {
+    if (traceSpec().empty()) {
+      return;
+    }
+    path_ = traceSpec() + "." + tag + ".sktrace";
+    trace::Recorder::instance().start();
+    active_ = true;
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+  ~ScopedTrace() {
+    if (!active_) {
+      return;
+    }
+    try {
+      trace::writeTraceFile(path_, trace::Recorder::instance().stop());
+      std::printf("trace: %s\n", path_.c_str());
+    } catch (const common::Error& e) {
+      std::fprintf(stderr, "cannot write trace %s: %s\n", path_.c_str(),
+                   e.what());
+    }
+  }
+
+  const std::string& path() const noexcept { return path_; }
+
+private:
+  std::string path_;
+  bool active_ = false;
+};
+
+/// Builds the machine-readable `BENCH {...}` line every bench prints per
+/// measurement (one JSON object per line; EXPERIMENTS.md scrapes them).
+/// print() appends the trace file base when SKELCL_TRACE is active, so
+/// results and their traces stay associated.
+class BenchJson {
+public:
+  explicit BenchJson(const std::string& benchName) {
+    body_ = "\"bench\":\"" + benchName + "\"";
+  }
+
+  BenchJson& field(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + value + "\"");
+  }
+  BenchJson& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  BenchJson& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    return raw(key, buf);
+  }
+  BenchJson& field(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  BenchJson& field(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+  BenchJson& field(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+
+  void print() {
+    if (!traceSpec().empty()) {
+      field("trace", traceSpec());
+    }
+    std::printf("BENCH {%s}\n", body_.c_str());
+  }
+
+private:
+  BenchJson& raw(const std::string& key, const std::string& json) {
+    body_ += ",\"" + key + "\":" + json;
+    return *this;
+  }
+
+  std::string body_;
+};
 
 /// Points the kernel cache somewhere writable and deterministic.
 inline void setupCacheDir(const char* name) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "clc/codegen.h"
 #include "clc/opt.h"
 #include "clc/vm.h"
@@ -212,19 +213,22 @@ bool compare(const Workload& w) {
   for (int level = 0; level <= 2; level += 2) {
     const Measurement& m = level == 0 ? o0 : o2;
     const double ips = level == 0 ? ips0 : ips2;
-    std::printf("BENCH {\"bench\":\"vm_dispatch\",\"kernel\":\"%s\","
-                "\"opt\":%d,\"instructions_per_launch\":%llu,"
-                "\"seconds\":%.6f,\"instr_per_sec\":%.0f,"
-                "\"total_cycles\":%llu}\n",
-                w.kernel.c_str(), level,
-                (unsigned long long)m.stats.instructions, m.seconds, ips,
-                (unsigned long long)m.stats.totalCycles);
+    bench::BenchJson("vm_dispatch")
+        .field("kernel", w.kernel)
+        .field("opt", level)
+        .field("instructions_per_launch",
+               std::uint64_t(m.stats.instructions))
+        .field("seconds", m.seconds)
+        .field("instr_per_sec", ips)
+        .field("total_cycles", std::uint64_t(m.stats.totalCycles))
+        .print();
   }
-  std::printf("BENCH {\"bench\":\"vm_dispatch\",\"kernel\":\"%s\","
-              "\"speedup_o2\":%.3f,\"cycles_invariant\":%s,"
-              "\"outputs_identical\":%s}\n",
-              w.kernel.c_str(), speedup, sameCycles ? "true" : "false",
-              sameOutput ? "true" : "false");
+  bench::BenchJson("vm_dispatch")
+      .field("kernel", w.kernel)
+      .field("speedup_o2", speedup)
+      .field("cycles_invariant", sameCycles)
+      .field("outputs_identical", sameOutput)
+      .print();
 
   return sameOutput && sameCycles;
 }

@@ -1,0 +1,54 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace common {
+
+namespace {
+
+std::string lowered(const char* value) {
+  std::string s(value);
+  for (char& c : s) {
+    c = char(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+} // namespace
+
+bool envFlag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const std::string v = lowered(value);
+  return !(v.empty() || v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+long long envInt(const char* name, long long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return end == value ? fallback : parsed;
+}
+
+double envDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::string envStr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::string(value);
+}
+
+} // namespace common

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "trace/recorder.h"
+
 namespace ocl {
 
 const char* deviceTypeName(DeviceType type) noexcept {
@@ -101,14 +103,32 @@ struct System {
   std::string platformName;
   std::vector<std::shared_ptr<DeviceState>> devices;
   std::atomic<std::uint64_t> hostNs{0};
+  std::atomic<std::uint64_t> nextCommandId{0};
 };
 
 std::mutex g_systemMutex;
 std::unique_ptr<System> g_system;
 
+std::uint64_t hostTimeNsForTrace() noexcept { return hostTimeNs(); }
+
+/// Tells the tracer who the devices are (pid labels in exports) and how
+/// to read the virtual clock. Runs on every (re)configuration so traces
+/// started at any point see the current machine.
+void publishSystemToTracer(const System& sys) {
+  trace::setTimeSource(&hostTimeNsForTrace);
+  std::vector<trace::DeviceInfo> infos;
+  for (const auto& state : sys.devices) {
+    infos.push_back({state->index(), state->spec().name});
+  }
+  trace::Recorder::instance().setDevices(std::move(infos));
+}
+
 System& system() {
-  std::lock_guard lock(g_systemMutex);
-  if (g_system == nullptr) {
+  {
+    std::lock_guard lock(g_systemMutex);
+    if (g_system != nullptr) {
+      return *g_system;
+    }
     g_system = std::make_unique<System>();
     const SystemConfig config = SystemConfig::teslaS1070();
     g_system->platformName = config.platformName;
@@ -117,6 +137,7 @@ System& system() {
           config.devices[i], std::uint32_t(i)));
     }
   }
+  publishSystemToTracer(*g_system);
   return *g_system;
 }
 
@@ -132,6 +153,7 @@ void configureSystem(const SystemConfig& config) {
           config.devices[i], std::uint32_t(i)));
     }
   }
+  publishSystemToTracer(*g_system);
 }
 
 std::vector<Platform> getPlatforms() {
@@ -152,6 +174,10 @@ void syncHostTimeToNs(std::uint64_t ns) {
   std::uint64_t current = clock.load();
   while (current < ns && !clock.compare_exchange_weak(current, ns)) {
   }
+}
+
+std::uint64_t nextCommandId() {
+  return system().nextCommandId.fetch_add(1) + 1;
 }
 
 } // namespace ocl

@@ -167,4 +167,9 @@ std::uint64_t hostTimeNs();
 void advanceHostTimeNs(std::uint64_t ns);
 void syncHostTimeToNs(std::uint64_t ns); // host = max(host, ns)
 
+/// Allocates the next command id (unique, ascending, 1-based; reset by
+/// configureSystem together with the host clock). Command ids identify
+/// nodes in trace dependency graphs (ocl::EventState::id).
+std::uint64_t nextCommandId();
+
 } // namespace ocl

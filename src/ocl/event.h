@@ -13,8 +13,23 @@
 
 namespace ocl {
 
-struct EventState {
+/// The four CL_PROFILING_COMMAND_* timestamps of one command, in virtual
+/// nanoseconds. Always ordered queued <= submit <= start <= end. In the
+/// simulated driver, "submit" is when the host finished the enqueue call
+/// (queued + enqueue overhead), clamped to the start time so the
+/// real-hardware ordering invariant holds even when the target engine
+/// was idle and picked the command up immediately.
+struct ProfilingInfo {
   std::uint64_t queuedNs = 0;
+  std::uint64_t submitNs = 0;
+  std::uint64_t startNs = 0;
+  std::uint64_t endNs = 0;
+};
+
+struct EventState {
+  std::uint64_t id = 0; // unique per command since configureSystem
+  std::uint64_t queuedNs = 0;
+  std::uint64_t submitNs = 0;
   std::uint64_t startNs = 0;
   std::uint64_t endNs = 0;
   Engine engine = Engine::Compute;
@@ -36,10 +51,22 @@ public:
     }
   }
 
+  /// Unique id of the command that produced this event (the node id in
+  /// trace dependency graphs).
+  std::uint64_t commandId() const { return state().id; }
+
   std::uint64_t queuedNs() const { return state().queuedNs; }
+  std::uint64_t submitNs() const { return state().submitNs; }
   std::uint64_t startNs() const { return state().startNs; }
   std::uint64_t endNs() const { return state().endNs; }
   std::uint64_t durationNs() const { return state().endNs - state().startNs; }
+
+  /// All four CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,END} timestamps
+  /// in one struct (clGetEventProfilingInfo equivalent).
+  ProfilingInfo profilingInfo() const {
+    const EventState& s = state();
+    return ProfilingInfo{s.queuedNs, s.submitNs, s.startNs, s.endNs};
+  }
 
   /// Which device engine the command ran on.
   Engine engine() const { return state().engine; }

@@ -3,8 +3,30 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "trace/recorder.h"
 
 namespace ocl {
+
+namespace {
+
+/// Ids of the events a command's start actually waited on, plus the
+/// in-order queue's implicit previous-command edge when present.
+std::vector<std::uint64_t> depIds(const std::vector<Event>& deps,
+                                  const Event& implicitPrev) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(deps.size() + 1);
+  if (implicitPrev.valid()) {
+    ids.push_back(implicitPrev.commandId());
+  }
+  for (const Event& e : deps) {
+    if (e.valid()) {
+      ids.push_back(e.commandId());
+    }
+  }
+  return ids;
+}
+
+} // namespace
 
 CommandQueue::CommandQueue(Device device, Backend backend, QueueOrder order)
     : device_(std::move(device)),
@@ -36,15 +58,41 @@ std::uint64_t CommandQueue::commandStartNs(
 }
 
 Event CommandQueue::retire(Engine engine, std::uint64_t startNs,
-                           std::uint64_t durationNs) {
+                           std::uint64_t durationNs, trace::CommandKind kind,
+                           std::string_view label, std::uint64_t bytes,
+                           std::uint64_t cycles,
+                           const std::vector<Event>& deps) {
   auto state = std::make_shared<EventState>();
+  state->id = nextCommandId();
   state->queuedNs = hostTimeNs();
   state->startNs = startNs;
   state->endNs = startNs + durationNs;
+  // Submission = queued + driver overhead, clamped so that
+  // queued <= submit <= start holds even when the engine was idle.
+  state->submitNs =
+      std::min(startNs, state->queuedNs + model_.enqueueOverheadNs());
   state->engine = engine;
   device_.state().setReadyTimeNs(engine, state->endNs);
   lastSubmittedEndNs_ = std::max(lastSubmittedEndNs_, state->endNs);
   advanceHostTimeNs(model_.enqueueOverheadNs());
+  if (trace::Recorder::enabled()) {
+    const std::vector<std::uint64_t> ids =
+        depIds(deps, order_ == QueueOrder::InOrder ? last_ : Event());
+    trace::Recorder::CommandInit init;
+    init.id = state->id;
+    init.device = device_.state().index();
+    init.engine = std::uint8_t(engine);
+    init.kind = kind;
+    init.label = label;
+    init.queuedNs = state->queuedNs;
+    init.submitNs = state->submitNs;
+    init.startNs = state->startNs;
+    init.endNs = state->endNs;
+    init.bytes = bytes;
+    init.cycles = cycles;
+    init.deps = &ids;
+    trace::Recorder::instance().recordCommand(init);
+  }
   Event event(std::move(state));
   last_ = event;
   return event;
@@ -62,7 +110,8 @@ Event CommandQueue::enqueueWriteBuffer(const Buffer& buffer,
   std::memcpy(buffer.state().data() + offset, src, bytes);
   return retire(Engine::HostToDevice,
                 commandStartNs(Engine::HostToDevice, deps),
-                model_.transferDurationNs(bytes));
+                model_.transferDurationNs(bytes), trace::CommandKind::Write,
+                "write_buffer", bytes, 0, deps);
 }
 
 Event CommandQueue::enqueueReadBuffer(const Buffer& buffer,
@@ -77,7 +126,9 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& buffer,
   std::memcpy(dst, buffer.state().data() + offset, bytes);
   Event event = retire(Engine::DeviceToHost,
                        commandStartNs(Engine::DeviceToHost, deps),
-                       model_.transferDurationNs(bytes));
+                       model_.transferDurationNs(bytes),
+                       trace::CommandKind::Read, "read_buffer", bytes, 0,
+                       deps);
   if (blocking) {
     event.wait();
   }
@@ -107,7 +158,9 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
     COMMON_EXPECTS(src.device() == device_,
                    "buffer belongs to a different device than the queue");
     return retire(Engine::Compute, commandStartNs(Engine::Compute, deps),
-                  model_.deviceCopyDurationNs(bytes));
+                  model_.deviceCopyDurationNs(bytes),
+                  trace::CommandKind::CopyOnDevice, "copy_buffer", bytes, 0,
+                  deps);
   }
 
   // Cross-device: staged over PCIe (down from src, up to dst). The
@@ -137,13 +190,44 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
                                       start + duration);
 
   auto state = std::make_shared<EventState>();
+  state->id = nextCommandId();
   state->queuedNs = hostTimeNs();
   state->startNs = start;
   state->endNs = start + duration;
+  state->submitNs =
+      std::min(start, state->queuedNs + model_.enqueueOverheadNs());
   state->engine = Engine::HostToDevice;
   dst.device().state().setReadyTimeNs(Engine::HostToDevice, state->endNs);
   lastSubmittedEndNs_ = std::max(lastSubmittedEndNs_, state->endNs);
   advanceHostTimeNs(model_.enqueueOverheadNs());
+  if (trace::Recorder::enabled()) {
+    // A cross-device copy occupies two engines on two devices: file one
+    // span per leg so both timelines show the occupancy. The event's id
+    // names the destination leg (what dependents wait on); the source
+    // leg gets its own id.
+    const std::vector<std::uint64_t> ids =
+        depIds(deps, order_ == QueueOrder::InOrder ? last_ : Event());
+    trace::Recorder::CommandInit init;
+    init.kind = trace::CommandKind::CopyPeer;
+    init.queuedNs = state->queuedNs;
+    init.submitNs = state->submitNs;
+    init.startNs = state->startNs;
+    init.endNs = state->endNs;
+    init.bytes = bytes;
+    init.deps = &ids;
+
+    init.id = nextCommandId();
+    init.device = src.device().state().index();
+    init.engine = std::uint8_t(Engine::DeviceToHost);
+    init.label = "copy_peer_out";
+    trace::Recorder::instance().recordCommand(init);
+
+    init.id = state->id;
+    init.device = dst.device().state().index();
+    init.engine = std::uint8_t(Engine::HostToDevice);
+    init.label = "copy_peer_in";
+    trace::Recorder::instance().recordCommand(init);
+  }
   Event event(std::move(state));
   last_ = event;
   return event;
@@ -188,7 +272,10 @@ Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
                                   &common::ThreadPool::global());
   cumulativeKernelCycles_ += lastStats_.totalCycles;
   return retire(Engine::Compute, commandStartNs(Engine::Compute, deps),
-                model_.kernelDurationNs(lastStats_));
+                model_.kernelDurationNs(lastStats_),
+                trace::CommandKind::Kernel, kernel.name(),
+                lastStats_.globalBytesRead + lastStats_.globalBytesWritten,
+                lastStats_.totalCycles, deps);
 }
 
 Event CommandQueue::enqueueNDRange(Kernel& kernel, NDRange1D range,

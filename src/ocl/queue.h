@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "ocl/event.h"
 #include "ocl/program.h"
 #include "ocl/timing_model.h"
+#include "trace/trace.h"
 
 namespace ocl {
 
@@ -101,8 +103,14 @@ public:
 private:
   std::uint64_t commandStartNs(Engine engine,
                                const std::vector<Event>& deps) const;
-  Event retire(Engine engine, std::uint64_t startNs,
-               std::uint64_t durationNs);
+  /// Closes out one command: assigns its id, stamps the profiling
+  /// timestamps, occupies the engine timeline, and — when tracing is on —
+  /// files an engine span with the tracer (kind/label/bytes/cycles plus
+  /// the dependency edges that constrained the start time).
+  Event retire(Engine engine, std::uint64_t startNs, std::uint64_t durationNs,
+               trace::CommandKind kind, std::string_view label,
+               std::uint64_t bytes, std::uint64_t cycles,
+               const std::vector<Event>& deps);
 
   Device device_;
   Backend backend_ = Backend::OpenCL;

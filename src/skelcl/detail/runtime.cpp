@@ -1,9 +1,10 @@
 #include "skelcl/detail/runtime.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "common/logging.h"
 #include "skelcl/distribution.h"
+#include "trace/recorder.h"
+#include "trace/serialize.h"
 
 namespace skelcl {
 
@@ -51,13 +52,17 @@ void Runtime::init(const DeviceSelection& selection) {
   // engine timelines; the skeletons express ordering through event
   // dependencies. SKELCL_SERIALIZE=1 restores the pre-overlap behavior
   // (in-order queues) without changing which commands are enqueued.
-  const char* serialize = std::getenv("SKELCL_SERIALIZE");
-  serializedQueues_ =
-      serialize != nullptr && serialize[0] != '\0' && serialize[0] != '0';
-  transferPieces_ = 4;
-  if (const char* pieces = std::getenv("SKELCL_TRANSFER_CHUNKS")) {
-    const long n = std::atol(pieces);
-    transferPieces_ = n < 1 ? 1 : std::size_t(n);
+  serializedQueues_ = envFlag("SKELCL_SERIALIZE");
+  const long long pieces = envInt("SKELCL_TRANSFER_CHUNKS", 4);
+  transferPieces_ = pieces < 1 ? 1 : std::size_t(pieces);
+  // SKELCL_TRACE=<path> records this init()..terminate() cycle and
+  // writes the trace at terminate() — Chrome trace-event JSON when the
+  // path ends in ".json", the skeltrace binary format otherwise. Each
+  // cycle overwrites the file (the virtual clock restarts with the
+  // simulated machine, so concatenating cycles would be meaningless).
+  tracePath_ = envStr("SKELCL_TRACE");
+  if (!tracePath_.empty()) {
+    trace::Recorder::instance().start();
   }
   queues_.clear();
   for (const auto& device : devices_) {
@@ -73,6 +78,18 @@ void Runtime::init(const DeviceSelection& selection) {
 }
 
 void Runtime::terminate() {
+  if (!tracePath_.empty() && trace::Recorder::enabled()) {
+    const trace::Trace collected = trace::Recorder::instance().stop();
+    try {
+      trace::writeTraceFile(tracePath_, collected);
+      LOG_INFO("trace written to " << tracePath_ << " ("
+                                   << collected.commands.size()
+                                   << " command spans)");
+    } catch (const common::Error& e) {
+      LOG_WARN("cannot write trace to " << tracePath_ << ": " << e.what());
+    }
+  }
+  tracePath_.clear();
   queues_.clear();
   context_.reset();
   devices_.clear();

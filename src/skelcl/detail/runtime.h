@@ -6,10 +6,21 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "ocl/ocl.h"
 #include "skelcl/kernel_cache.h"
 
 namespace skelcl {
+
+namespace detail {
+// The runtime's environment knobs (SKELCL_SERIALIZE, SKELCL_TRANSFER_
+// CHUNKS, SKELCL_TRACE, SKELCL_CACHE_DIR, ...) all parse through these
+// helpers so 0/1/true/false handling is consistent everywhere.
+using common::envDouble;
+using common::envFlag;
+using common::envInt;
+using common::envStr;
+} // namespace detail
 
 /// Which devices init() should claim.
 struct DeviceSelection {
@@ -58,12 +69,17 @@ public:
   /// disable splitting.
   std::size_t transferPieces() const noexcept { return transferPieces_; }
 
+  /// Destination of the trace the current init()..terminate() cycle
+  /// records (set from SKELCL_TRACE at init; empty = not tracing).
+  const std::string& tracePath() const noexcept { return tracePath_; }
+
 private:
   Runtime() = default;
 
   bool initialized_ = false;
   bool serializedQueues_ = false;
   std::size_t transferPieces_ = 4;
+  std::string tracePath_;
   std::vector<ocl::Device> devices_;
   std::unique_ptr<ocl::Context> context_;
   std::vector<ocl::CommandQueue> queues_;

@@ -1,24 +1,27 @@
 #include "skelcl/kernel_cache.h"
 
-#include <cstdlib>
 #include <filesystem>
 
 #include "clc/bytecode.h"
 #include "common/byte_stream.h"
+#include "common/env.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
 namespace {
 
 std::string defaultDirectory() {
-  if (const char* env = std::getenv("SKELCL_CACHE_DIR")) {
-    return env;
+  const std::string dir = common::envStr("SKELCL_CACHE_DIR");
+  if (!dir.empty()) {
+    return dir;
   }
-  if (const char* home = std::getenv("HOME")) {
-    return std::string(home) + "/.skelcl/cache";
+  const std::string home = common::envStr("HOME");
+  if (!home.empty()) {
+    return home + "/.skelcl/cache";
   }
   return (std::filesystem::temp_directory_path() / "skelcl-cache").string();
 }
@@ -45,11 +48,18 @@ ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
   const std::string path = entryPath(source, options);
   if (enabled_ && common::fileExists(path)) {
     try {
+      trace::ScopedHostSpan span(trace::HostKind::CacheHit,
+                                 "kernel_cache.hit", trace::kNoDevice,
+                                 source.size());
       common::Stopwatch timer;
       ocl::Program program =
           context.createProgramFromBinary(common::readFile(path));
       stats_.loadSeconds += timer.elapsedSeconds();
       ++stats_.hits;
+      if (trace::Recorder::enabled()) {
+        trace::Recorder::instance().bumpCounter(
+            "cache_hits", trace::kNoDevice, trace::now(), 1);
+      }
       return program;
     } catch (const common::Error& e) {
       // Corrupted or version-mismatched entry: rebuild below.
@@ -58,11 +68,17 @@ ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
     }
   }
 
+  trace::ScopedHostSpan span(trace::HostKind::Build, "kernel_cache.build",
+                             trace::kNoDevice, source.size());
   common::Stopwatch timer;
   ocl::Program program = context.createProgram(source);
   program.build(options);
   stats_.buildSeconds += timer.elapsedSeconds();
   ++stats_.misses;
+  if (trace::Recorder::enabled()) {
+    trace::Recorder::instance().bumpCounter(
+        "cache_misses", trace::kNoDevice, trace::now(), 1);
+  }
 
   if (enabled_) {
     try {

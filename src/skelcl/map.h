@@ -13,6 +13,7 @@
 #include "skelcl/arguments.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/vector.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
@@ -48,6 +49,8 @@ public:
 private:
   void run(const Vector<Tin>& input, const Arguments& args,
            Vector<Tout>& output) {
+    trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Map",
+                               trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
 
@@ -138,6 +141,8 @@ public:
   void setWorkGroupSize(std::size_t size) { workGroupSize_ = size; }
 
   void operator()(const Vector<Tin>& input, const Arguments& args) {
+    trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Map<void>",
+                               trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
 

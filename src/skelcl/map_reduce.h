@@ -14,6 +14,7 @@
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/scalar.h"
 #include "skelcl/vector.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
@@ -29,6 +30,8 @@ public:
         reduceName_(detail::userFunctionName(reduceSource_)) {}
 
   Scalar<Tout> operator()(const Vector<Tin>& input) {
+    trace::ScopedHostSpan span(trace::HostKind::Skeleton, "MapReduce",
+                               trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
     COMMON_EXPECTS(input.size() > 0, "MapReduce of an empty vector");

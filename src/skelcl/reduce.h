@@ -19,6 +19,7 @@
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/scalar.h"
 #include "skelcl/vector.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
@@ -30,6 +31,8 @@ public:
         funcName_(detail::userFunctionName(source_)) {}
 
   Scalar<T> operator()(const Vector<T>& input) {
+    trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Reduce",
+                               trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
     COMMON_EXPECTS(input.size() > 0, "Reduce of an empty vector");

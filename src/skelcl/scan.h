@@ -19,6 +19,7 @@
 
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/vector.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
@@ -35,6 +36,8 @@ public:
   Vector<T> operator()(const Vector<T>& input) {
     static_assert(std::is_arithmetic_v<T>,
                   "Scan currently supports arithmetic element types");
+    trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Scan",
+                               trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
 

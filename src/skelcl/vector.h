@@ -28,6 +28,7 @@
 #include "skelcl/detail/source_utils.h"
 #include "skelcl/distribution.h"
 #include "skelcl/type_name.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
@@ -128,6 +129,8 @@ public:
     }
     // Generic path: stage through the host lazily. The data currently on
     // the devices is downloaded only if it is newer than the host copy.
+    trace::ScopedHostSpan span(trace::HostKind::Redistribute,
+                               "vector.redistribute");
     ensureOnHost();
     dropChunks();
     dist_ = dist;
@@ -155,6 +158,9 @@ public:
       dist_ = Distribution::Block;
       return;
     }
+    trace::ScopedHostSpan span(trace::HostKind::Combine, "vector.combine",
+                               trace::kNoDevice,
+                               host_.size() * sizeof(T));
 
     ocl::Program program =
         buildCombineProgram(typeName<T>(), combineSource);
@@ -342,6 +348,8 @@ public:
     if (!devicesDirty_ || chunks_.empty()) {
       return;
     }
+    trace::ScopedHostSpan span(trace::HostKind::Transfer, "vector.download",
+                               trace::kNoDevice, host_.size() * sizeof(T));
     auto& runtime = Runtime::instance();
     // Enqueue every download non-blocking so transfers from different
     // devices overlap on their own PCIe links; wait on all at the end.
@@ -450,6 +458,8 @@ private:
   /// the last one becomes Chunk::ready. The H2D engine runs the pieces
   /// FIFO, so total transfer time is unchanged.
   void upload() {
+    trace::ScopedHostSpan span(trace::HostKind::Transfer, "vector.upload",
+                               trace::kNoDevice, host_.size() * sizeof(T));
     auto& runtime = Runtime::instance();
     for (Chunk& chunk : chunks_) {
       if (chunk.count == 0) continue;

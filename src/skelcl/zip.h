@@ -11,6 +11,7 @@
 #include "skelcl/arguments.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/vector.h"
+#include "trace/recorder.h"
 
 namespace skelcl {
 
@@ -50,6 +51,8 @@ public:
 private:
   void run(const Vector<Tin>& left, const Vector<Tin>& right,
            const Arguments& args, Vector<Tout>& output) {
+    trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Zip",
+                               trace::kNoDevice, left.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
     COMMON_EXPECTS(left.size() == right.size(),

@@ -1,0 +1,280 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace trace {
+
+namespace {
+
+using Interval = std::pair<std::uint64_t, std::uint64_t>;
+
+/// Sorts and merges touching/overlapping intervals in place.
+std::vector<Interval> merged(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<Interval> out;
+  for (const Interval& i : intervals) {
+    if (i.second <= i.first) {
+      continue; // zero-length command (e.g. empty transfer)
+    }
+    if (!out.empty() && i.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, i.second);
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::uint64_t totalLength(const std::vector<Interval>& intervals) {
+  std::uint64_t total = 0;
+  for (const Interval& i : intervals) {
+    total += i.second - i.first;
+  }
+  return total;
+}
+
+/// Length of the intersection of two merged interval lists.
+std::uint64_t intersectionLength(const std::vector<Interval>& a,
+                                 const std::vector<Interval>& b) {
+  std::uint64_t total = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::uint64_t lo = std::max(a[i].first, b[j].first);
+    const std::uint64_t hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%5.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string msString(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%10.3f ms", double(ns) * 1e-6);
+  return buf;
+}
+
+} // namespace
+
+Report analyze(const Trace& trace) {
+  Report report;
+
+  // --- per-device engine occupancy --------------------------------------
+  struct DeviceAccum {
+    std::vector<Interval> engines[kEngineCount];
+    std::uint64_t commands[kEngineCount] = {0, 0, 0};
+    std::uint64_t minStart = ~0ull;
+    std::uint64_t maxEnd = 0;
+  };
+  std::map<std::uint32_t, DeviceAccum> perDevice;
+  std::uint64_t traceMin = ~0ull, traceMax = 0;
+
+  for (const CommandRecord& c : trace.commands) {
+    DeviceAccum& acc = perDevice[c.device];
+    const std::uint8_t e = c.engine < kEngineCount ? c.engine : 0;
+    acc.engines[e].emplace_back(c.startNs, c.endNs);
+    ++acc.commands[e];
+    acc.minStart = std::min(acc.minStart, c.startNs);
+    acc.maxEnd = std::max(acc.maxEnd, c.endNs);
+    traceMin = std::min(traceMin, c.startNs);
+    traceMax = std::max(traceMax, c.endNs);
+  }
+  report.spanNs = traceMax > traceMin ? traceMax - traceMin : 0;
+
+  std::unordered_map<std::uint32_t, std::string> deviceNames;
+  for (const DeviceInfo& d : trace.devices) {
+    deviceNames[d.index] = d.name;
+  }
+
+  std::uint64_t dmaBusyTotal = 0, overlapTotal = 0;
+  for (auto& [index, acc] : perDevice) {
+    DeviceReport dev;
+    dev.device = index;
+    auto named = deviceNames.find(index);
+    dev.name = named != deviceNames.end() ? named->second
+                                          : "device " + std::to_string(index);
+    dev.spanNs = acc.maxEnd - acc.minStart;
+
+    std::vector<Interval> engineMerged[kEngineCount];
+    for (std::uint8_t e = 0; e < kEngineCount; ++e) {
+      engineMerged[e] = merged(std::move(acc.engines[e]));
+      dev.engines[e].busyNs = totalLength(engineMerged[e]);
+      dev.engines[e].commands = acc.commands[e];
+      dev.engines[e].busyFraction =
+          dev.spanNs == 0 ? 0.0
+                          : double(dev.engines[e].busyNs) / double(dev.spanNs);
+    }
+    std::vector<Interval> dma = engineMerged[1];
+    dma.insert(dma.end(), engineMerged[2].begin(), engineMerged[2].end());
+    dma = merged(std::move(dma));
+    dev.dmaBusyNs = totalLength(dma);
+    dev.overlapNs = intersectionLength(dma, engineMerged[0]);
+    dev.overlapRatio =
+        dev.dmaBusyNs == 0 ? 0.0
+                           : double(dev.overlapNs) / double(dev.dmaBusyNs);
+    dmaBusyTotal += dev.dmaBusyNs;
+    overlapTotal += dev.overlapNs;
+    report.devices.push_back(std::move(dev));
+  }
+  report.overlapRatio =
+      dmaBusyTotal == 0 ? 0.0 : double(overlapTotal) / double(dmaBusyTotal);
+
+  // --- top kernels -------------------------------------------------------
+  std::map<std::string, KernelReport> kernels;
+  for (const CommandRecord& c : trace.commands) {
+    if (c.kind != CommandKind::Kernel) {
+      continue;
+    }
+    KernelReport& k = kernels[trace.str(c.name)];
+    k.name = trace.str(c.name);
+    ++k.launches;
+    k.totalNs += c.endNs - c.startNs;
+    k.cycles += c.cycles;
+  }
+  for (auto& [name, k] : kernels) {
+    report.kernels.push_back(std::move(k));
+  }
+  std::sort(report.kernels.begin(), report.kernels.end(),
+            [](const KernelReport& a, const KernelReport& b) {
+              return a.totalNs != b.totalNs ? a.totalNs > b.totalNs
+                                            : a.name < b.name;
+            });
+
+  // --- critical path through the dependency DAG -------------------------
+  // Predecessors: recorded event deps plus the implicit FIFO predecessor
+  // on the command's engine. Commands are processed in ascending id
+  // order; every dependency id is smaller than its dependent's.
+  std::vector<const CommandRecord*> byId;
+  byId.reserve(trace.commands.size());
+  for (const CommandRecord& c : trace.commands) {
+    byId.push_back(&c);
+  }
+  std::sort(byId.begin(), byId.end(),
+            [](const CommandRecord* a, const CommandRecord* b) {
+              return a->id < b->id;
+            });
+  std::unordered_map<std::uint64_t, std::uint64_t> pathById;
+  std::map<std::pair<std::uint32_t, std::uint8_t>, std::uint64_t> engineTail;
+  for (const CommandRecord* c : byId) {
+    std::uint64_t longestPred = 0;
+    for (std::uint64_t dep : c->deps) {
+      auto it = pathById.find(dep);
+      if (it != pathById.end()) {
+        longestPred = std::max(longestPred, it->second);
+      }
+    }
+    auto& tail = engineTail[{c->device, c->engine}];
+    longestPred = std::max(longestPred, tail);
+    const std::uint64_t path = longestPred + (c->endNs - c->startNs);
+    pathById[c->id] = path;
+    tail = std::max(tail, path);
+    report.criticalPathNs = std::max(report.criticalPathNs, path);
+  }
+
+  // --- counters & host spans --------------------------------------------
+  // Counters are cumulative; the final sample per (name, device) is the
+  // total. Totals are summed across devices.
+  std::map<std::pair<std::string, std::uint32_t>, std::uint64_t> finals;
+  for (const CounterRecord& c : trace.counters) {
+    finals[{trace.str(c.name), c.device}] = c.value;
+  }
+  for (const auto& [key, value] : finals) {
+    if (key.first == "h2d_bytes") {
+      report.h2dBytes += value;
+    } else if (key.first == "d2h_bytes") {
+      report.d2hBytes += value;
+    } else if (key.first == "kernel_cycles") {
+      report.kernelCycles += value;
+    } else if (key.first == "cache_hits") {
+      report.cacheHits += value;
+    } else if (key.first == "cache_misses") {
+      report.cacheMisses += value;
+    }
+  }
+  for (const HostSpanRecord& h : trace.hostSpans) {
+    if (h.kind == HostKind::Skeleton) {
+      ++report.skeletonSpans;
+    }
+  }
+  return report;
+}
+
+std::string formatReport(const Report& report, std::size_t topN) {
+  std::string out;
+  char line[256];
+
+  out += "trace span: " + msString(report.spanNs) +
+         "   critical path: " + msString(report.criticalPathNs);
+  if (report.spanNs != 0) {
+    out += " (" +
+           percent(double(report.criticalPathNs) / double(report.spanNs)) +
+           " of span)";
+  }
+  out += "\n";
+  std::snprintf(line, sizeof(line),
+                "h2d: %llu bytes   d2h: %llu bytes   kernel cycles: %llu   "
+                "cache hits/misses: %llu/%llu   skeleton spans: %llu\n",
+                (unsigned long long)report.h2dBytes,
+                (unsigned long long)report.d2hBytes,
+                (unsigned long long)report.kernelCycles,
+                (unsigned long long)report.cacheHits,
+                (unsigned long long)report.cacheMisses,
+                (unsigned long long)report.skeletonSpans);
+  out += line;
+
+  out += "\nper-device engine utilization (busy% of device span)\n";
+  std::snprintf(line, sizeof(line), "%-28s %13s %13s %13s %9s %8s\n",
+                "device", "compute", "h2d dma", "d2h dma", "overlap",
+                "span ms");
+  out += line;
+  for (const DeviceReport& d : report.devices) {
+    std::snprintf(
+        line, sizeof(line), "%-28.28s %6s (%4llu) %6s (%4llu) %6s (%4llu) %8s %8.3f\n",
+        (std::to_string(d.device) + ": " + d.name).c_str(),
+        percent(d.engines[0].busyFraction).c_str(),
+        (unsigned long long)d.engines[0].commands,
+        percent(d.engines[1].busyFraction).c_str(),
+        (unsigned long long)d.engines[1].commands,
+        percent(d.engines[2].busyFraction).c_str(),
+        (unsigned long long)d.engines[2].commands,
+        percent(d.overlapRatio).c_str(), double(d.spanNs) * 1e-6);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "aggregate transfer/compute overlap ratio: %.3f\n",
+                report.overlapRatio);
+  out += line;
+
+  out += "\ntop kernels (by engine time)\n";
+  std::size_t shown = 0;
+  for (const KernelReport& k : report.kernels) {
+    if (shown++ == topN) {
+      break;
+    }
+    std::snprintf(line, sizeof(line), "%-32.32s %6llu launches %s %14llu cycles\n",
+                  k.name.c_str(), (unsigned long long)k.launches,
+                  msString(k.totalNs).c_str(), (unsigned long long)k.cycles);
+    out += line;
+  }
+  if (report.kernels.empty()) {
+    out += "(no kernel launches)\n";
+  }
+  return out;
+}
+
+} // namespace trace

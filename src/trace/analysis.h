@@ -1,0 +1,71 @@
+// Trace analysis: the numbers behind `skeltrace` and the perf-smoke
+// overlap checks.
+//
+// Definitions (all in virtual nanoseconds over one trace):
+//  * device span     — first command start .. last command end on that
+//                      device; busy% is per-engine busy time over it.
+//  * overlap ratio   — |DMA busy ∩ compute busy| / |DMA busy| per
+//                      device, aggregated over devices as a busy-time-
+//                      weighted mean. Under in-order (serialized)
+//                      queues every command waits for the whole device,
+//                      so the ratio is exactly 0; out-of-order queues
+//                      make it the fraction of transfer time actually
+//                      hidden behind kernels.
+//  * critical path   — longest dependency chain through the command
+//                      DAG, where each command's predecessors are its
+//                      recorded event dependencies plus the implicit
+//                      FIFO predecessor on its engine. An estimate of
+//                      the best possible makespan for this command set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace trace {
+
+struct EngineReport {
+  std::uint64_t busyNs = 0;
+  std::uint64_t commands = 0;
+  double busyFraction = 0.0; // of the device span
+};
+
+struct DeviceReport {
+  std::uint32_t device = 0;
+  std::string name;
+  EngineReport engines[kEngineCount];
+  std::uint64_t spanNs = 0;    // first start .. last end on this device
+  std::uint64_t dmaBusyNs = 0; // union of both DMA engines
+  std::uint64_t overlapNs = 0; // DMA busy while compute busy
+  double overlapRatio = 0.0;   // overlapNs / dmaBusyNs (0 when no DMA)
+};
+
+struct KernelReport {
+  std::string name;
+  std::uint64_t launches = 0;
+  std::uint64_t totalNs = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct Report {
+  std::vector<DeviceReport> devices;
+  std::vector<KernelReport> kernels; // sorted by totalNs, descending
+  std::uint64_t spanNs = 0;          // whole-trace makespan
+  std::uint64_t criticalPathNs = 0;
+  double overlapRatio = 0.0; // aggregate (DMA-busy-weighted)
+  std::uint64_t h2dBytes = 0;
+  std::uint64_t d2hBytes = 0;
+  std::uint64_t kernelCycles = 0;
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t skeletonSpans = 0;
+};
+
+Report analyze(const Trace& trace);
+
+/// Human-readable per-device utilization/overlap report, `topN` kernels.
+std::string formatReport(const Report& report, std::size_t topN = 10);
+
+} // namespace trace

@@ -1,0 +1,33 @@
+// Compact binary trace format ("SKTR"), built on common/byte_stream.
+//
+// The binary form is the analyzer's native input (skeltrace) and the
+// determinism-test medium: serializing the same Trace always yields the
+// same bytes. writeTraceFile dispatches on the file extension — a path
+// ending in ".json" gets the Chrome trace-event export, everything else
+// the binary format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace trace {
+
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+std::vector<std::uint8_t> serialize(const Trace& trace);
+
+/// Throws common::DeserializeError on malformed input (bad magic,
+/// unknown version, truncated stream).
+Trace deserialize(const std::vector<std::uint8_t>& bytes);
+
+/// Extension-dispatched writer: ".json" -> Chrome trace JSON, anything
+/// else -> binary. Throws common::IoError on write failure.
+void writeTraceFile(const std::string& path, const Trace& trace);
+
+/// Reads a binary trace file (the skeltrace input format).
+Trace readTraceFile(const std::string& path);
+
+} // namespace trace

@@ -48,6 +48,29 @@ TEST_F(OclTiming, EventsExposeProfilingTimes) {
   EXPECT_EQ(e.durationNs(), e.endNs() - e.startNs());
 }
 
+TEST_F(OclTiming, ProfilingInfoMirrorsClProfilingQueries) {
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<char> data(1 << 20, 0);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Event e = queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+
+  // The four CL_PROFILING_COMMAND_* timestamps, in their CL ordering.
+  const ocl::ProfilingInfo info = e.profilingInfo();
+  EXPECT_LE(info.queuedNs, info.submitNs);
+  EXPECT_LE(info.submitNs, info.startNs);
+  EXPECT_LE(info.startNs, info.endNs);
+  EXPECT_EQ(info.queuedNs, e.queuedNs());
+  EXPECT_EQ(info.submitNs, e.submitNs());
+  EXPECT_EQ(info.startNs, e.startNs());
+  EXPECT_EQ(info.endNs, e.endNs());
+
+  // Commands carry unique, ascending ids for trace correlation.
+  ocl::Event e2 = queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  EXPECT_GT(e.commandId(), 0u);
+  EXPECT_GT(e2.commandId(), e.commandId());
+}
+
 TEST_F(OclTiming, InOrderQueueSerializesCommands) {
   ocl::Context ctx({gpus_[0]});
   ocl::CommandQueue queue(gpus_[0]);

@@ -1,0 +1,147 @@
+// Analyzer invariants: known overlap on synthetic traces, zero overlap
+// under serialized (in-order) queues, real overlap under out-of-order
+// queues, and a sane critical path.
+#include "trace_test_util.h"
+
+#include "trace/analysis.h"
+
+namespace {
+
+using trace::CommandKind;
+using trace::CommandRecord;
+using trace::Report;
+using trace::Trace;
+
+CommandRecord command(std::uint64_t id, std::uint8_t engine,
+                      std::uint64_t startNs, std::uint64_t endNs,
+                      std::vector<std::uint64_t> deps = {}) {
+  CommandRecord c;
+  c.id = id;
+  c.device = 0;
+  c.engine = engine;
+  c.kind = engine == 0 ? CommandKind::Kernel : CommandKind::Write;
+  c.queuedNs = startNs;
+  c.submitNs = startNs;
+  c.startNs = startNs;
+  c.endNs = endNs;
+  c.deps = std::move(deps);
+  return c;
+}
+
+Trace syntheticTrace(std::vector<CommandRecord> commands) {
+  Trace t;
+  t.strings = {"", "k"};
+  t.devices = {{0, "dev0"}};
+  for (CommandRecord& c : commands) {
+    c.name = 1;
+    t.commands.push_back(std::move(c));
+  }
+  return t;
+}
+
+TEST(Analysis, HalfOverlappedTransfer) {
+  // compute [0,100), h2d [50,150): 50 of 100 DMA ns overlap compute.
+  const Report r = trace::analyze(syntheticTrace({
+      command(1, /*engine=*/0, 0, 100),
+      command(2, /*engine=*/1, 50, 150),
+  }));
+  ASSERT_EQ(r.devices.size(), 1u);
+  EXPECT_EQ(r.devices[0].engines[0].busyNs, 100u);
+  EXPECT_EQ(r.devices[0].engines[1].busyNs, 100u);
+  EXPECT_EQ(r.devices[0].dmaBusyNs, 100u);
+  EXPECT_EQ(r.devices[0].overlapNs, 50u);
+  EXPECT_DOUBLE_EQ(r.devices[0].overlapRatio, 0.5);
+  EXPECT_DOUBLE_EQ(r.overlapRatio, 0.5);
+  EXPECT_EQ(r.spanNs, 150u);
+}
+
+TEST(Analysis, DisjointEnginesShowNoOverlap) {
+  const Report r = trace::analyze(syntheticTrace({
+      command(1, /*engine=*/1, 0, 100),
+      command(2, /*engine=*/0, 100, 250, {1}),
+      command(3, /*engine=*/2, 250, 300, {2}),
+  }));
+  ASSERT_EQ(r.devices.size(), 1u);
+  EXPECT_EQ(r.devices[0].dmaBusyNs, 150u);
+  EXPECT_EQ(r.devices[0].overlapNs, 0u);
+  EXPECT_DOUBLE_EQ(r.overlapRatio, 0.0);
+  // Everything is one dependency chain: critical path == makespan.
+  EXPECT_EQ(r.criticalPathNs, 300u);
+  EXPECT_EQ(r.spanNs, 300u);
+}
+
+TEST(Analysis, CriticalPathFollowsLongestChain) {
+  // Two independent chains; the longer one (1->3, 80+120) dominates.
+  const Report r = trace::analyze(syntheticTrace({
+      command(1, /*engine=*/1, 0, 80),
+      command(2, /*engine=*/1, 80, 130),
+      command(3, /*engine=*/0, 80, 200, {1}),
+  }));
+  EXPECT_EQ(r.criticalPathNs, 200u);
+}
+
+TEST(Analysis, MergesOverlappingIntervalsWithinAnEngine) {
+  // Two overlapping compute spans count busy time once.
+  const Report r = trace::analyze(syntheticTrace({
+      command(1, /*engine=*/0, 0, 100),
+      command(2, /*engine=*/0, 50, 150),
+  }));
+  EXPECT_EQ(r.devices[0].engines[0].busyNs, 150u);
+}
+
+TEST(Analysis, SerializedQueuesHaveZeroOverlap) {
+  const auto run =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/true);
+  const Report r = trace::analyze(run.trace);
+  ASSERT_FALSE(run.trace.commands.empty());
+  EXPECT_GT(r.devices[0].dmaBusyNs, 0u);
+  // In-order queues start every command only after the whole device is
+  // idle, so DMA can never run while compute runs — exactly zero.
+  EXPECT_EQ(r.devices[0].overlapNs, 0u);
+  EXPECT_DOUBLE_EQ(r.overlapRatio, 0.0);
+}
+
+TEST(Analysis, OutOfOrderQueuesOverlapTransfersWithCompute) {
+  const auto ooo =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/false);
+  const auto ser =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/true);
+  const Report rOoo = trace::analyze(ooo.trace);
+  const Report rSer = trace::analyze(ser.trace);
+  EXPECT_GT(rOoo.overlapRatio, 0.0);
+  EXPECT_GT(rOoo.overlapRatio, rSer.overlapRatio);
+  // Same commands either way; only the schedule differs.
+  EXPECT_EQ(ooo.kernelCycles, ser.kernelCycles);
+  EXPECT_EQ(rOoo.kernelCycles, rSer.kernelCycles);
+}
+
+TEST(Analysis, RealWorkloadReportIsConsistent) {
+  const auto run =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/false);
+  const Report r = trace::analyze(run.trace);
+  ASSERT_EQ(r.devices.size(), 1u);
+  for (const auto& e : r.devices[0].engines) {
+    EXPECT_LE(e.busyNs, r.devices[0].spanNs);
+    EXPECT_GE(e.busyFraction, 0.0);
+    EXPECT_LE(e.busyFraction, 1.0);
+  }
+  EXPECT_LE(r.devices[0].overlapNs, r.devices[0].dmaBusyNs);
+  EXPECT_LE(r.criticalPathNs, r.spanNs);
+  EXPECT_GT(r.criticalPathNs, 0u);
+  // The counter totals match the per-queue bookkeeping.
+  EXPECT_EQ(r.kernelCycles, run.kernelCycles);
+  EXPECT_GT(r.h2dBytes, 0u);
+  EXPECT_GT(r.d2hBytes, 0u);
+  ASSERT_FALSE(r.kernels.empty());
+  for (std::size_t i = 1; i < r.kernels.size(); ++i) {
+    EXPECT_GE(r.kernels[i - 1].totalNs, r.kernels[i].totalNs);
+  }
+  EXPECT_GT(r.skeletonSpans, 0u);
+  // The human-readable rendering mentions every device and engine.
+  const std::string text = trace::formatReport(r);
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("h2d dma"), std::string::npos);
+  EXPECT_NE(text.find("overlap"), std::string::npos);
+}
+
+} // namespace

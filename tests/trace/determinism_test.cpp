@@ -1,0 +1,60 @@
+// Determinism and schedule invariance:
+//  * two identical traced runs produce byte-identical binary traces and
+//    byte-identical Chrome JSON (no wall-clock values may leak in);
+//  * recording a trace must not change what the workload computes or
+//    when (same outputs, same kernel cycles, same final virtual time) —
+//    the recorder only reads the virtual clock, never advances it.
+#include "trace_test_util.h"
+
+#include "trace/chrome_export.h"
+#include "trace/serialize.h"
+
+namespace {
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTraces) {
+  // Warm the kernel cache so both traced runs take the cache-hit path;
+  // a build in one run and a hit in the other would legitimately differ.
+  trace_test::warmKernelCache();
+  const auto a =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/true);
+  const auto b =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/true);
+  ASSERT_FALSE(a.trace.commands.empty());
+  EXPECT_EQ(trace::serialize(a.trace), trace::serialize(b.trace));
+  EXPECT_EQ(trace::chromeJson(a.trace), trace::chromeJson(b.trace));
+}
+
+TEST(Determinism, OutOfOrderRunsAreDeterministicToo) {
+  trace_test::warmKernelCache();
+  const auto a =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/false);
+  const auto b =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/false);
+  EXPECT_EQ(trace::serialize(a.trace), trace::serialize(b.trace));
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheSimulation) {
+  trace_test::warmKernelCache();
+  const auto traced =
+      trace_test::runWorkload(/*traced=*/true, /*serialized=*/false);
+  const auto untraced =
+      trace_test::runWorkload(/*traced=*/false, /*serialized=*/false);
+  // Bit-identical outputs, identical simulated work, identical schedule.
+  EXPECT_EQ(traced.output, untraced.output);
+  EXPECT_EQ(traced.reduced, untraced.reduced);
+  EXPECT_EQ(traced.kernelCycles, untraced.kernelCycles);
+  EXPECT_EQ(traced.finalVirtualNs, untraced.finalVirtualNs);
+}
+
+TEST(Determinism, MultiDeviceTracedRunsAreDeterministic) {
+  trace_test::warmKernelCache();
+  const auto a = trace_test::runWorkload(/*traced=*/true,
+                                         /*serialized=*/false, /*gpus=*/2);
+  const auto b = trace_test::runWorkload(/*traced=*/true,
+                                         /*serialized=*/false, /*gpus=*/2);
+  ASSERT_GE(a.trace.devices.size(), 2u); // 2 GPUs (+ the host CPU device)
+  EXPECT_EQ(trace::serialize(a.trace), trace::serialize(b.trace));
+  EXPECT_EQ(a.output, b.output);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+// Shared helpers for the trace tests: run a small multi-skeleton SkelCL
+// workload with the recorder on and hand back the collected trace.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "skelcl/skelcl.h"
+#include "trace/recorder.h"
+
+namespace trace_test {
+
+inline void useTempCacheDir() {
+  static const std::string dir = [] {
+    auto path = std::filesystem::temp_directory_path() /
+                ("skelcl-trace-test-cache-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(path);
+    ::setenv("SKELCL_CACHE_DIR", path.c_str(), 1);
+    return path.string();
+  }();
+  (void)dir;
+}
+
+struct WorkloadResult {
+  trace::Trace trace;
+  std::vector<float> output;
+  float reduced = 0.0f;
+  std::uint64_t kernelCycles = 0;
+  std::uint64_t finalVirtualNs = 0;
+};
+
+/// Map -> Zip -> Reduce on `gpus` simulated GPUs; records a trace when
+/// `traced`. The input is large enough that uploads split into pieces,
+/// giving the out-of-order scheduler real transfer/compute overlap.
+inline WorkloadResult runWorkload(bool traced, bool serialized,
+                                  std::uint32_t gpus = 1,
+                                  std::size_t n = std::size_t(1) << 18) {
+  if (serialized) {
+    ::setenv("SKELCL_SERIALIZE", "1", 1);
+  } else {
+    ::unsetenv("SKELCL_SERIALIZE");
+  }
+  useTempCacheDir();
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+  if (traced) {
+    trace::Recorder::instance().start();
+  }
+
+  WorkloadResult out;
+  {
+    skelcl::Map<float> inc("float inc(float x) { return x + 1.0f; }");
+    skelcl::Zip<float> add("float add(float x, float y) { return x + y; }");
+    skelcl::Reduce<float> sum(
+        "float sum(float x, float y) { return x + y; }");
+
+    std::vector<float> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = float(i % 97) * 0.5f;
+    }
+    skelcl::Vector<float> x(std::move(data));
+    skelcl::Vector<float> y = inc(x);
+    skelcl::Vector<float> z = add(x, y);
+    skelcl::Scalar<float> s = sum(z);
+    out.output = z.hostData();
+    out.reduced = s.getValue();
+
+    auto& runtime = skelcl::detail::Runtime::instance();
+    for (std::size_t d = 0; d < runtime.deviceCount(); ++d) {
+      runtime.queue(d).finish();
+      out.kernelCycles += runtime.queue(d).cumulativeKernelCycles();
+    }
+    out.finalVirtualNs = ocl::hostTimeNs();
+  }
+  if (traced) {
+    out.trace = trace::Recorder::instance().stop();
+  }
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SERIALIZE");
+  return out;
+}
+
+/// Builds and caches every kernel the workload uses so later runs take
+/// the cache-hit path (keeps traced runs byte-identical).
+inline void warmKernelCache() {
+  static bool warmed = false;
+  if (!warmed) {
+    runWorkload(/*traced=*/false, /*serialized=*/true);
+    warmed = true;
+  }
+}
+
+} // namespace trace_test
