@@ -1,6 +1,7 @@
 #include "common/env.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace common {
@@ -13,6 +14,19 @@ std::string lowered(const char* value) {
     c = char(std::tolower(static_cast<unsigned char>(c)));
   }
   return s;
+}
+
+/// True when `rest` holds nothing but whitespace — the only thing allowed
+/// to trail a numeric value. "12abc" or "1.5.3" fall back to the default
+/// instead of being silently half-parsed.
+bool onlyWhitespace(const char* rest) {
+  while (*rest != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*rest))) {
+      return false;
+    }
+    ++rest;
+  }
+  return true;
 }
 
 } // namespace
@@ -32,8 +46,12 @@ long long envInt(const char* name, long long fallback) {
     return fallback;
   }
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(value, &end, 10);
-  return end == value ? fallback : parsed;
+  if (end == value || errno == ERANGE || !onlyWhitespace(end)) {
+    return fallback;
+  }
+  return parsed;
 }
 
 double envDouble(const char* name, double fallback) {
@@ -42,8 +60,12 @@ double envDouble(const char* name, double fallback) {
     return fallback;
   }
   char* end = nullptr;
+  errno = 0;
   const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
+  if (end == value || errno == ERANGE || !onlyWhitespace(end)) {
+    return fallback;
+  }
+  return parsed;
 }
 
 std::string envStr(const char* name, const std::string& fallback) {

@@ -5,7 +5,10 @@
 // yields the fallback; "", "0", "false", "off" and "no" (case-
 // insensitive) are false; every other value is true. Numeric helpers
 // fall back on unset *or unparsable* values, so a typo degrades to the
-// documented default instead of silently becoming zero.
+// documented default instead of silently becoming zero. "Unparsable"
+// is strict: empty or whitespace-only values, trailing garbage after
+// the number ("12abc"), and out-of-range magnitudes all take the
+// fallback rather than a half-parsed or saturated value.
 #pragma once
 
 #include <string>

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "ocl/fault.h"
 #include "trace/recorder.h"
 
 namespace ocl {
@@ -70,12 +71,35 @@ SystemConfig SystemConfig::teslaS1070(std::uint32_t gpus) {
 }
 
 void DeviceState::allocate(std::uint64_t bytes) {
+  if (lost_) {
+    throw DeviceLost(index_, "allocation on device " + std::to_string(index_) +
+                                 " ('" + spec_.name + "'): device lost");
+  }
+  if (FaultInjector::enabled()) {
+    if (const auto fault = FaultInjector::instance().check(
+            FaultSite::Alloc, spec_.name, index_)) {
+      if (fault->deviceLost) {
+        lost_ = true;
+        throw DeviceLost(index_, "injected device loss during allocation on "
+                                 "device " +
+                                     std::to_string(index_));
+      }
+      throw AllocFailure(index_, "injected allocation failure (" +
+                                     std::string(statusName(
+                                         Status::MemObjectAllocationFailure)) +
+                                     ") of " + std::to_string(bytes) +
+                                     " bytes on device " +
+                                     std::to_string(index_));
+    }
+  }
   if (allocated_ + bytes > spec_.globalMemBytes) {
-    throw common::Error("device '" + spec_.name +
-                        "' out of memory: allocated " +
-                        std::to_string(allocated_) + " + requested " +
-                        std::to_string(bytes) + " exceeds " +
-                        std::to_string(spec_.globalMemBytes));
+    throw AllocFailure(
+        index_,
+        "device '" + spec_.name + "' out of memory: allocated " +
+            std::to_string(allocated_) + " + requested " +
+            std::to_string(bytes) + " exceeds " +
+            std::to_string(spec_.globalMemBytes),
+        Status::OutOfResources);
   }
   allocated_ += bytes;
 }

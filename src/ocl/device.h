@@ -94,11 +94,19 @@ public:
   void allocate(std::uint64_t bytes);
   void release(std::uint64_t bytes) noexcept;
 
+  /// Device-lost simulation (CL_DEVICE_NOT_AVAILABLE): once marked lost
+  /// — organically or by an injected fault — every later allocation and
+  /// enqueue targeting the device throws DeviceLost. Cleared only by
+  /// configureSystem (which builds fresh DeviceStates).
+  bool lost() const noexcept { return lost_; }
+  void markLost() noexcept { lost_ = true; }
+
 private:
   DeviceSpec spec_;
   std::uint32_t index_;
   std::uint64_t engineReadyNs_[kEngineCount] = {0, 0, 0};
   std::uint64_t allocated_ = 0;
+  bool lost_ = false;
 };
 
 /// Lightweight device handle (copyable; equality = same device).

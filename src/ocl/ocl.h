@@ -11,6 +11,7 @@
 #include "ocl/context.h"
 #include "ocl/device.h"
 #include "ocl/event.h"
+#include "ocl/fault.h"
 #include "ocl/program.h"
 #include "ocl/queue.h"
 #include "ocl/timing_model.h"

@@ -6,6 +6,7 @@
 #include "clc/diag.h"
 #include "clc/opt.h"
 #include "clc/serialize.h"
+#include "ocl/fault.h"
 
 namespace ocl {
 
@@ -71,6 +72,15 @@ void Program::build(const std::string& options) {
     return;
   }
   const clc::OptLevel level = parseOptLevel(options);
+  if (FaultInjector::enabled()) {
+    if (FaultInjector::instance().check(FaultSite::Build, impl_->source)) {
+      // Injected CL_BUILD_PROGRAM_FAILURE: the program stays unbuilt and
+      // can be rebuilt later (a real driver can fail transiently too).
+      impl_->buildLog = "injected build failure (CL_BUILD_PROGRAM_FAILURE)";
+      throw BuildError("program build failed: injected fault",
+                       impl_->buildLog);
+    }
+  }
   try {
     impl_->program = clc::compile(impl_->source);
     clc::optimize(impl_->program, level);

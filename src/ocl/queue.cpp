@@ -3,9 +3,49 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "ocl/fault.h"
 #include "trace/recorder.h"
 
 namespace ocl {
+
+namespace {
+
+[[noreturn]] void throwDeviceLost(const DeviceState& state,
+                                  const char* during) {
+  throw DeviceLost(state.index(),
+                   std::string("device ") + std::to_string(state.index()) +
+                       " ('" + state.spec().name + "') is lost (" +
+                       statusName(Status::DeviceNotAvailable) + ") during " +
+                       during);
+}
+
+/// Raises the typed exception for a fault fired at a transfer site.
+/// Models a *truncated* transfer: half of the requested bytes land in the
+/// destination before the failure; queue and timeline state stay
+/// untouched (the command never retires, no event is produced, no engine
+/// time is occupied), so the caller may keep enqueueing.
+[[noreturn]] void raiseTransferFault(const Fault& fault, DeviceState& device,
+                                     std::size_t bytes, std::uint8_t* dst,
+                                     const std::uint8_t* src) {
+  if (fault.deviceLost) {
+    device.markLost();
+    throwDeviceLost(device, faultSiteName(fault.site));
+  }
+  const std::size_t transferred = bytes / 2;
+  if (dst != nullptr && src != nullptr) {
+    std::memcpy(dst, src, transferred);
+  }
+  throw TransferFailure(
+      device.index(), bytes, transferred,
+      std::string("injected transfer failure (") +
+          statusName(Status::OutOfResources) + ") at site '" +
+          faultSiteName(fault.site) + "' on device " +
+          std::to_string(device.index()) + ": " +
+          std::to_string(transferred) + " of " + std::to_string(bytes) +
+          " bytes transferred");
+}
+
+} // namespace
 
 namespace {
 
@@ -28,11 +68,34 @@ std::vector<std::uint64_t> depIds(const std::vector<Event>& deps,
 
 } // namespace
 
-CommandQueue::CommandQueue(Device device, Backend backend, QueueOrder order)
+CommandQueue::CommandQueue(Device device, Backend backend, QueueOrder order,
+                           SchedulePolicy policy)
     : device_(std::move(device)),
       backend_(backend),
       order_(order),
+      policy_(policy),
+      // Decorrelate the per-queue jitter streams: one policy seed, one
+      // independent deterministic sequence per device.
+      scheduleRng_(policy.seed ^
+                   (0x9e3779b97f4a7c15ULL * (device_.state().index() + 1))),
       model_(device_.spec(), backend) {}
+
+void CommandQueue::requireDeviceAlive() const {
+  if (device_.state().lost()) {
+    throwDeviceLost(device_.state(), "enqueue");
+  }
+}
+
+std::uint64_t CommandQueue::dispatchJitterNs() {
+  if (order_ != QueueOrder::OutOfOrder ||
+      policy_.kind != SchedulePolicy::Kind::SeededShuffle) {
+    return 0;
+  }
+  // Up to a few enqueue overheads of dispatch latency: enough to flip
+  // the winner among near-tied ready commands, small against command
+  // durations so the shuffled schedules stay realistic.
+  return scheduleRng_.nextBelow(8 * model_.enqueueOverheadNs() + 1);
+}
 
 std::uint64_t CommandQueue::commandStartNs(
     Engine engine, const std::vector<Event>& deps) const {
@@ -107,9 +170,19 @@ Event CommandQueue::enqueueWriteBuffer(const Buffer& buffer,
                  "buffer belongs to a different device than the queue");
   COMMON_EXPECTS(offset + bytes <= buffer.size(),
                  "write exceeds buffer size");
+  requireDeviceAlive();
+  if (FaultInjector::enabled()) {
+    if (const auto fault = FaultInjector::instance().check(
+            FaultSite::Write, "write_buffer", device_.state().index())) {
+      raiseTransferFault(*fault, device_.state(), bytes,
+                         buffer.state().data() + offset,
+                         static_cast<const std::uint8_t*>(src));
+    }
+  }
   std::memcpy(buffer.state().data() + offset, src, bytes);
   return retire(Engine::HostToDevice,
-                commandStartNs(Engine::HostToDevice, deps),
+                commandStartNs(Engine::HostToDevice, deps) +
+                    dispatchJitterNs(),
                 model_.transferDurationNs(bytes), trace::CommandKind::Write,
                 "write_buffer", bytes, 0, deps);
 }
@@ -123,9 +196,22 @@ Event CommandQueue::enqueueReadBuffer(const Buffer& buffer,
                  "buffer belongs to a different device than the queue");
   COMMON_EXPECTS(offset + bytes <= buffer.size(),
                  "read exceeds buffer size");
+  requireDeviceAlive();
+  if (FaultInjector::enabled()) {
+    if (const auto fault = FaultInjector::instance().check(
+            FaultSite::Read, "read_buffer", device_.state().index())) {
+      // A truncated read leaves a partially-written destination — the
+      // SkelCL Vector stages downloads and commits only on success, so
+      // its host data stays valid anyway.
+      raiseTransferFault(*fault, device_.state(), bytes,
+                         static_cast<std::uint8_t*>(dst),
+                         buffer.state().data() + offset);
+    }
+  }
   std::memcpy(dst, buffer.state().data() + offset, bytes);
   Event event = retire(Engine::DeviceToHost,
-                       commandStartNs(Engine::DeviceToHost, deps),
+                       commandStartNs(Engine::DeviceToHost, deps) +
+                           dispatchJitterNs(),
                        model_.transferDurationNs(bytes),
                        trace::CommandKind::Read, "read_buffer", bytes, 0,
                        deps);
@@ -146,18 +232,38 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
                  "copy source range exceeds buffer");
   COMMON_EXPECTS(dstOffset + bytes <= dst.size(),
                  "copy destination range exceeds buffer");
+  const bool sameDevice = src.device() == dst.device();
+  // On-device copies run on the buffers' device, so it must be the
+  // queue's device — otherwise the duration would be computed from the
+  // wrong device's bandwidth and charged to the wrong timeline. Validated
+  // *before* the data moves, so a rejected enqueue has no effect.
+  if (sameDevice) {
+    COMMON_EXPECTS(src.device() == device_,
+                   "buffer belongs to a different device than the queue");
+  }
+  requireDeviceAlive();
+  if (src.device().state().lost()) {
+    throwDeviceLost(src.device().state(), "copy");
+  }
+  if (dst.device().state().lost()) {
+    throwDeviceLost(dst.device().state(), "copy");
+  }
+  if (FaultInjector::enabled()) {
+    if (const auto fault = FaultInjector::instance().check(
+            FaultSite::Copy, "copy_buffer", dst.device().state().index())) {
+      raiseTransferFault(*fault, dst.device().state(), bytes,
+                         dst.state().data() + dstOffset,
+                         src.state().data() + srcOffset);
+    }
+  }
   std::memcpy(dst.state().data() + dstOffset,
               src.state().data() + srcOffset, bytes);
 
-  if (src.device() == dst.device()) {
-    // On-device copy: the copy runs on the buffers' device, so it must be
-    // the queue's device — otherwise the duration would be computed from
-    // the wrong device's bandwidth and charged to the wrong timeline. It
-    // occupies the compute engine (the copy saturates the memory system
-    // the compute engine feeds from).
-    COMMON_EXPECTS(src.device() == device_,
-                   "buffer belongs to a different device than the queue");
-    return retire(Engine::Compute, commandStartNs(Engine::Compute, deps),
+  if (sameDevice) {
+    // The copy occupies the compute engine (it saturates the memory
+    // system the compute engine feeds from).
+    return retire(Engine::Compute,
+                  commandStartNs(Engine::Compute, deps) + dispatchJitterNs(),
                   model_.deviceCopyDurationNs(bytes),
                   trace::CommandKind::CopyOnDevice, "copy_buffer", bytes, 0,
                   deps);
@@ -184,6 +290,7 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
       start = std::max(start, e.endNs());
     }
   }
+  start += dispatchJitterNs();
   const std::uint64_t duration = srcModel.transferDurationNs(bytes) +
                                  dstModel.transferDurationNs(bytes);
   src.device().state().setReadyTimeNs(Engine::DeviceToHost,
@@ -236,6 +343,7 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
 Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
                                    const std::vector<Event>& deps) {
   COMMON_EXPECTS(kernel.valid(), "launch of invalid kernel");
+  requireDeviceAlive();
 
   // Assemble the launch's segment table and argument values.
   std::vector<clc::Segment> segments;
@@ -267,11 +375,30 @@ Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
         std::to_string(device_.spec().maxWorkGroupSize));
   }
 
+  if (FaultInjector::enabled()) {
+    if (const auto fault = FaultInjector::instance().check(
+            FaultSite::Kernel, kernel.name(), device_.state().index())) {
+      // A rejected launch never executes: no cycles are charged, no
+      // buffer is written, no engine time is occupied.
+      if (fault->deviceLost) {
+        device_.state().markLost();
+        throwDeviceLost(device_.state(), "kernel launch");
+      }
+      throw LaunchFailure(
+          device_.state().index(),
+          std::string("injected launch failure (") +
+              statusName(Status::OutOfResources) + ") for kernel '" +
+              kernel.name() + "' on device " +
+              std::to_string(device_.state().index()));
+    }
+  }
+
   lastStats_ = clc::executeKernel(kernel.program(), kernel.name(), range,
                                   args, segments,
                                   &common::ThreadPool::global());
   cumulativeKernelCycles_ += lastStats_.totalCycles;
-  return retire(Engine::Compute, commandStartNs(Engine::Compute, deps),
+  return retire(Engine::Compute,
+                commandStartNs(Engine::Compute, deps) + dispatchJitterNs(),
                 model_.kernelDurationNs(lastStats_),
                 trace::CommandKind::Kernel, kernel.name(),
                 lastStats_.globalBytesRead + lastStats_.globalBytesWritten,

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/prng.h"
 #include "ocl/event.h"
 #include "ocl/program.h"
 #include "ocl/timing_model.h"
@@ -43,16 +44,43 @@ enum class QueueOrder {
   OutOfOrder, // commands are ordered only by engines and explicit deps
 };
 
+/// Ready-queue tie-breaking of the out-of-order scheduler.
+///
+/// The event DAG underdetermines the schedule: when several commands are
+/// ready, a real scheduler picks one and the rest incur dispatch latency.
+/// Fifo (the default) always dispatches immediately in enqueue order —
+/// the single deterministic schedule the rest of the test suite runs on.
+/// SeededShuffle models every other legal tie-break by delaying each
+/// command's dispatch by a bounded pseudo-random amount drawn from a
+/// seeded PRNG: all DAG and engine-FIFO constraints still hold (a start
+/// time only ever moves later), so each seed yields one alternative legal
+/// schedule, byte-reproducible from the seed. The schedule-fuzzing suite
+/// asserts that outputs, kernel cycles, and per-engine busy totals are
+/// invariant across seeds. In-order queues ignore the policy (they have
+/// no tie to break).
+struct SchedulePolicy {
+  enum class Kind : std::uint8_t { Fifo, SeededShuffle };
+  Kind kind = Kind::Fifo;
+  std::uint64_t seed = 0;
+
+  static SchedulePolicy fifo() noexcept { return {}; }
+  static SchedulePolicy seededShuffle(std::uint64_t seed) noexcept {
+    return {Kind::SeededShuffle, seed};
+  }
+};
+
 class CommandQueue {
 public:
   CommandQueue() = default;
   CommandQueue(Device device, Backend backend = Backend::OpenCL,
-               QueueOrder order = QueueOrder::InOrder);
+               QueueOrder order = QueueOrder::InOrder,
+               SchedulePolicy policy = SchedulePolicy::fifo());
 
   bool valid() const noexcept { return device_.valid(); }
   Device device() const noexcept { return device_; }
   Backend backend() const noexcept { return backend_; }
   QueueOrder order() const noexcept { return order_; }
+  const SchedulePolicy& schedulePolicy() const noexcept { return policy_; }
 
   /// Host -> device on the H2D DMA engine. Non-blocking in virtual time
   /// (data is staged now); the returned event marks when the device-side
@@ -101,6 +129,12 @@ public:
   }
 
 private:
+  /// Throws DeviceLost when the queue's device has been marked lost.
+  /// Every enqueue checks this first, before any effect.
+  void requireDeviceAlive() const;
+  /// Bounded pseudo-random dispatch latency under SeededShuffle on an
+  /// out-of-order queue; 0 under Fifo or on in-order queues.
+  std::uint64_t dispatchJitterNs();
   std::uint64_t commandStartNs(Engine engine,
                                const std::vector<Event>& deps) const;
   /// Closes out one command: assigns its id, stamps the profiling
@@ -115,6 +149,8 @@ private:
   Device device_;
   Backend backend_ = Backend::OpenCL;
   QueueOrder order_ = QueueOrder::InOrder;
+  SchedulePolicy policy_;
+  common::Xoshiro256 scheduleRng_;
   TimingModel model_{DeviceSpec{}, Backend::OpenCL};
   clc::LaunchStats lastStats_;
   Event last_; // previous command, for in-order chaining

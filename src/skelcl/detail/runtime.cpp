@@ -55,6 +55,27 @@ void Runtime::init(const DeviceSelection& selection) {
   serializedQueues_ = envFlag("SKELCL_SERIALIZE");
   const long long pieces = envInt("SKELCL_TRANSFER_CHUNKS", 4);
   transferPieces_ = pieces < 1 ? 1 : std::size_t(pieces);
+  // SKELCL_SCHEDULE=shuffle explores an alternative legal schedule per
+  // SKELCL_SCHEDULE_SEED (see Runtime::schedulePolicy); the default is
+  // the single deterministic FIFO tie-break order.
+  const std::string schedule = envStr("SKELCL_SCHEDULE", "fifo");
+  if (schedule == "shuffle") {
+    schedulePolicy_ = ocl::SchedulePolicy::seededShuffle(
+        std::uint64_t(envInt("SKELCL_SCHEDULE_SEED", 1)));
+  } else {
+    if (schedule != "fifo" && !schedule.empty()) {
+      LOG_WARN("unknown SKELCL_SCHEDULE '" << schedule
+                                           << "'; using fifo");
+    }
+    schedulePolicy_ = ocl::SchedulePolicy::fifo();
+  }
+  orderRng_ = common::Xoshiro256(schedulePolicy_.seed ^
+                                 0xd1b54a32d192ed03ULL);
+  // SKELCL_FAULT_PLAN/SKELCL_FAULT_SEED arm deterministic fault
+  // injection for this init()..terminate() cycle; reconfiguring here
+  // resets the injector's counters and PRNG, so two identical runs
+  // replay the exact same failure sequence.
+  ocl::FaultInjector::instance().configureFromEnv();
   // SKELCL_TRACE=<path> records this init()..terminate() cycle and
   // writes the trace at terminate() — Chrome trace-event JSON when the
   // path ends in ".json", the skeltrace binary format otherwise. Each
@@ -68,7 +89,8 @@ void Runtime::init(const DeviceSelection& selection) {
   for (const auto& device : devices_) {
     queues_.emplace_back(device, ocl::Backend::OpenCL,
                          serializedQueues_ ? ocl::QueueOrder::InOrder
-                                           : ocl::QueueOrder::OutOfOrder);
+                                           : ocl::QueueOrder::OutOfOrder,
+                         schedulePolicy_);
   }
   if (cache_ == nullptr) {
     cache_ = std::make_unique<KernelCache>();
@@ -117,6 +139,21 @@ ocl::CommandQueue& Runtime::queue(std::size_t deviceIndex) {
   requireInit();
   COMMON_CHECK(deviceIndex < queues_.size());
   return queues_[deviceIndex];
+}
+
+std::vector<std::size_t> Runtime::chunkVisitOrder(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  if (schedulePolicy_.kind == ocl::SchedulePolicy::Kind::SeededShuffle) {
+    // Fisher-Yates with the runtime's seeded stream: deterministic per
+    // (seed, call sequence), different per call.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[orderRng_.nextBelow(i)]);
+    }
+  }
+  return order;
 }
 
 KernelCache& Runtime::kernelCache() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/prng.h"
 #include "ocl/ocl.h"
 #include "skelcl/kernel_cache.h"
 
@@ -69,6 +70,23 @@ public:
   /// disable splitting.
   std::size_t transferPieces() const noexcept { return transferPieces_; }
 
+  /// Ready-queue tie-breaking of the out-of-order scheduler, set at
+  /// init() from SKELCL_SCHEDULE=fifo|shuffle and SKELCL_SCHEDULE_SEED.
+  /// Under SeededShuffle the queues add seeded dispatch jitter and the
+  /// skeletons visit per-device chunks in a seeded order — together they
+  /// explore alternative legal schedules of the same command DAG. The
+  /// schedule-fuzzing suite asserts outputs are invariant across seeds.
+  const ocl::SchedulePolicy& schedulePolicy() const noexcept {
+    return schedulePolicy_;
+  }
+
+  /// Visit order for a set of `n` per-device chunks: the identity under
+  /// Fifo, a seeded permutation under SeededShuffle. Only used where the
+  /// result is order-independent by construction (disjoint chunks);
+  /// order-sensitive combines (Reduce partials, combine folds) keep
+  /// their canonical element order so outputs stay bit-identical.
+  std::vector<std::size_t> chunkVisitOrder(std::size_t n);
+
   /// Destination of the trace the current init()..terminate() cycle
   /// records (set from SKELCL_TRACE at init; empty = not tracing).
   const std::string& tracePath() const noexcept { return tracePath_; }
@@ -79,6 +97,8 @@ private:
   bool initialized_ = false;
   bool serializedQueues_ = false;
   std::size_t transferPieces_ = 4;
+  ocl::SchedulePolicy schedulePolicy_;
+  common::Xoshiro256 orderRng_;
   std::string tracePath_;
   std::vector<ocl::Device> devices_;
   std::unique_ptr<ocl::Context> context_;

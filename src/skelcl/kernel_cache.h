@@ -8,7 +8,10 @@
 // format version, and the build options (optimization level): bumping the
 // format or changing the options makes old entries unfindable, and a
 // version check in the deserializer rejects stale or hand-patched files
-// that are found anyway, falling back to a rebuild.
+// that are found anyway, falling back to a rebuild. On-disk blobs are
+// additionally wrapped in an integrity envelope (magic, payload length,
+// FNV-1a64 digest), so a truncated or bit-flipped entry is detected up
+// front and silently rebuilt instead of reaching the deserializer.
 #pragma once
 
 #include <cstdint>

@@ -65,43 +65,53 @@ private:
     }
 
     ocl::Program& program = program_(args);
-    for (const detail::Chunk& chunk : input.state().chunks()) {
+    // Per-device chunks are disjoint, so any visit order is legal (the
+    // schedule fuzzer shuffles it); a fault on one device reports which.
+    const auto& chunks = input.state().chunks();
+    for (std::size_t idx : runtime.chunkVisitOrder(chunks.size())) {
+      const detail::Chunk& chunk = chunks[idx];
       if (chunk.count == 0) {
         continue;
       }
-      const auto& device = runtime.devices()[chunk.deviceIndex];
-      ocl::Kernel kernel = program.createKernel("skelcl_map");
-      std::size_t arg = 0;
-      kernel.setArg(arg++, chunk.buffer);
-      kernel.setArg(
-          arg++,
-          output.state().chunkForDevice(chunk.deviceIndex).buffer);
-      kernel.setArg(arg++, std::uint32_t(chunk.count));
-      args.apply(kernel, arg, chunk.deviceIndex);
+      try {
+        const auto& device = runtime.devices()[chunk.deviceIndex];
+        ocl::Kernel kernel = program.createKernel("skelcl_map");
+        std::size_t arg = 0;
+        kernel.setArg(arg++, chunk.buffer);
+        kernel.setArg(
+            arg++,
+            output.state().chunkForDevice(chunk.deviceIndex).buffer);
+        kernel.setArg(arg++, std::uint32_t(chunk.count));
+        args.apply(kernel, arg, chunk.deviceIndex);
 
-      // The launch depends on the input upload (piecewise when it was
-      // split — sub-launches then pipeline against the pieces), vector
-      // arguments, and, when aliased, the output chunk's last writer.
-      const detail::UploadPieces pieces =
-          input.state().takeUploadPieces(chunk.deviceIndex);
-      std::vector<ocl::Event> deps;
-      if (pieces.empty()) {
-        detail::appendEvent(deps, chunk.ready);
-      }
-      if (!aliased) {
-        detail::appendEvent(
-            deps,
-            output.state().readyEventOn(chunk.deviceIndex));
-      }
-      args.collectDeps(deps, chunk.deviceIndex);
+        // The launch depends on the input upload (piecewise when it was
+        // split — sub-launches then pipeline against the pieces), vector
+        // arguments, and, when aliased, the output chunk's last writer.
+        const detail::UploadPieces pieces =
+            input.state().takeUploadPieces(chunk.deviceIndex);
+        std::vector<ocl::Event> deps;
+        if (pieces.empty()) {
+          detail::appendEvent(deps, chunk.ready);
+        }
+        if (!aliased) {
+          detail::appendEvent(
+              deps,
+              output.state().readyEventOn(chunk.deviceIndex));
+        }
+        args.collectDeps(deps, chunk.deviceIndex);
 
-      const std::size_t wg =
-          detail::effectiveWorkGroupSize(workGroupSize_, device);
-      ocl::Event done = detail::launchPipelined(
-          runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
-          {&pieces});
-      output.state().recordEventOn(chunk.deviceIndex, done);
-      args.recordEvent(done, chunk.deviceIndex);
+        const std::size_t wg =
+            detail::effectiveWorkGroupSize(workGroupSize_, device);
+        ocl::Event done = detail::launchPipelined(
+            runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
+            {&pieces});
+        output.state().recordEventOn(chunk.deviceIndex, done);
+        args.recordEvent(done, chunk.deviceIndex);
+      } catch (ocl::ClError& e) {
+        e.prependContext("Map skeleton on device " +
+                         std::to_string(chunk.deviceIndex));
+        throw;
+      }
     }
     output.state().markDevicesModified();
   }
@@ -150,33 +160,41 @@ public:
     args.prepare();
 
     ocl::Program& program = program_(args);
-    for (const detail::Chunk& chunk : input.state().chunks()) {
+    const auto& chunks = input.state().chunks();
+    for (std::size_t idx : runtime.chunkVisitOrder(chunks.size())) {
+      const detail::Chunk& chunk = chunks[idx];
       if (chunk.count == 0) {
         continue;
       }
-      const auto& device = runtime.devices()[chunk.deviceIndex];
-      ocl::Kernel kernel = program.createKernel("skelcl_map");
-      std::size_t arg = 0;
-      kernel.setArg(arg++, chunk.buffer);
-      kernel.setArg(arg++, std::uint32_t(chunk.count));
-      args.apply(kernel, arg, chunk.deviceIndex);
+      try {
+        const auto& device = runtime.devices()[chunk.deviceIndex];
+        ocl::Kernel kernel = program.createKernel("skelcl_map");
+        std::size_t arg = 0;
+        kernel.setArg(arg++, chunk.buffer);
+        kernel.setArg(arg++, std::uint32_t(chunk.count));
+        args.apply(kernel, arg, chunk.deviceIndex);
 
-      // No sub-launch splitting here: a side-effect map may scatter to
-      // arbitrary indices of its argument vectors, so the whole launch
-      // waits for the whole input upload and every argument's writer.
-      std::vector<ocl::Event> deps;
-      detail::appendEvent(deps, chunk.ready);
-      args.collectDeps(deps, chunk.deviceIndex);
+        // No sub-launch splitting here: a side-effect map may scatter to
+        // arbitrary indices of its argument vectors, so the whole launch
+        // waits for the whole input upload and every argument's writer.
+        std::vector<ocl::Event> deps;
+        detail::appendEvent(deps, chunk.ready);
+        args.collectDeps(deps, chunk.deviceIndex);
 
-      const std::size_t wg =
-          detail::effectiveWorkGroupSize(workGroupSize_, device);
-      ocl::Event done =
-          runtime.queue(chunk.deviceIndex)
-              .enqueueNDRange(
-                  kernel,
-                  ocl::NDRange1D{detail::roundUp(chunk.count, wg), wg},
-                  deps);
-      args.recordEvent(done, chunk.deviceIndex);
+        const std::size_t wg =
+            detail::effectiveWorkGroupSize(workGroupSize_, device);
+        ocl::Event done =
+            runtime.queue(chunk.deviceIndex)
+                .enqueueNDRange(
+                    kernel,
+                    ocl::NDRange1D{detail::roundUp(chunk.count, wg), wg},
+                    deps);
+        args.recordEvent(done, chunk.deviceIndex);
+      } catch (ocl::ClError& e) {
+        e.prependContext("Map<void> skeleton on device " +
+                         std::to_string(chunk.deviceIndex));
+        throw;
+      }
     }
   }
 

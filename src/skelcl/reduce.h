@@ -53,17 +53,25 @@ public:
     const auto& chunks = input.state().chunks();
     const bool copyDist =
         input.state().distribution() == Distribution::Copy;
+    // Partials stay in canonical chunk order (device order = element
+    // order), so the combine below needs associativity only.
     for (const detail::Chunk& chunk : chunks) {
       if (chunk.count == 0) {
         continue;
       }
-      auto reduced =
-          reduceOnDevice(program, chunk.buffer, chunk.count,
-                         chunk.deviceIndex,
-                         detail::VectorState<T>::depsOf(chunk));
-      partials.push_back(Partial{std::move(reduced.first),
-                                 std::move(reduced.second),
-                                 chunk.deviceIndex});
+      try {
+        auto reduced =
+            reduceOnDevice(program, chunk.buffer, chunk.count,
+                           chunk.deviceIndex,
+                           detail::VectorState<T>::depsOf(chunk));
+        partials.push_back(Partial{std::move(reduced.first),
+                                   std::move(reduced.second),
+                                   chunk.deviceIndex});
+      } catch (ocl::ClError& e) {
+        e.prependContext("Reduce skeleton on device " +
+                         std::to_string(chunk.deviceIndex));
+        throw;
+      }
       if (copyDist) {
         break;
       }

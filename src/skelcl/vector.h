@@ -165,53 +165,64 @@ public:
     ocl::Program program =
         buildCombineProgram(typeName<T>(), combineSource);
 
+    // Failure atomicity: chunks_/dist_ are replaced only after every
+    // block has been fully enqueued. A transfer or launch failure
+    // mid-combine discards the half-built blocks; the vector stays
+    // copy-distributed with its old chunks and host data untouched, so
+    // the caller can retry the redistribution after handling the error.
     std::vector<Chunk> blocks = blockLayout(devices);
     for (Chunk& block : blocks) {
       const std::size_t d = block.deviceIndex;
-      auto& queue = runtime.queue(d);
-      const auto& device = runtime.devices()[d];
-      block.buffer = runtime.context().createBuffer(
-          device, std::max<std::size_t>(1, block.count * sizeof(T)));
-      // Own portion seeds the block (depends on the chunk being valid).
-      ocl::Event seeded = queue.enqueueCopyBuffer(
-          chunks_[d].buffer, block.offset * sizeof(T), block.buffer, 0,
-          block.count * sizeof(T), depsOf(chunks_[d]));
-      // Fold in every other device's copy of the same region. Two temp
-      // buffers double-buffer the pipeline: the cross-device copy of
-      // portion j+1 streams over PCIe into one temp while the combine
-      // kernel folds the other temp into the block.
-      ocl::Buffer temps[2];
-      ocl::Event tempFree[2]; // last kernel that *read* each temp
-      temps[0] = runtime.context().createBuffer(
-          device, std::max<std::size_t>(1, block.count * sizeof(T)));
-      temps[1] = runtime.context().createBuffer(
-          device, std::max<std::size_t>(1, block.count * sizeof(T)));
-      ocl::Event folded = seeded;
-      std::size_t slot = 0;
-      for (std::size_t j = 0; j < devices; ++j) {
-        if (j == d || block.count == 0) {
-          continue;
+      try {
+        auto& queue = runtime.queue(d);
+        const auto& device = runtime.devices()[d];
+        block.buffer = runtime.context().createBuffer(
+            device, std::max<std::size_t>(1, block.count * sizeof(T)));
+        // Own portion seeds the block (depends on the chunk being valid).
+        ocl::Event seeded = queue.enqueueCopyBuffer(
+            chunks_[d].buffer, block.offset * sizeof(T), block.buffer, 0,
+            block.count * sizeof(T), depsOf(chunks_[d]));
+        // Fold in every other device's copy of the same region. Two temp
+        // buffers double-buffer the pipeline: the cross-device copy of
+        // portion j+1 streams over PCIe into one temp while the combine
+        // kernel folds the other temp into the block.
+        ocl::Buffer temps[2];
+        ocl::Event tempFree[2]; // last kernel that *read* each temp
+        temps[0] = runtime.context().createBuffer(
+            device, std::max<std::size_t>(1, block.count * sizeof(T)));
+        temps[1] = runtime.context().createBuffer(
+            device, std::max<std::size_t>(1, block.count * sizeof(T)));
+        ocl::Event folded = seeded;
+        std::size_t slot = 0;
+        for (std::size_t j = 0; j < devices; ++j) {
+          if (j == d || block.count == 0) {
+            continue;
+          }
+          std::vector<ocl::Event> copyDeps = depsOf(chunks_[j]);
+          if (tempFree[slot].valid()) {
+            copyDeps.push_back(tempFree[slot]);
+          }
+          ocl::Event copied = queue.enqueueCopyBuffer(
+              chunks_[j].buffer, block.offset * sizeof(T), temps[slot], 0,
+              block.count * sizeof(T), copyDeps);
+          ocl::Kernel kernel = program.createKernel("skelcl_combine");
+          kernel.setArg(0, block.buffer);
+          kernel.setArg(1, temps[slot]);
+          kernel.setArg(2, std::uint32_t(block.count));
+          const std::size_t wg = std::min<std::size_t>(
+              runtime.defaultWorkGroupSize(), device.maxWorkGroupSize());
+          const std::size_t global = (block.count + wg - 1) / wg * wg;
+          folded = queue.enqueueNDRange(kernel, ocl::NDRange1D{global, wg},
+                                        {copied, folded});
+          tempFree[slot] = folded;
+          slot ^= 1;
         }
-        std::vector<ocl::Event> copyDeps = depsOf(chunks_[j]);
-        if (tempFree[slot].valid()) {
-          copyDeps.push_back(tempFree[slot]);
-        }
-        ocl::Event copied = queue.enqueueCopyBuffer(
-            chunks_[j].buffer, block.offset * sizeof(T), temps[slot], 0,
-            block.count * sizeof(T), copyDeps);
-        ocl::Kernel kernel = program.createKernel("skelcl_combine");
-        kernel.setArg(0, block.buffer);
-        kernel.setArg(1, temps[slot]);
-        kernel.setArg(2, std::uint32_t(block.count));
-        const std::size_t wg = std::min<std::size_t>(
-            runtime.defaultWorkGroupSize(), device.maxWorkGroupSize());
-        const std::size_t global = (block.count + wg - 1) / wg * wg;
-        folded = queue.enqueueNDRange(kernel, ocl::NDRange1D{global, wg},
-                                      {copied, folded});
-        tempFree[slot] = folded;
-        slot ^= 1;
+        block.ready = folded;
+      } catch (ocl::ClError& e) {
+        e.prependContext("combine redistribution on device " +
+                         std::to_string(d));
+        throw;
       }
-      block.ready = folded;
     }
     chunks_ = std::move(blocks);
     dist_ = Distribution::Block;
@@ -223,15 +234,29 @@ public:
   void ensureOnDevices() override {
     auto& runtime = Runtime::instance();
     runtime.requireInit();
-    if (chunks_.empty()) {
-      allocateChunks();
-      upload();
-      hostDirty_ = false;
-      return;
-    }
-    if (hostDirty_) {
-      upload();
-      hostDirty_ = false;
+    // Failure atomicity: an allocation or upload failure (injected or
+    // organic) may leave some chunks allocated or partially written.
+    // Dropping every chunk restores the invariant "host data is the
+    // truth" — the next access re-allocates and re-uploads from the
+    // still-valid host copy, and the caller sees a typed exception.
+    try {
+      if (chunks_.empty()) {
+        allocateChunks();
+        upload();
+        hostDirty_ = false;
+        return;
+      }
+      if (hostDirty_) {
+        upload();
+        hostDirty_ = false;
+      }
+    } catch (ocl::ClError& e) {
+      dropChunks();
+      hostDirty_ = true;
+      devicesDirty_ = false;
+      e.prependContext("vector upload of " + std::to_string(host_.size()) +
+                       " element(s)");
+      throw;
     }
   }
 
@@ -351,37 +376,52 @@ public:
     trace::ScopedHostSpan span(trace::HostKind::Transfer, "vector.download",
                                trace::kNoDevice, host_.size() * sizeof(T));
     auto& runtime = Runtime::instance();
+    // Downloads are transactional: they land in a staging buffer that is
+    // committed only once every transfer has finished. A failed or
+    // truncated read (injected faults, device loss) therefore leaves the
+    // previous host data — e.g. the pre-redistribute values — intact.
+    std::vector<T> staging(host_.size());
     // Enqueue every download non-blocking so transfers from different
     // devices overlap on their own PCIe links; wait on all at the end.
     std::vector<ocl::Event> pending;
-    switch (dist_) {
-      case Distribution::Single:
-      case Distribution::Block:
-        for (const Chunk& chunk : chunks_) {
-          if (chunk.count == 0) continue;
-          pending.push_back(
-              runtime.queue(chunk.deviceIndex)
-                  .enqueueReadBuffer(chunk.buffer, 0,
-                                     chunk.count * sizeof(T),
-                                     host_.data() + chunk.offset,
-                                     /*blocking=*/false, depsOf(chunk)));
-        }
-        break;
-      case Distribution::Copy:
-        // All copies are equal by definition; read the first.
-        if (!host_.empty()) {
-          const Chunk& chunk = chunks_.front();
-          pending.push_back(
-              runtime.queue(chunk.deviceIndex)
-                  .enqueueReadBuffer(chunk.buffer, 0,
-                                     chunk.count * sizeof(T), host_.data(),
-                                     /*blocking=*/false, depsOf(chunk)));
-        }
-        break;
+    try {
+      switch (dist_) {
+        case Distribution::Single:
+        case Distribution::Block:
+          for (std::size_t idx :
+               runtime.chunkVisitOrder(chunks_.size())) {
+            const Chunk& chunk = chunks_[idx];
+            if (chunk.count == 0) continue;
+            pending.push_back(
+                runtime.queue(chunk.deviceIndex)
+                    .enqueueReadBuffer(chunk.buffer, 0,
+                                       chunk.count * sizeof(T),
+                                       staging.data() + chunk.offset,
+                                       /*blocking=*/false, depsOf(chunk)));
+          }
+          break;
+        case Distribution::Copy:
+          // All copies are equal by definition; read the first.
+          if (!host_.empty()) {
+            const Chunk& chunk = chunks_.front();
+            pending.push_back(
+                runtime.queue(chunk.deviceIndex)
+                    .enqueueReadBuffer(chunk.buffer, 0,
+                                       chunk.count * sizeof(T),
+                                       staging.data(),
+                                       /*blocking=*/false, depsOf(chunk)));
+          }
+          break;
+      }
+    } catch (ocl::ClError& e) {
+      e.prependContext("vector download of " +
+                       std::to_string(host_.size()) + " element(s)");
+      throw;
     }
     for (const ocl::Event& event : pending) {
       event.wait();
     }
+    host_ = std::move(staging);
     devicesDirty_ = false;
   }
 
@@ -461,7 +501,10 @@ private:
     trace::ScopedHostSpan span(trace::HostKind::Transfer, "vector.upload",
                                trace::kNoDevice, host_.size() * sizeof(T));
     auto& runtime = Runtime::instance();
-    for (Chunk& chunk : chunks_) {
+    // Chunks live on different devices and cover disjoint ranges, so any
+    // visit order is legal; under schedule fuzzing the order is shuffled.
+    for (std::size_t idx : runtime.chunkVisitOrder(chunks_.size())) {
+      Chunk& chunk = chunks_[idx];
       if (chunk.count == 0) continue;
       auto& queue = runtime.queue(chunk.deviceIndex);
       chunk.pieces.clear();

@@ -81,50 +81,60 @@ private:
     }
 
     ocl::Program& program = program_(args);
-    for (const detail::Chunk& chunk : left.state().chunks()) {
+    // Per-device chunks are disjoint, so any visit order is legal (the
+    // schedule fuzzer shuffles it); a fault on one device reports which.
+    const auto& chunks = left.state().chunks();
+    for (std::size_t idx : runtime.chunkVisitOrder(chunks.size())) {
+      const detail::Chunk& chunk = chunks[idx];
       if (chunk.count == 0) {
         continue;
       }
-      const auto& device = runtime.devices()[chunk.deviceIndex];
-      ocl::Kernel kernel = program.createKernel("skelcl_zip");
-      std::size_t arg = 0;
-      kernel.setArg(arg++, chunk.buffer);
-      kernel.setArg(arg++,
-                    right.state().chunkForDevice(chunk.deviceIndex).buffer);
-      kernel.setArg(
-          arg++,
-          output.state().chunkForDevice(chunk.deviceIndex).buffer);
-      kernel.setArg(arg++, std::uint32_t(chunk.count));
-      args.apply(kernel, arg, chunk.deviceIndex);
+      try {
+        const auto& device = runtime.devices()[chunk.deviceIndex];
+        ocl::Kernel kernel = program.createKernel("skelcl_zip");
+        std::size_t arg = 0;
+        kernel.setArg(arg++, chunk.buffer);
+        kernel.setArg(arg++,
+                      right.state().chunkForDevice(chunk.deviceIndex).buffer);
+        kernel.setArg(
+            arg++,
+            output.state().chunkForDevice(chunk.deviceIndex).buffer);
+        kernel.setArg(arg++, std::uint32_t(chunk.count));
+        args.apply(kernel, arg, chunk.deviceIndex);
 
-      // Depend on both operands' uploads — piecewise where split, so
-      // sub-launches pipeline against whichever transfer streams last —
-      // plus vector arguments and the aliased output's last writer.
-      const bool sameState =
-          static_cast<const void*>(&right.state()) ==
-          static_cast<const void*>(&left.state());
-      const detail::UploadPieces leftPieces =
-          left.state().takeUploadPieces(chunk.deviceIndex);
-      const detail::UploadPieces rightPieces =
-          sameState ? detail::UploadPieces{}
-                    : right.state().takeUploadPieces(chunk.deviceIndex);
-      std::vector<ocl::Event> deps;
-      if (leftPieces.empty()) {
-        detail::appendEvent(deps, chunk.ready);
-      }
-      if (!sameState && rightPieces.empty()) {
-        detail::appendEvent(
-            deps, right.state().readyEventOn(chunk.deviceIndex));
-      }
-      args.collectDeps(deps, chunk.deviceIndex);
+        // Depend on both operands' uploads — piecewise where split, so
+        // sub-launches pipeline against whichever transfer streams last —
+        // plus vector arguments and the aliased output's last writer.
+        const bool sameState =
+            static_cast<const void*>(&right.state()) ==
+            static_cast<const void*>(&left.state());
+        const detail::UploadPieces leftPieces =
+            left.state().takeUploadPieces(chunk.deviceIndex);
+        const detail::UploadPieces rightPieces =
+            sameState ? detail::UploadPieces{}
+                      : right.state().takeUploadPieces(chunk.deviceIndex);
+        std::vector<ocl::Event> deps;
+        if (leftPieces.empty()) {
+          detail::appendEvent(deps, chunk.ready);
+        }
+        if (!sameState && rightPieces.empty()) {
+          detail::appendEvent(
+              deps, right.state().readyEventOn(chunk.deviceIndex));
+        }
+        args.collectDeps(deps, chunk.deviceIndex);
 
-      const std::size_t wg =
-          detail::effectiveWorkGroupSize(workGroupSize_, device);
-      ocl::Event done = detail::launchPipelined(
-          runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
-          {&leftPieces, &rightPieces});
-      output.state().recordEventOn(chunk.deviceIndex, done);
-      args.recordEvent(done, chunk.deviceIndex);
+        const std::size_t wg =
+            detail::effectiveWorkGroupSize(workGroupSize_, device);
+        ocl::Event done = detail::launchPipelined(
+            runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
+            {&leftPieces, &rightPieces});
+        output.state().recordEventOn(chunk.deviceIndex, done);
+        args.recordEvent(done, chunk.deviceIndex);
+      } catch (ocl::ClError& e) {
+        e.prependContext("Zip skeleton on device " +
+                         std::to_string(chunk.deviceIndex));
+        throw;
+      }
     }
     output.state().markDevicesModified();
   }

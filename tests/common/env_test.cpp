@@ -1,0 +1,93 @@
+// Error paths of the env-var parsers: every malformed value must take
+// the documented fallback, never a half-parsed or saturated number.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.h"
+
+namespace {
+
+constexpr const char* kVar = "SKELCL_ENV_TEST_VAR";
+
+class EnvParsing : public ::testing::Test {
+protected:
+  void TearDown() override { ::unsetenv(kVar); }
+
+  void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvParsing, UnsetTakesFallback) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+  EXPECT_EQ(common::envStr(kVar, "dflt"), "dflt");
+  EXPECT_TRUE(common::envFlag(kVar, true));
+  EXPECT_FALSE(common::envFlag(kVar, false));
+}
+
+TEST_F(EnvParsing, ValidValuesParse) {
+  set("42");
+  EXPECT_EQ(common::envInt(kVar, 7), 42);
+  set("-3");
+  EXPECT_EQ(common::envInt(kVar, 7), -3);
+  set("1.5");
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 0.0), 1.5);
+  set("  12  "); // surrounding whitespace is fine
+  EXPECT_EQ(common::envInt(kVar, 7), 12);
+}
+
+TEST_F(EnvParsing, EmptyAndWhitespaceFallBack) {
+  set("");
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+  set("   ");
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+}
+
+TEST_F(EnvParsing, TrailingGarbageFallsBack) {
+  set("12abc");
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  set("1.5.3");
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+  set("0x"); // strtoll consumes "0", leaves "x"
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  set("nanx");
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+}
+
+TEST_F(EnvParsing, NotANumberFallsBack) {
+  set("abc");
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+  set("--3");
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+}
+
+TEST_F(EnvParsing, OutOfRangeFallsBack) {
+  set("99999999999999999999999999"); // > LLONG_MAX
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  set("-99999999999999999999999999");
+  EXPECT_EQ(common::envInt(kVar, 7), 7);
+  set("1e999999"); // > DBL_MAX
+  EXPECT_DOUBLE_EQ(common::envDouble(kVar, 2.5), 2.5);
+}
+
+TEST_F(EnvParsing, FlagNormalization) {
+  for (const char* falsy : {"", "0", "false", "FALSE", "off", "Off", "no"}) {
+    set(falsy);
+    EXPECT_FALSE(common::envFlag(kVar, true)) << "value: '" << falsy << "'";
+  }
+  for (const char* truthy : {"1", "true", "on", "yes", "whatever"}) {
+    set(truthy);
+    EXPECT_TRUE(common::envFlag(kVar, false)) << "value: '" << truthy << "'";
+  }
+}
+
+TEST_F(EnvParsing, EmptyStringValueIsKept) {
+  set("");
+  EXPECT_EQ(common::envStr(kVar, "dflt"), "");
+}
+
+} // namespace

@@ -1,0 +1,301 @@
+// Deterministic fault injection at the ocl layer: plan parsing, the
+// trigger kinds (nth-call, probability, pattern, always, =lost), the
+// typed exceptions each site raises, and — the point of the exercise —
+// that a failed enqueue leaves queue/timeline state exactly as if it had
+// never been attempted, and that equal (plan, seed, call sequence)
+// triples replay byte-identical failure sequences.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ocl/ocl.h"
+
+namespace {
+
+using ocl::FaultInjector;
+using ocl::FaultSite;
+
+class OclFault : public ::testing::Test {
+protected:
+  void SetUp() override {
+    FaultInjector::instance().reset();
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(2));
+    gpus_ = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  }
+
+  // The injector is process-global: never leak a plan into other tests.
+  void TearDown() override { FaultInjector::instance().reset(); }
+
+  std::vector<ocl::Device> gpus_;
+};
+
+TEST_F(OclFault, DisarmedByDefault) {
+  EXPECT_FALSE(FaultInjector::enabled());
+  EXPECT_FALSE(
+      FaultInjector::instance().check(FaultSite::Write, "write_buffer"));
+}
+
+TEST_F(OclFault, MalformedPlansThrow) {
+  auto& inj = FaultInjector::instance();
+  EXPECT_THROW(inj.configure("frobnicate@1"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("alloc"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("@3"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("alloc@"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("alloc@x"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("alloc@p"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("alloc@pbogus"), common::InvalidArgument);
+  EXPECT_THROW(inj.configure("write@1=explode"), common::InvalidArgument);
+  // A failed configure never leaves a half-armed plan behind.
+  EXPECT_FALSE(FaultInjector::enabled());
+}
+
+TEST_F(OclFault, ValidPlansParse) {
+  auto& inj = FaultInjector::instance();
+  EXPECT_NO_THROW(inj.configure("alloc@1"));
+  EXPECT_NO_THROW(inj.configure("build@2, transfer@3"));
+  EXPECT_NO_THROW(inj.configure("kernel~skelcl_map@2"));
+  EXPECT_NO_THROW(inj.configure("enqueue@p0.25", 7));
+  EXPECT_NO_THROW(inj.configure("any@*"));
+  EXPECT_NO_THROW(inj.configure("write@1=lost"));
+  EXPECT_TRUE(FaultInjector::enabled());
+  inj.configure(""); // empty plan disarms
+  EXPECT_FALSE(FaultInjector::enabled());
+}
+
+TEST_F(OclFault, NthCallTriggerFiresExactlyOnce) {
+  FaultInjector::instance().configure("write@2");
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<char> data(1 << 10, 3);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+  EXPECT_NO_THROW(
+      queue.enqueueWriteBuffer(buf, 0, data.size(), data.data()));
+  EXPECT_THROW(queue.enqueueWriteBuffer(buf, 0, data.size(), data.data()),
+               ocl::TransferFailure);
+  EXPECT_NO_THROW(
+      queue.enqueueWriteBuffer(buf, 0, data.size(), data.data()));
+  EXPECT_EQ(FaultInjector::instance().siteCalls(FaultSite::Write), 3u);
+  EXPECT_EQ(FaultInjector::instance().firedLog().size(), 1u);
+}
+
+TEST_F(OclFault, PatternRestrictsByLabel) {
+  FaultInjector::instance().configure("kernel~nomatch@1");
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  ocl::Program program = ctx.createProgram(
+      "__kernel void noop(__global int* p) { p[get_global_id(0)] = 1; }");
+  program.build();
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], 64 * sizeof(int));
+  ocl::Kernel kernel = program.createKernel("noop");
+  kernel.setArg(0, buf);
+  // Label "noop" does not contain "nomatch": the rule never fires.
+  EXPECT_NO_THROW(queue.enqueueNDRange(kernel, ocl::NDRange1D{64, 64}));
+
+  FaultInjector::instance().configure("kernel~noop@1");
+  ocl::Kernel again = program.createKernel("noop");
+  again.setArg(0, buf);
+  EXPECT_THROW(queue.enqueueNDRange(again, ocl::NDRange1D{64, 64}),
+               ocl::LaunchFailure);
+}
+
+TEST_F(OclFault, AllocFaultCarriesStatusAndDevice) {
+  FaultInjector::instance().configure("alloc@*");
+  ocl::Context ctx(gpus_);
+  try {
+    ctx.createBuffer(gpus_[1], 1 << 20);
+    FAIL() << "expected AllocFailure";
+  } catch (const ocl::AllocFailure& e) {
+    EXPECT_EQ(e.status(), ocl::Status::MemObjectAllocationFailure);
+    EXPECT_EQ(e.deviceIndex(), 1u);
+  }
+  // The failed allocation must not count against the device's memory.
+  EXPECT_EQ(gpus_[1].state().allocatedBytes(), 0u);
+}
+
+TEST_F(OclFault, BuildFaultLeavesProgramRebuildable) {
+  FaultInjector::instance().configure("build@1");
+  ocl::Context ctx({gpus_[0]});
+  ocl::Program program = ctx.createProgram(
+      "__kernel void noop(__global int* p) { p[0] = 1; }");
+  try {
+    program.build();
+    FAIL() << "expected BuildError";
+  } catch (const ocl::BuildError& e) {
+    EXPECT_NE(std::string(e.log()).find("injected"), std::string::npos);
+  }
+  EXPECT_FALSE(program.isBuilt());
+  // The fault was one-shot; the same program builds fine afterwards.
+  EXPECT_NO_THROW(program.build());
+  EXPECT_TRUE(program.isBuilt());
+}
+
+TEST_F(OclFault, TruncatedReadReportsByteCounts) {
+  FaultInjector::instance().configure("read@1");
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<std::uint8_t> src(4096, 0xab);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], src.size());
+  queue.enqueueWriteBuffer(buf, 0, src.size(), src.data());
+
+  std::vector<std::uint8_t> dst(src.size(), 0);
+  try {
+    queue.enqueueReadBuffer(buf, 0, dst.size(), dst.data());
+    FAIL() << "expected TransferFailure";
+  } catch (const ocl::TransferFailure& e) {
+    EXPECT_EQ(e.bytesRequested(), dst.size());
+    EXPECT_EQ(e.bytesTransferred(), dst.size() / 2);
+    EXPECT_EQ(e.deviceIndex(), 0u);
+  }
+  // Truncation is real: exactly the first half of the bytes landed.
+  EXPECT_EQ(dst[dst.size() / 2 - 1], 0xab);
+  EXPECT_EQ(dst[dst.size() / 2], 0u);
+}
+
+TEST_F(OclFault, FailedEnqueueLeavesQueueStateConsistent) {
+  FaultInjector::instance().configure("write@2");
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0], ocl::Backend::OpenCL,
+                          ocl::QueueOrder::OutOfOrder);
+  std::vector<char> data(1 << 16, 5);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+
+  ocl::Event e1 =
+      queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  const std::uint64_t readyAfterFirst =
+      gpus_[0].state().readyTimeNs(ocl::Engine::HostToDevice);
+
+  EXPECT_THROW(queue.enqueueWriteBuffer(buf, 0, data.size(), data.data()),
+               ocl::TransferFailure);
+  // The failed command retired nothing: no engine time occupied, no
+  // command id consumed, and the next enqueue behaves as if the failure
+  // had never been attempted.
+  EXPECT_EQ(gpus_[0].state().readyTimeNs(ocl::Engine::HostToDevice),
+            readyAfterFirst);
+  ocl::Event e3 =
+      queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  EXPECT_EQ(e3.commandId(), e1.commandId() + 1);
+  EXPECT_GE(e3.startNs(), e1.endNs()); // FIFO on the same engine
+  EXPECT_NO_THROW(queue.finish());
+}
+
+TEST_F(OclFault, DeviceLostPoisonsOnlyThatDevice) {
+  FaultInjector::instance().configure("write@1=lost");
+  ocl::Context ctx(gpus_);
+  ocl::CommandQueue q0(gpus_[0]);
+  ocl::CommandQueue q1(gpus_[1]);
+  std::vector<char> data(256, 1);
+  ocl::Buffer b0 = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Buffer b1 = ctx.createBuffer(gpus_[1], data.size());
+
+  EXPECT_THROW(q0.enqueueWriteBuffer(b0, 0, data.size(), data.data()),
+               ocl::DeviceLost);
+  EXPECT_TRUE(gpus_[0].state().lost());
+  // Every later command on the lost device fails the same way...
+  EXPECT_THROW(q0.enqueueWriteBuffer(b0, 0, data.size(), data.data()),
+               ocl::DeviceLost);
+  EXPECT_THROW(ctx.createBuffer(gpus_[0], 64), ocl::DeviceLost);
+  // ...while the sibling device keeps working.
+  EXPECT_NO_THROW(q1.enqueueWriteBuffer(b1, 0, data.size(), data.data()));
+  // configureSystem builds fresh devices: the loss does not persist.
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(2));
+  auto fresh = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU);
+  EXPECT_FALSE(fresh[0].state().lost());
+}
+
+TEST_F(OclFault, ProbabilityTriggerIsSeedReproducible) {
+  auto roll = [&](std::uint64_t seed) {
+    FaultInjector::instance().configure("write@p0.5", seed);
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(1));
+    auto gpu = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU)[0];
+    ocl::Context ctx({gpu});
+    ocl::CommandQueue queue(gpu);
+    std::vector<char> data(64, 0);
+    ocl::Buffer buf = ctx.createBuffer(gpu, data.size());
+    std::vector<bool> failed;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+        failed.push_back(false);
+      } catch (const ocl::TransferFailure&) {
+        failed.push_back(true);
+      }
+    }
+    return failed;
+  };
+  const auto a = roll(42);
+  const auto b = roll(42);
+  const auto c = roll(43);
+  EXPECT_EQ(a, b); // same seed, same call sequence -> same failures
+  EXPECT_NE(a, c); // 1-in-2^32 flake odds; the seeds are decorrelated
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST_F(OclFault, FiredLogReplaysByteIdentically) {
+  auto run = [&] {
+    FaultInjector::instance().configure(
+        "write@2, read@p0.5, kernel~noop@1=lost", 1234);
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(1));
+    auto gpu = ocl::getPlatforms()[0].devices(ocl::DeviceType::GPU)[0];
+    ocl::Context ctx({gpu});
+    ocl::CommandQueue queue(gpu);
+    std::vector<char> data(128, 0);
+    ocl::Buffer buf = ctx.createBuffer(gpu, data.size());
+    for (int i = 0; i < 8; ++i) {
+      try {
+        queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+      } catch (const ocl::ClError&) {
+      }
+      try {
+        queue.enqueueReadBuffer(buf, 0, data.size(), data.data());
+      } catch (const ocl::ClError&) {
+      }
+    }
+    return FaultInjector::instance().firedLog();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << "fired-fault log diverges at entry " << i;
+  }
+}
+
+TEST_F(OclFault, TransferGroupCoversAllThreeSites) {
+  FaultInjector::instance().configure("transfer@*");
+  ocl::Context ctx(gpus_);
+  ocl::CommandQueue queue(gpus_[0]);
+  std::vector<char> data(256, 1);
+  ocl::Buffer b0 = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Buffer b1 = ctx.createBuffer(gpus_[1], data.size());
+  EXPECT_THROW(queue.enqueueWriteBuffer(b0, 0, data.size(), data.data()),
+               ocl::TransferFailure);
+  EXPECT_THROW(queue.enqueueReadBuffer(b0, 0, data.size(), data.data()),
+               ocl::TransferFailure);
+  EXPECT_THROW(queue.enqueueCopyBuffer(b0, 0, b1, 0, data.size()),
+               ocl::TransferFailure);
+}
+
+TEST_F(OclFault, SeededShufflePreservesConstraints) {
+  // Jittered dispatch may delay starts but can never violate engine FIFO
+  // or dependency ordering, and the data effect is unchanged.
+  ocl::Context ctx({gpus_[0]});
+  ocl::CommandQueue queue(gpus_[0], ocl::Backend::OpenCL,
+                          ocl::QueueOrder::OutOfOrder,
+                          ocl::SchedulePolicy::seededShuffle(99));
+  std::vector<char> data(1 << 16, 7);
+  ocl::Buffer buf = ctx.createBuffer(gpus_[0], data.size());
+  ocl::Event e1 =
+      queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  ocl::Event e2 =
+      queue.enqueueWriteBuffer(buf, 0, data.size(), data.data());
+  std::vector<char> out(data.size(), 0);
+  ocl::Event e3 = queue.enqueueReadBuffer(buf, 0, out.size(), out.data(),
+                                          /*blocking=*/true, {e2});
+  EXPECT_GE(e2.startNs(), e1.endNs()); // H2D engine FIFO still holds
+  EXPECT_GE(e3.startNs(), e2.endNs()); // the dependency still holds
+  EXPECT_EQ(out, data);
+}
+
+} // namespace

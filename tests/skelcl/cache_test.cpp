@@ -90,6 +90,46 @@ TEST_F(CacheTest, CorruptedEntryFallsBackToRebuild) {
   EXPECT_EQ(cache.stats().hits, 1u);
 }
 
+TEST_F(CacheTest, TruncatedEntryIsDetectedAndRebuilt) {
+  // The integrity envelope records the payload length: chopping bytes off
+  // the end fails the length check before the deserializer ever runs.
+  KernelCache cache(dir_);
+  cache.getOrBuild(context_, source_);
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".clcbin") {
+      auto bytes = common::readFile(e.path().string());
+      ASSERT_GT(bytes.size(), 16u);
+      bytes.resize(bytes.size() - 7);
+      common::writeFile(e.path().string(), bytes);
+    }
+  }
+  ocl::Program p = cache.getOrBuild(context_, source_);
+  EXPECT_TRUE(p.isBuilt());
+  EXPECT_EQ(cache.stats().misses, 2u) << "truncation must force a rebuild";
+  cache.getOrBuild(context_, source_);
+  EXPECT_EQ(cache.stats().hits, 1u) << "the entry was repaired on disk";
+}
+
+TEST_F(CacheTest, BitFlippedEntryFailsTheDigestCheck) {
+  // A single flipped payload bit keeps the header and length intact but
+  // fails the payload digest comparison.
+  KernelCache cache(dir_);
+  cache.getOrBuild(context_, source_);
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".clcbin") {
+      auto bytes = common::readFile(e.path().string());
+      ASSERT_GT(bytes.size(), 100u);
+      bytes[bytes.size() / 2] ^= 0x40;
+      common::writeFile(e.path().string(), bytes);
+    }
+  }
+  ocl::Program p = cache.getOrBuild(context_, source_);
+  EXPECT_TRUE(p.isBuilt());
+  EXPECT_EQ(cache.stats().misses, 2u) << "digest mismatch must rebuild";
+  cache.getOrBuild(context_, source_);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST_F(CacheTest, StaleFormatVersionIsRejectedAndRebuilt) {
   KernelCache cache(dir_);
   cache.getOrBuild(context_, source_);

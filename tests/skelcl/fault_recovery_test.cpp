@@ -1,0 +1,307 @@
+// SkelCL-layer hardening under injected runtime failures: every fault
+// class (alloc, build, transfer, device-lost) surfaces as a typed
+// exception with the failing device named, host-side data stays valid,
+// and the workload can retry after the fault clears. Also: corrupt
+// kernel-cache entries rebuild silently, compile errors carry the
+// offending source line, and a fixed SKELCL_FAULT_PLAN/SEED replays the
+// same failure sequence across independent init() cycles.
+#include <filesystem>
+#include <numeric>
+
+#include "common/byte_stream.h"
+#include "skelcl_test_util.h"
+
+namespace {
+
+using ocl::FaultInjector;
+using skelcl::Arguments;
+using skelcl::Distribution;
+using skelcl::Map;
+using skelcl::Vector;
+
+class FaultRecovery : public skelcl_test::SkelclFixture {
+public:
+  FaultRecovery() : SkelclFixture(2) {}
+
+protected:
+  void TearDown() override {
+    FaultInjector::instance().reset();
+    skelcl_test::SkelclFixture::TearDown();
+  }
+};
+
+TEST_F(FaultRecovery, AllocFaultSurfacesTypedAndHostDataSurvives) {
+  Map<int> inc("int inc_af(int x) { return x + 1; }");
+  std::vector<int> data(512);
+  std::iota(data.begin(), data.end(), 0);
+  Vector<int> input(data);
+
+  FaultInjector::instance().configure("alloc@1");
+  try {
+    Vector<int> out = inc(input);
+    FAIL() << "expected AllocFailure";
+  } catch (const ocl::AllocFailure& e) {
+    EXPECT_EQ(e.status(), ocl::Status::MemObjectAllocationFailure);
+    EXPECT_NE(std::string(e.what()).find("vector upload"),
+              std::string::npos);
+  }
+  // Host data is untouched and the workload retries cleanly.
+  FaultInjector::instance().reset();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(input[i], int(i)) << i;
+  }
+  Vector<int> out = inc(input);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], int(i) + 1) << i;
+  }
+}
+
+TEST_F(FaultRecovery, UploadTransferFaultSurfacesTypedAndRetries) {
+  Map<int> twice("int twice_tf(int x) { return 2 * x; }");
+  std::vector<int> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  Vector<int> input(data);
+
+  FaultInjector::instance().configure("write@1");
+  try {
+    Vector<int> out = twice(input);
+    FAIL() << "expected TransferFailure";
+  } catch (const ocl::TransferFailure& e) {
+    EXPECT_GT(e.bytesRequested(), e.bytesTransferred());
+    EXPECT_NE(std::string(e.what()).find("vector upload"),
+              std::string::npos);
+  }
+  FaultInjector::instance().reset();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(input[i], int(i)) << i; // host copy is still the truth
+  }
+  Vector<int> out = twice(input);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], 2 * int(i)) << i;
+  }
+}
+
+TEST_F(FaultRecovery, DownloadTransferFaultIsTransactional) {
+  Map<int> inc("int inc_dtf(int x) { return x + 1; }");
+  std::vector<int> data(256, 5);
+  Vector<int> input(data);
+  Vector<int> out = inc(input);
+
+  // The first download attempt fails mid-transfer; the staging commit
+  // never happens, so the vector stays consistent and the retry returns
+  // the complete, correct result.
+  FaultInjector::instance().configure("read@1");
+  EXPECT_THROW(out[0], ocl::TransferFailure);
+  FaultInjector::instance().reset();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], 6) << i;
+  }
+}
+
+TEST_F(FaultRecovery, LaunchFaultReportsSkeletonAndDevice) {
+  Map<int> inc("int inc_lf(int x) { return x + 1; }");
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  Vector<int> input(data);
+  input.setDistribution(Distribution::Block);
+
+  // The second launch is device 1's chunk (Fifo visits chunks in order).
+  FaultInjector::instance().configure("kernel~skelcl_map@2");
+  try {
+    Vector<int> out = inc(input);
+    FAIL() << "expected LaunchFailure";
+  } catch (const ocl::LaunchFailure& e) {
+    EXPECT_EQ(e.deviceIndex(), 1u);
+    EXPECT_NE(std::string(e.what()).find("Map skeleton on device 1"),
+              std::string::npos);
+  }
+  FaultInjector::instance().reset();
+  Vector<int> out = inc(input);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], int(i) + 1) << i;
+  }
+}
+
+TEST_F(FaultRecovery, DeviceLostSurfacesTypedWithHostDataValid) {
+  Map<int> inc("int inc_dl(int x) { return x + 1; }");
+  std::vector<int> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  Vector<int> input(data);
+  input.setDistribution(Distribution::Block);
+
+  FaultInjector::instance().configure("kernel@1=lost");
+  try {
+    Vector<int> out = inc(input);
+    FAIL() << "expected DeviceLost";
+  } catch (const ocl::DeviceLost& e) {
+    EXPECT_EQ(e.status(), ocl::Status::DeviceNotAvailable);
+    EXPECT_EQ(e.deviceIndex(), 0u);
+    EXPECT_NE(std::string(e.what()).find("Map skeleton on device 0"),
+              std::string::npos);
+  }
+  FaultInjector::instance().reset();
+  // The device stays lost, but the host data is intact and readable.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(input[i], int(i)) << i;
+  }
+}
+
+TEST_F(FaultRecovery, BuildFaultSurfacesThroughSkeleton) {
+  // Unique source so the kernel cache cannot satisfy it from disk.
+  Map<int> inc("int inc_bf_unique(int x) { return x + 1; }");
+  Vector<int> input(std::vector<int>(16, 1));
+  FaultInjector::instance().configure("build@1");
+  try {
+    Vector<int> out = inc(input);
+    FAIL() << "expected BuildError";
+  } catch (const ocl::BuildError& e) {
+    EXPECT_NE(e.log().find("injected"), std::string::npos);
+  }
+  FaultInjector::instance().reset();
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_EQ(input[i], 1) << i;
+  }
+  Vector<int> out = inc(input);
+  EXPECT_EQ(out[0], 2);
+}
+
+TEST_F(FaultRecovery, CompileErrorCarriesSourceLine) {
+  // A genuine front-end error (not injected): the build log must point
+  // at the offending line of the generated kernel source.
+  Map<float> bad("float f_ce(float x) { return undeclared_ce_var; }");
+  Vector<float> input(std::vector<float>(8, 1.0f));
+  try {
+    Vector<float> out = bad(input);
+    FAIL() << "expected BuildError";
+  } catch (const ocl::BuildError& e) {
+    EXPECT_NE(e.log().find("error"), std::string::npos);
+    EXPECT_NE(e.log().find("undeclared_ce_var"), std::string::npos);
+    // renderContext prints "line:column: error: ..." — require a line
+    // number prefix.
+    const auto colon = e.log().find(':');
+    ASSERT_NE(colon, std::string::npos);
+    EXPECT_GT(colon, 0u);
+    EXPECT_TRUE(::isdigit(e.log()[colon - 1])) << e.log();
+  }
+}
+
+TEST_F(FaultRecovery, MidRedistributeFailureKeepsPreRedistributeState) {
+  // The OSEM shape: copies modified per-device, then collapsed into
+  // blocks with a combine function. A cross-device transfer failure in
+  // the middle of the combine must leave the vector exactly as it was:
+  // still copy-distributed, host data untouched, retry possible.
+  Map<int, void> bump(
+      "void b_mr(int idx, __global int* data) { data[idx] += idx; }");
+  Vector<int> indices = skelcl::indexVector(32);
+  indices.setDistribution(Distribution::Block);
+  Vector<int> data(32, 0);
+  data.setDistribution(Distribution::Copy);
+  Arguments args;
+  args.push(data);
+  bump(indices, args);
+  data.dataOnDevicesModified();
+
+  const std::vector<int> preHost = data.state().rawHost();
+
+  // Copy #2 of the combine is the first cross-device fold transfer.
+  FaultInjector::instance().configure("copy@2");
+  try {
+    data.setDistribution(Distribution::Block,
+                         "int add_mr(int a, int b) { return a + b; }");
+    FAIL() << "expected TransferFailure";
+  } catch (const ocl::TransferFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("combine redistribution"),
+              std::string::npos);
+  }
+  // Pre-redistribute state is fully preserved.
+  EXPECT_EQ(data.distribution(), Distribution::Copy);
+  EXPECT_EQ(data.state().rawHost(), preHost);
+
+  // After the fault clears, the same redistribution succeeds.
+  FaultInjector::instance().reset();
+  data.setDistribution(Distribution::Block,
+                       "int add_mr(int a, int b) { return a + b; }");
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(data[i], int(i)) << i;
+  }
+}
+
+TEST_F(FaultRecovery, CorruptCacheEntryRebuildsSilentlyThroughSkeleton) {
+  const std::string source = "int inc_cc(int x) { return x + 1; }";
+  std::vector<int> data(64, 3);
+  {
+    Map<int> inc(source);
+    Vector<int> out = inc(Vector<int>(data));
+    ASSERT_EQ(out[0], 4);
+  }
+  // Corrupt every on-disk entry (flip a payload bit; header stays valid).
+  const std::string dir = common::envStr("SKELCL_CACHE_DIR");
+  ASSERT_FALSE(dir.empty());
+  std::size_t corrupted = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().extension() == ".clcbin") {
+      auto bytes = common::readFile(e.path().string());
+      if (bytes.size() > 100) {
+        bytes[bytes.size() - 3] ^= 0x01;
+        common::writeFile(e.path().string(), bytes);
+        ++corrupted;
+      }
+    }
+  }
+  ASSERT_GT(corrupted, 0u);
+  // A fresh skeleton (no in-memory memo) hits the corrupt entries,
+  // rebuilds silently, and computes the right answer.
+  Map<int> inc(source);
+  Vector<int> out = inc(Vector<int>(data));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], 4) << i;
+  }
+}
+
+// Mirrors tests/trace/determinism_test.cpp: a fixed SKELCL_FAULT_SEED
+// and plan reproduce the exact same failure sequence across two
+// independent init()..terminate() cycles.
+TEST(FaultDeterminism, EnvConfiguredPlanReplaysByteIdentically) {
+  skelcl_test::useTempCacheDir();
+  ::setenv("SKELCL_FAULT_PLAN", "kernel@p0.4,write@2", 1);
+  ::setenv("SKELCL_FAULT_SEED", "77", 1);
+
+  auto cycle = [] {
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(2));
+    skelcl::init(skelcl::DeviceSelection::nGPUs(2));
+    Map<int> inc("int inc_fd(int x) { return x + 1; }");
+    std::vector<int> data(512);
+    std::iota(data.begin(), data.end(), 0);
+    std::vector<std::string> failures;
+    for (int round = 0; round < 6; ++round) {
+      Vector<int> input(data);
+      input.setDistribution(Distribution::Block);
+      try {
+        Vector<int> out = inc(input);
+        (void)out[0];
+        failures.emplace_back("ok");
+      } catch (const ocl::ClError& e) {
+        failures.emplace_back(e.what());
+      }
+    }
+    auto log = FaultInjector::instance().firedLog();
+    skelcl::terminate();
+    return std::make_pair(std::move(failures), std::move(log));
+  };
+
+  const auto a = cycle();
+  const auto b = cycle();
+  ::unsetenv("SKELCL_FAULT_PLAN");
+  ::unsetenv("SKELCL_FAULT_SEED");
+  FaultInjector::instance().reset();
+
+  EXPECT_EQ(a.first, b.first) << "caught failure sequence diverged";
+  ASSERT_EQ(a.second.size(), b.second.size());
+  EXPECT_FALSE(a.second.empty()) << "the plan never fired";
+  for (std::size_t i = 0; i < a.second.size(); ++i) {
+    EXPECT_TRUE(a.second[i] == b.second[i])
+        << "fired-fault log diverges at entry " << i;
+  }
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+// Schedule fuzzing: the event DAG underdetermines the schedule, so the
+// runtime must compute the same answer under every legal tie-break. Each
+// scenario here runs once under the Fifo baseline and under >= 8 seeded
+// shuffle schedules (SKELCL_SCHEDULE=shuffle perturbs both the queues'
+// dispatch tie-breaking and the skeletons' chunk visit order), asserting
+//  * bit-identical outputs,
+//  * invariant total kernel cycles (per cumulativeKernelCycles()), and
+//  * invariant trace totals: kernel cycles, H2D/D2H bytes, and per-
+//    device per-engine busy time (durations are model-computed, so only
+//    placement may move — never the amount of work).
+// Registered under `ctest -L fuzz`.
+#include <functional>
+#include <numeric>
+
+#include "common/prng.h"
+#include "skelcl_test_util.h"
+#include "trace/analysis.h"
+#include "trace/recorder.h"
+
+namespace {
+
+using skelcl::Arguments;
+using skelcl::Distribution;
+using skelcl::Map;
+using skelcl::Reduce;
+using skelcl::Scan;
+using skelcl::Vector;
+using skelcl::Zip;
+
+/// Everything a schedule may NOT change about a scenario.
+struct Invariants {
+  std::vector<float> floats;         // scenario outputs, element order
+  std::vector<int> ints;
+  std::uint64_t kernelCycles = 0;    // sum over all device queues
+  std::uint64_t traceKernelCycles = 0;
+  std::uint64_t h2dBytes = 0;
+  std::uint64_t d2hBytes = 0;
+  // busyNs per (device, engine), flattened.
+  std::vector<std::uint64_t> engineBusyNs;
+
+  friend bool operator==(const Invariants& a, const Invariants& b) {
+    return a.floats == b.floats && a.ints == b.ints &&
+           a.kernelCycles == b.kernelCycles &&
+           a.traceKernelCycles == b.traceKernelCycles &&
+           a.h2dBytes == b.h2dBytes && a.d2hBytes == b.d2hBytes &&
+           a.engineBusyNs == b.engineBusyNs;
+  }
+};
+
+/// Runs `scenario` in a fresh init()..terminate() cycle on `gpus`
+/// devices under the given schedule policy. `seed` == 0 selects the Fifo
+/// baseline; any other value selects SeededShuffle(seed).
+Invariants runScenario(
+    const std::function<void(Invariants&)>& scenario, std::uint32_t gpus,
+    std::uint64_t seed) {
+  skelcl_test::useTempCacheDir();
+  if (seed == 0) {
+    ::setenv("SKELCL_SCHEDULE", "fifo", 1);
+    ::unsetenv("SKELCL_SCHEDULE_SEED");
+  } else {
+    ::setenv("SKELCL_SCHEDULE", "shuffle", 1);
+    ::setenv("SKELCL_SCHEDULE_SEED", std::to_string(seed).c_str(), 1);
+  }
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+  trace::Recorder::instance().start();
+
+  Invariants inv;
+  scenario(inv);
+
+  auto& runtime = skelcl::detail::Runtime::instance();
+  for (std::size_t d = 0; d < skelcl::deviceCount(); ++d) {
+    inv.kernelCycles += runtime.queue(d).cumulativeKernelCycles();
+  }
+  const trace::Trace trace = trace::Recorder::instance().stop();
+  const trace::Report report = trace::analyze(trace);
+  inv.traceKernelCycles = report.kernelCycles;
+  inv.h2dBytes = report.h2dBytes;
+  inv.d2hBytes = report.d2hBytes;
+  for (const trace::DeviceReport& dev : report.devices) {
+    for (std::size_t e = 0; e < ocl::kEngineCount; ++e) {
+      inv.engineBusyNs.push_back(dev.engines[e].busyNs);
+    }
+  }
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SCHEDULE");
+  ::unsetenv("SKELCL_SCHEDULE_SEED");
+  return inv;
+}
+
+constexpr std::uint64_t kSeeds = 8; // shuffle seeds per scenario
+
+void expectInvariant(const std::function<void(Invariants&)>& scenario,
+                     std::uint32_t gpus) {
+  runScenario(scenario, gpus, 0); // warm the kernel cache
+  const Invariants baseline = runScenario(scenario, gpus, 0);
+  ASSERT_GT(baseline.traceKernelCycles, 0u);
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Invariants shuffled = runScenario(scenario, gpus, seed);
+    EXPECT_EQ(shuffled.floats, baseline.floats) << "seed " << seed;
+    EXPECT_EQ(shuffled.ints, baseline.ints) << "seed " << seed;
+    EXPECT_EQ(shuffled.kernelCycles, baseline.kernelCycles)
+        << "seed " << seed;
+    EXPECT_EQ(shuffled.traceKernelCycles, baseline.traceKernelCycles)
+        << "seed " << seed;
+    EXPECT_EQ(shuffled.h2dBytes, baseline.h2dBytes) << "seed " << seed;
+    EXPECT_EQ(shuffled.d2hBytes, baseline.d2hBytes) << "seed " << seed;
+    EXPECT_EQ(shuffled.engineBusyNs, baseline.engineBusyNs)
+        << "seed " << seed;
+  }
+}
+
+void mapZipChain(Invariants& inv) {
+  Map<float> scale("float sf(float x) { return 1.5f * x + 0.25f; }");
+  Zip<float> mix("float mixf(float a, float b) { return a * b + a; }");
+  const std::size_t n = 3000;
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = float(i % 97) * 0.5f;
+    b[i] = float(i % 31) - 7.0f;
+  }
+  Vector<float> va(a), vb(b);
+  va.setDistribution(Distribution::Block);
+  Vector<float> out = mix(scale(va), vb);
+  inv.floats = out.hostData();
+}
+
+void multiGpuBlockMap(Invariants& inv) {
+  // Large enough that uploads split into pieces and pipeline.
+  Map<float> heavy(
+      "float hf(float x) {"
+      "  float acc = x;"
+      "  for (int k = 0; k < 16; ++k) acc = acc * 1.0001f + 0.5f;"
+      "  return acc;"
+      "}");
+  std::vector<float> data(1 << 15);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = float(i % 1024) * 0.125f;
+  }
+  Vector<float> input(data);
+  input.setDistribution(Distribution::Block);
+  Vector<float> out = heavy(input);
+  inv.floats = out.hostData();
+}
+
+void copyBlockCombine(Invariants& inv) {
+  Map<int, void> bump(
+      "void bsf(int idx, __global int* data) { data[idx] += idx + 1; }");
+  Vector<int> indices = skelcl::indexVector(128);
+  indices.setDistribution(Distribution::Block);
+  Vector<int> data(128, 0);
+  data.setDistribution(Distribution::Copy);
+  Arguments args;
+  args.push(data);
+  bump(indices, args);
+  data.dataOnDevicesModified();
+  data.setDistribution(Distribution::Block,
+                       "int addsf(int a, int b) { return a + b; }");
+  inv.ints = data.hostData();
+}
+
+void reduceAndScan(Invariants& inv) {
+  Reduce<int> sum("int rsum(int a, int b) { return a + b; }");
+  Scan<int> scan("int ssum(int a, int b) { return a + b; }", "0");
+  std::vector<int> data(4099);
+  std::iota(data.begin(), data.end(), 1);
+  Vector<int> input(data);
+  input.setDistribution(Distribution::Block);
+  inv.ints.push_back(sum(input).getValue());
+  Vector<int> scanned = scan(input);
+  inv.ints.insert(inv.ints.end(), scanned.hostData().begin(),
+                  scanned.hostData().end());
+}
+
+void dotProduct(Invariants& inv) {
+  Reduce<float> sum("float dsum(float x, float y) { return x + y; }");
+  Zip<float> mult("float dmul(float x, float y) { return x * y; }");
+  common::Xoshiro256 rng(5);
+  const std::size_t n = 4096;
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = float(rng.nextBelow(16));
+    b[i] = float(rng.nextBelow(16));
+  }
+  Vector<float> va(a), vb(b);
+  va.setDistribution(Distribution::Block);
+  inv.floats.push_back(sum(mult(va, vb)).getValue());
+}
+
+TEST(ScheduleFuzz, MapZipChainIsScheduleInvariant) {
+  expectInvariant(mapZipChain, 2);
+}
+
+TEST(ScheduleFuzz, MultiGpuBlockMapIsScheduleInvariant) {
+  expectInvariant(multiGpuBlockMap, 4);
+}
+
+TEST(ScheduleFuzz, CopyBlockCombineIsScheduleInvariant) {
+  expectInvariant(copyBlockCombine, 3);
+}
+
+TEST(ScheduleFuzz, ReduceAndScanAreScheduleInvariant) {
+  expectInvariant(reduceAndScan, 4);
+}
+
+TEST(ScheduleFuzz, DotProductIsScheduleInvariant) {
+  expectInvariant(dotProduct, 4);
+}
+
+TEST(ScheduleFuzz, ShuffleActuallyPerturbsTheSchedule) {
+  // Sanity check on the fuzzer itself: a shuffled schedule must differ
+  // from the baseline in *placement* (some command start moves), or the
+  // suite would be vacuously green.
+  auto spanOf = [](std::uint64_t seed) {
+    skelcl_test::useTempCacheDir();
+    if (seed == 0) {
+      ::setenv("SKELCL_SCHEDULE", "fifo", 1);
+    } else {
+      ::setenv("SKELCL_SCHEDULE", "shuffle", 1);
+      ::setenv("SKELCL_SCHEDULE_SEED", std::to_string(seed).c_str(), 1);
+    }
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(2));
+    skelcl::init(skelcl::DeviceSelection::nGPUs(2));
+    trace::Recorder::instance().start();
+    Invariants inv;
+    mapZipChain(inv);
+    const trace::Trace trace = trace::Recorder::instance().stop();
+    skelcl::terminate();
+    ::unsetenv("SKELCL_SCHEDULE");
+    ::unsetenv("SKELCL_SCHEDULE_SEED");
+    std::vector<std::uint64_t> starts;
+    for (const auto& cmd : trace.commands) {
+      starts.push_back(cmd.startNs);
+    }
+    return starts;
+  };
+  spanOf(0); // warm the cache
+  const auto fifo = spanOf(0);
+  const auto shuffled = spanOf(1);
+  EXPECT_NE(fifo, shuffled)
+      << "SeededShuffle produced the exact FIFO schedule";
+}
+
+TEST(ScheduleFuzz, SerializedControlHasZeroOverlap) {
+  // SKELCL_SERIALIZE=1 is the suite's control: in-order queues leave no
+  // tie to break and transfers never hide behind compute.
+  skelcl_test::useTempCacheDir();
+  ::setenv("SKELCL_SERIALIZE", "1", 1);
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(2));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(2));
+  trace::Recorder::instance().start();
+  Invariants inv;
+  multiGpuBlockMap(inv);
+  const trace::Trace trace = trace::Recorder::instance().stop();
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SERIALIZE");
+  const trace::Report report = trace::analyze(trace);
+  EXPECT_EQ(report.overlapRatio, 0.0);
+  EXPECT_GT(report.kernelCycles, 0u);
+}
+
+} // namespace

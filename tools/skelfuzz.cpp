@@ -1,0 +1,319 @@
+// skelfuzz — differential schedule-fuzzing and fault-replay driver for
+// the simulated SkelCL runtime.
+//
+//   skelfuzz [--seeds N] [--gpus G] [--scenario NAME]
+//       Run each scenario once under the FIFO baseline and under N
+//       seeded shuffle schedules (SKELCL_SCHEDULE=shuffle). Any
+//       difference in outputs, total kernel cycles, transferred bytes,
+//       or per-engine busy time is an invariant violation.
+//
+//   skelfuzz --plan PLAN [--fault-seed S] [--rounds R] [--gpus G]
+//       Arm the fault injector with PLAN (SKELCL_FAULT_PLAN grammar) and
+//       run R rounds of a block-distributed map workload twice, catching
+//       every typed failure. The two runs must produce identical failure
+//       sequences and byte-identical fired-fault logs.
+//
+// Exit status: 0 when every invariant holds, 1 on a violation, 2 on
+// usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ocl/fault.h"
+#include "skelcl/skelcl.h"
+#include "trace/analysis.h"
+#include "trace/recorder.h"
+
+namespace {
+
+using skelcl::Arguments;
+using skelcl::Distribution;
+using skelcl::Map;
+using skelcl::Reduce;
+using skelcl::Vector;
+using skelcl::Zip;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: skelfuzz [--seeds N] [--gpus G] [--scenario NAME]\n"
+      "       skelfuzz --plan PLAN [--fault-seed S] [--rounds R]"
+      " [--gpus G]\n"
+      "scenarios: map-zip, block-map, combine, dot\n");
+  return 2;
+}
+
+/// Everything a schedule may not change about a scenario run.
+struct Observation {
+  std::vector<float> floats;
+  std::vector<int> ints;
+  std::uint64_t kernelCycles = 0;
+  std::uint64_t h2dBytes = 0;
+  std::uint64_t d2hBytes = 0;
+  std::vector<std::uint64_t> engineBusyNs;
+
+  friend bool operator==(const Observation& a, const Observation& b) {
+    return a.floats == b.floats && a.ints == b.ints &&
+           a.kernelCycles == b.kernelCycles && a.h2dBytes == b.h2dBytes &&
+           a.d2hBytes == b.d2hBytes && a.engineBusyNs == b.engineBusyNs;
+  }
+};
+
+struct Scenario {
+  const char* name;
+  std::function<void(Observation&)> body;
+};
+
+void mapZip(Observation& obs) {
+  Map<float> scale("float fzscale(float x) { return 2.0f * x - 1.0f; }");
+  Zip<float> mix("float fzmix(float a, float b) { return a * b + a; }");
+  const std::size_t n = 5000;
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = float(i % 113) * 0.25f;
+    b[i] = float(i % 41) - 3.0f;
+  }
+  Vector<float> va(a), vb(b);
+  va.setDistribution(Distribution::Block);
+  obs.floats = mix(scale(va), vb).hostData();
+}
+
+void blockMap(Observation& obs) {
+  Map<float> heavy(
+      "float fzheavy(float x) {"
+      "  float acc = x;"
+      "  for (int k = 0; k < 12; ++k) acc = acc * 1.0002f + 0.25f;"
+      "  return acc;"
+      "}");
+  std::vector<float> data(1 << 15);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = float(i % 2048) * 0.0625f;
+  }
+  Vector<float> input(data);
+  input.setDistribution(Distribution::Block);
+  obs.floats = heavy(input).hostData();
+}
+
+void combine(Observation& obs) {
+  Map<int, void> bump(
+      "void fzbump(int idx, __global int* data) { data[idx] += idx + 1; }");
+  Vector<int> indices = skelcl::indexVector(256);
+  indices.setDistribution(Distribution::Block);
+  Vector<int> data(256, 0);
+  data.setDistribution(Distribution::Copy);
+  Arguments args;
+  args.push(data);
+  bump(indices, args);
+  data.dataOnDevicesModified();
+  data.setDistribution(Distribution::Block,
+                       "int fzadd(int a, int b) { return a + b; }");
+  obs.ints = data.hostData();
+}
+
+void dot(Observation& obs) {
+  Reduce<float> sum("float fzsum(float x, float y) { return x + y; }");
+  Zip<float> mult("float fzmul(float x, float y) { return x * y; }");
+  const std::size_t n = 4096;
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = float((i * 37 + 11) % 16);
+    b[i] = float((i * 53 + 7) % 16);
+  }
+  Vector<float> va(a), vb(b);
+  va.setDistribution(Distribution::Block);
+  obs.floats.push_back(sum(mult(va, vb)).getValue());
+}
+
+const Scenario kScenarios[] = {
+    {"map-zip", mapZip},
+    {"block-map", blockMap},
+    {"combine", combine},
+    {"dot", dot},
+};
+
+/// One init()..terminate() cycle under the given schedule; seed 0 is the
+/// FIFO baseline.
+Observation runOnce(const Scenario& scenario, std::uint32_t gpus,
+                    std::uint64_t seed) {
+  if (seed == 0) {
+    ::setenv("SKELCL_SCHEDULE", "fifo", 1);
+    ::unsetenv("SKELCL_SCHEDULE_SEED");
+  } else {
+    ::setenv("SKELCL_SCHEDULE", "shuffle", 1);
+    ::setenv("SKELCL_SCHEDULE_SEED", std::to_string(seed).c_str(), 1);
+  }
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+  trace::Recorder::instance().start();
+
+  Observation obs;
+  scenario.body(obs);
+
+  auto& runtime = skelcl::detail::Runtime::instance();
+  for (std::size_t d = 0; d < skelcl::deviceCount(); ++d) {
+    obs.kernelCycles += runtime.queue(d).cumulativeKernelCycles();
+  }
+  const trace::Report report =
+      trace::analyze(trace::Recorder::instance().stop());
+  obs.h2dBytes = report.h2dBytes;
+  obs.d2hBytes = report.d2hBytes;
+  for (const trace::DeviceReport& dev : report.devices) {
+    for (std::size_t e = 0; e < ocl::kEngineCount; ++e) {
+      obs.engineBusyNs.push_back(dev.engines[e].busyNs);
+    }
+  }
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SCHEDULE");
+  ::unsetenv("SKELCL_SCHEDULE_SEED");
+  return obs;
+}
+
+int fuzzSchedules(std::uint64_t seeds, std::uint32_t gpus,
+                  const std::string& only) {
+  int violations = 0;
+  bool matched = false;
+  for (const Scenario& scenario : kScenarios) {
+    if (!only.empty() && only != scenario.name) continue;
+    matched = true;
+    runOnce(scenario, gpus, 0); // warm the kernel cache
+    const Observation baseline = runOnce(scenario, gpus, 0);
+    std::uint64_t bad = 0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const Observation shuffled = runOnce(scenario, gpus, seed);
+      if (!(shuffled == baseline)) {
+        ++bad;
+        std::fprintf(stderr,
+                     "FAIL: %s diverges from the FIFO baseline under "
+                     "shuffle seed %llu\n",
+                     scenario.name, (unsigned long long)seed);
+      }
+    }
+    std::printf("%-10s %llu seeds, %llu violation(s), "
+                "kernel cycles %llu, h2d %llu B, d2h %llu B\n",
+                scenario.name, (unsigned long long)seeds,
+                (unsigned long long)bad,
+                (unsigned long long)baseline.kernelCycles,
+                (unsigned long long)baseline.h2dBytes,
+                (unsigned long long)baseline.d2hBytes);
+    violations += int(bad);
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown scenario '%s'\n", only.c_str());
+    return 2;
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+/// Fault-replay mode: the same (plan, seed, workload) must fail in the
+/// same places with the same fired-fault log, run after run.
+int replayFaults(const std::string& plan, std::uint64_t faultSeed,
+                 std::uint64_t rounds, std::uint32_t gpus) {
+  auto cycle = [&](std::vector<std::string>& failures,
+                   std::vector<ocl::Fault>& log) {
+    ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+    skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+    ocl::FaultInjector::instance().configure(plan, faultSeed);
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      try {
+        Map<int> inc("int fzinc(int x) { return x + 1; }");
+        std::vector<int> data(512);
+        std::iota(data.begin(), data.end(), int(round));
+        Vector<int> input(data);
+        input.setDistribution(Distribution::Block);
+        Vector<int> out = inc(input);
+        (void)out.hostData();
+        failures.push_back("round " + std::to_string(round) + ": ok");
+      } catch (const ocl::ClError& e) {
+        failures.push_back("round " + std::to_string(round) + ": " +
+                           e.what());
+      } catch (const common::Error& e) {
+        failures.push_back("round " + std::to_string(round) + ": " +
+                           e.what());
+      }
+    }
+    log = ocl::FaultInjector::instance().firedLog();
+    ocl::FaultInjector::instance().reset();
+    skelcl::terminate();
+  };
+
+  std::vector<std::string> firstFailures, secondFailures;
+  std::vector<ocl::Fault> firstLog, secondLog;
+  cycle(firstFailures, firstLog);
+  cycle(secondFailures, secondLog);
+
+  for (const std::string& line : firstFailures) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("plan \"%s\" seed %llu: %zu fault(s) fired\n", plan.c_str(),
+              (unsigned long long)faultSeed, firstLog.size());
+  if (firstFailures != secondFailures || !(firstLog == secondLog)) {
+    std::fprintf(stderr,
+                 "FAIL: the second run did not replay the first "
+                 "(%zu vs %zu faults)\n",
+                 firstLog.size(), secondLog.size());
+    return 1;
+  }
+  std::printf("replay: byte-identical across two runs\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 8;
+  std::uint64_t rounds = 6;
+  std::uint64_t faultSeed = 0;
+  std::uint32_t gpus = 4;
+  std::string plan;
+  std::string scenario;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return usage();
+      seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--gpus") {
+      const char* v = next();
+      if (!v) return usage();
+      gpus = std::uint32_t(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (!v) return usage();
+      scenario = v;
+    } else if (arg == "--plan") {
+      const char* v = next();
+      if (!v) return usage();
+      plan = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!v) return usage();
+      faultSeed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--rounds") {
+      const char* v = next();
+      if (!v) return usage();
+      rounds = std::strtoull(v, nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+  if (seeds == 0 || gpus == 0 || rounds == 0) return usage();
+
+  try {
+    if (!plan.empty()) {
+      return replayFaults(plan, faultSeed, rounds, gpus);
+    }
+    return fuzzSchedules(seeds, gpus, scenario);
+  } catch (const common::Error& e) {
+    std::fprintf(stderr, "skelfuzz: %s\n", e.what());
+    return 1;
+  }
+}
