@@ -1,9 +1,14 @@
 #include "ocl/device.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 #include "ocl/fault.h"
+#include "trace/load_monitor.h"
 #include "trace/recorder.h"
 
 namespace ocl {
@@ -60,6 +65,19 @@ DeviceSpec DeviceSpec::xeonE5520() {
   return spec;
 }
 
+DeviceSpec DeviceSpec::scaled(double factor) const {
+  COMMON_EXPECTS(factor > 0.0, "device scale factor must be positive");
+  DeviceSpec spec = *this;
+  spec.clockGHz *= factor;
+  spec.memBandwidthGBs *= factor;
+  if (factor != 1.0) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), " @%gx", factor);
+    spec.name += suffix;
+  }
+  return spec;
+}
+
 SystemConfig SystemConfig::teslaS1070(std::uint32_t gpus) {
   SystemConfig config;
   config.platformName = "clc-sim OpenCL (Tesla S1070 testbed)";
@@ -67,6 +85,108 @@ SystemConfig SystemConfig::teslaS1070(std::uint32_t gpus) {
     config.devices.push_back(DeviceSpec::teslaT10());
   }
   config.devices.push_back(DeviceSpec::xeonE5520());
+  return config;
+}
+
+namespace {
+
+std::string trimmedLower(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t");
+  std::size_t end = s.find_last_not_of(" \t");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  std::string out = s.substr(begin, end - begin + 1);
+  for (char& c : out) {
+    c = char(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+[[noreturn]] void badSpec(const std::string& entry, const std::string& why) {
+  throw common::InvalidArgument("invalid SKELCL_DEVICES entry '" + entry +
+                                "': " + why);
+}
+
+/// One spec entry `name['@'SCALE'x']['*'COUNT]`, suffixes in any order.
+void parseEntry(const std::string& raw, SystemConfig& config) {
+  const std::string entry = trimmedLower(raw);
+  if (entry.empty()) {
+    badSpec(raw, "empty entry");
+  }
+  std::string name = entry;
+  double scale = 1.0;
+  unsigned long count = 1;
+  // Peel `@...x` / `*...` suffixes off the tail until only the name is
+  // left; each may appear at most once.
+  bool sawScale = false, sawCount = false;
+  for (;;) {
+    const std::size_t at = name.rfind('@');
+    const std::size_t star = name.rfind('*');
+    const std::size_t cut = std::max(at == std::string::npos ? 0 : at,
+                                     star == std::string::npos ? 0 : star);
+    if (cut == 0) {
+      break;
+    }
+    const std::string suffix = name.substr(cut + 1);
+    if (name[cut] == '@') {
+      if (sawScale) {
+        badSpec(raw, "duplicate @scale suffix");
+      }
+      if (suffix.size() < 2 || suffix.back() != 'x') {
+        badSpec(raw, "scale must look like @0.5x");
+      }
+      char* rest = nullptr;
+      scale = std::strtod(suffix.c_str(), &rest);
+      if (rest != suffix.c_str() + suffix.size() - 1 || !(scale > 0.0)) {
+        badSpec(raw, "scale must be a positive number followed by 'x'");
+      }
+      sawScale = true;
+    } else {
+      if (sawCount) {
+        badSpec(raw, "duplicate *count suffix");
+      }
+      char* rest = nullptr;
+      count = std::strtoul(suffix.c_str(), &rest, 10);
+      if (rest != suffix.c_str() + suffix.size() || count == 0) {
+        badSpec(raw, "count must be a positive integer");
+      }
+      sawCount = true;
+    }
+    name = name.substr(0, cut);
+  }
+  DeviceSpec base;
+  if (name == "t10" || name == "tesla" || name == "gpu") {
+    base = DeviceSpec::teslaT10();
+  } else if (name == "cpu" || name == "xeon") {
+    base = DeviceSpec::xeonE5520();
+  } else {
+    badSpec(raw, "unknown device name '" + name +
+                     "' (expected t10/tesla/gpu or cpu/xeon)");
+  }
+  const DeviceSpec spec = base.scaled(scale);
+  for (unsigned long i = 0; i < count; ++i) {
+    config.devices.push_back(spec);
+  }
+}
+
+} // namespace
+
+SystemConfig SystemConfig::parse(const std::string& spec) {
+  SystemConfig config;
+  config.platformName = "clc-sim OpenCL (spec: " + spec + ")";
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    parseEntry(spec.substr(begin, end - begin), config);
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  COMMON_EXPECTS(!config.devices.empty(),
+                 "SKELCL_DEVICES spec names no devices");
   return config;
 }
 
@@ -160,6 +280,7 @@ System& system() {
       g_system->devices.push_back(std::make_shared<DeviceState>(
           config.devices[i], std::uint32_t(i)));
     }
+    trace::LoadMonitor::instance().reset(config.devices.size());
   }
   publishSystemToTracer(*g_system);
   return *g_system;
@@ -176,6 +297,7 @@ void configureSystem(const SystemConfig& config) {
       g_system->devices.push_back(std::make_shared<DeviceState>(
           config.devices[i], std::uint32_t(i)));
     }
+    trace::LoadMonitor::instance().reset(config.devices.size());
   }
   publishSystemToTracer(*g_system);
 }

@@ -61,6 +61,19 @@ struct DeviceSpec {
   /// The paper's host CPU (Intel Xeon E5520, 2.26 GHz quad core), exposed
   /// as an OpenCL CPU device.
   static DeviceSpec xeonE5520();
+
+  /// Peak compute throughput in cycles per nanosecond (CUs x PEs x
+  /// clock). The relative magnitudes drive the `static` weight mode of
+  /// SkelCL's block distribution.
+  double peakCyclesPerNs() const noexcept {
+    return double(computeUnits) * double(pesPerUnit) * clockGHz;
+  }
+
+  /// A slower/faster variant of this device: compute clock and memory
+  /// bandwidth scale by `factor` (PCIe latency/bandwidth stay — the bus
+  /// does not change with the silicon). Used by the `name@0.5x` syntax
+  /// of SKELCL_DEVICES specs.
+  DeviceSpec scaled(double factor) const;
 };
 
 /// Live per-device simulation state: allocation tracking + one virtual
@@ -146,6 +159,17 @@ struct SystemConfig {
 
   /// The paper's testbed: 4x Tesla T10 GPUs + the Xeon host CPU device.
   static SystemConfig teslaS1070(std::uint32_t gpus = 4);
+
+  /// Builds a (possibly heterogeneous) machine from a SKELCL_DEVICES
+  /// spec: comma-separated entries `name['@'SCALE'x']['*'COUNT]` (the
+  /// two suffixes compose in either order). Names: `t10`/`tesla`/`gpu`
+  /// (Tesla T10), `cpu`/`xeon` (Xeon E5520). `@0.5x` scales compute
+  /// clock and memory bandwidth, `*2` repeats the entry. Example:
+  /// `t10*2,t10@0.5x,cpu` = two full-speed T10s, one half-speed T10,
+  /// and the host CPU device. Throws common::InvalidArgument on
+  /// malformed specs (strict: a typo must not silently configure a
+  /// different machine).
+  static SystemConfig parse(const std::string& spec);
 };
 
 class Platform {

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "ocl/fault.h"
+#include "trace/load_monitor.h"
 #include "trace/recorder.h"
 
 namespace ocl {
@@ -138,6 +139,10 @@ Event CommandQueue::retire(Engine engine, std::uint64_t startNs,
   device_.state().setReadyTimeNs(engine, state->endNs);
   lastSubmittedEndNs_ = std::max(lastSubmittedEndNs_, state->endNs);
   advanceHostTimeNs(model_.enqueueOverheadNs());
+  if (kind == trace::CommandKind::Kernel) {
+    trace::LoadMonitor::instance().addKernel(device_.state().index(), cycles,
+                                             durationNs);
+  }
   if (trace::Recorder::enabled()) {
     const std::vector<std::uint64_t> ids =
         depIds(deps, order_ == QueueOrder::InOrder ? last_ : Event());

@@ -1,0 +1,61 @@
+#include "skelcl/detail/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace skelcl::detail {
+
+std::vector<std::size_t> weightedPartition(
+    std::size_t n, const std::vector<double>& weights) {
+  const std::size_t devices = weights.size();
+  COMMON_EXPECTS(devices > 0, "weightedPartition: no devices");
+
+  std::vector<double> w(devices);
+  double total = 0.0;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const double v = weights[d];
+    COMMON_EXPECTS(std::isfinite(v) && v >= 0.0,
+                   "weightedPartition: weights must be finite and >= 0");
+    w[d] = v;
+    total += v;
+  }
+  if (total <= 0.0) {
+    // All-zero weights carry no information; fall back to even.
+    std::fill(w.begin(), w.end(), 1.0);
+    total = double(devices);
+  }
+
+  std::vector<std::size_t> counts(devices, 0);
+  std::vector<double> remainder(devices, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const double ideal = double(n) * (w[d] / total);
+    double floorPart = std::floor(ideal);
+    // FP safety: the floor may not exceed what is left to assign.
+    floorPart = std::min(floorPart, double(n - assigned));
+    counts[d] = std::size_t(floorPart);
+    remainder[d] = ideal - floorPart;
+    assigned += counts[d];
+  }
+
+  // Hand the leftover elements to the largest fractional remainders,
+  // lowest device index first on ties — with equal weights every
+  // remainder ties, so the first n%D devices get the extra element,
+  // exactly the historical even split.
+  std::vector<std::size_t> order(devices);
+  std::iota(order.begin(), order.end(), std::size_t(0));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainder[a] > remainder[b];
+                   });
+  for (std::size_t i = 0; assigned < n; i = (i + 1) % devices) {
+    ++counts[order[i]];
+    ++assigned;
+  }
+  return counts;
+}
+
+} // namespace skelcl::detail

@@ -1,0 +1,28 @@
+// Deterministic weighted block partitioning (largest-remainder method).
+//
+// Splits n elements into one contiguous chunk per device, proportional
+// to per-device weights: chunk d gets floor(n*w_d/W) elements, and the
+// leftover (< device count) goes one element at a time to the chunks
+// with the largest fractional remainders, ties broken by lowest device
+// index. Properties the tests pin:
+//  * sum of chunk sizes == n, always;
+//  * equal weights reproduce the historical even split exactly —
+//    base = n/D everywhere plus one extra element on each of the first
+//    n%D devices — so uniform platforms stay bit-identical to the seed;
+//  * the remainder spreads across devices instead of piling onto one;
+//  * zero-weight devices get zero elements (they still appear in the
+//    result so chunk index == device index);
+//  * pure function of (n, weights): same inputs, same split, any run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace skelcl::detail {
+
+/// Chunk sizes per device. Weights must be non-negative; all-zero (or
+/// empty-after-sanitizing) weight sets degrade to an even split.
+std::vector<std::size_t> weightedPartition(std::size_t n,
+                                           const std::vector<double>& weights);
+
+} // namespace skelcl::detail

@@ -2,7 +2,9 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "skelcl/detail/partition.h"
 #include "skelcl/distribution.h"
+#include "trace/load_monitor.h"
 #include "trace/recorder.h"
 #include "trace/serialize.h"
 
@@ -13,6 +15,15 @@ const char* distributionName(Distribution d) noexcept {
     case Distribution::Single: return "single";
     case Distribution::Copy: return "copy";
     case Distribution::Block: return "block";
+  }
+  return "?";
+}
+
+const char* weightModeName(WeightMode m) noexcept {
+  switch (m) {
+    case WeightMode::Even: return "even";
+    case WeightMode::Static: return "static";
+    case WeightMode::Measured: return "measured";
   }
   return "?";
 }
@@ -28,23 +39,50 @@ void Runtime::init(const DeviceSelection& selection) {
   if (initialized_) {
     terminate();
   }
+  // SKELCL_DEVICES replaces the simulated machine wholesale with the
+  // spec'd (possibly heterogeneous) platform, and the selection widens
+  // to every spec'd device — the spec already says exactly which devices
+  // the user wants, including CPU entries a GPU-only selection would
+  // silently drop.
+  DeviceSelection effective = selection;
+  const std::string deviceSpec = envStr("SKELCL_DEVICES");
+  if (!deviceSpec.empty()) {
+    ocl::configureSystem(ocl::SystemConfig::parse(deviceSpec));
+    effective = DeviceSelection::allDevices();
+    LOG_INFO("SKELCL_DEVICES=" << deviceSpec
+                               << ": configured heterogeneous platform");
+  }
+  // SKELCL_WEIGHTS picks how block-distribution weights are derived;
+  // unknown values fall back to even rather than fail, matching the
+  // other scheduling knobs.
+  const std::string weights = envStr("SKELCL_WEIGHTS", "even");
+  if (weights == "static") {
+    weightMode_ = WeightMode::Static;
+  } else if (weights == "measured") {
+    weightMode_ = WeightMode::Measured;
+  } else {
+    if (weights != "even" && !weights.empty()) {
+      LOG_WARN("unknown SKELCL_WEIGHTS '" << weights << "'; using even");
+    }
+    weightMode_ = WeightMode::Even;
+  }
   devices_.clear();
   for (const auto& platform : ocl::getPlatforms()) {
-    for (const auto& device : platform.devices(selection.type)) {
+    for (const auto& device : platform.devices(effective.type)) {
       devices_.push_back(device);
-      if (selection.count != 0 && devices_.size() == selection.count) {
+      if (effective.count != 0 && devices_.size() == effective.count) {
         break;
       }
     }
-    if (selection.count != 0 && devices_.size() == selection.count) {
+    if (effective.count != 0 && devices_.size() == effective.count) {
       break;
     }
   }
   COMMON_EXPECTS(!devices_.empty(),
                  "SkelCL init: no matching devices available");
-  if (selection.count != 0 && devices_.size() < selection.count) {
+  if (effective.count != 0 && devices_.size() < effective.count) {
     throw common::InvalidArgument(
-        "SkelCL init: requested " + std::to_string(selection.count) +
+        "SkelCL init: requested " + std::to_string(effective.count) +
         " devices, only " + std::to_string(devices_.size()) + " available");
   }
   context_ = std::make_unique<ocl::Context>(devices_);
@@ -154,6 +192,47 @@ std::vector<std::size_t> Runtime::chunkVisitOrder(std::size_t n) {
     }
   }
   return order;
+}
+
+std::vector<double> Runtime::blockWeights() const {
+  requireInit();
+  std::vector<double> weights(devices_.size(), 1.0);
+  switch (weightMode_) {
+    case WeightMode::Even:
+      break;
+    case WeightMode::Static:
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        weights[i] = devices_[i].spec().peakCyclesPerNs();
+      }
+      break;
+    case WeightMode::Measured: {
+      // Weigh by observed throughput (cycles retired per busy ns). Until
+      // every claimed device has a compute sample the measurements say
+      // nothing about the unsampled ones, so stay even — the first
+      // skeleton call runs even, the next redistribution adapts.
+      const std::vector<trace::DeviceLoad> loads =
+          trace::LoadMonitor::instance().snapshot();
+      std::vector<double> measured(devices_.size(), 0.0);
+      bool complete = true;
+      for (std::size_t i = 0; i < devices_.size(); ++i) {
+        const std::uint32_t index = devices_[i].index();
+        if (index >= loads.size() || loads[index].launches == 0) {
+          complete = false;
+          break;
+        }
+        measured[i] = loads[index].cyclesPerBusyNs();
+      }
+      if (complete) {
+        weights = std::move(measured);
+      }
+      break;
+    }
+  }
+  return weights;
+}
+
+std::vector<std::size_t> Runtime::blockPartition(std::size_t n) const {
+  return weightedPartition(n, blockWeights());
 }
 
 KernelCache& Runtime::kernelCache() {

@@ -9,6 +9,7 @@
 #include "common/env.h"
 #include "common/prng.h"
 #include "ocl/ocl.h"
+#include "skelcl/distribution.h"
 #include "skelcl/kernel_cache.h"
 
 namespace skelcl {
@@ -91,11 +92,29 @@ public:
   /// records (set from SKELCL_TRACE at init; empty = not tracing).
   const std::string& tracePath() const noexcept { return tracePath_; }
 
+  /// Where block-distribution weights come from. Set at init() from
+  /// SKELCL_WEIGHTS=even|static|measured; tests may override at runtime
+  /// (takes effect at the next partition/redistribution).
+  WeightMode weightMode() const noexcept { return weightMode_; }
+  void setWeightMode(WeightMode mode) noexcept { weightMode_ = mode; }
+
+  /// Current per-device block weights under weightMode() — one entry per
+  /// claimed device, order matching devices(). Even: all ones. Static:
+  /// DeviceSpec::peakCyclesPerNs. Measured: cycles-per-busy-ns from the
+  /// load monitor, falling back to even until every claimed device
+  /// has retired a kernel.
+  std::vector<double> blockWeights() const;
+
+  /// Chunk sizes of a block-distributed vector of n elements: the
+  /// deterministic largest-remainder split of n by blockWeights().
+  std::vector<std::size_t> blockPartition(std::size_t n) const;
+
 private:
   Runtime() = default;
 
   bool initialized_ = false;
   bool serializedQueues_ = false;
+  WeightMode weightMode_ = WeightMode::Even;
   std::size_t transferPieces_ = 4;
   ocl::SchedulePolicy schedulePolicy_;
   common::Xoshiro256 orderRng_;

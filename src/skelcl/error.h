@@ -1,0 +1,54 @@
+// Typed SkelCL-level errors. The OpenCL layer throws ocl::ClError
+// subtypes for device-side failures; the errors here are *usage* errors
+// the library detects before anything reaches a device, carrying the
+// offending values so callers can recover programmatically instead of
+// parsing message strings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.h"
+#include "skelcl/distribution.h"
+
+namespace skelcl {
+
+/// Zip requires equally sized operands (paper Eq. 2 zips element-wise;
+/// there is no meaningful result for the unmatched tail). Thrown before
+/// any transfer or launch; names both sizes and both distributions. A
+/// mere distribution mismatch is NOT an error — Zip redistributes the
+/// right operand to match the left automatically.
+class ZipSizeMismatch : public common::InvalidArgument {
+public:
+  ZipSizeMismatch(std::size_t leftSize, std::size_t rightSize,
+                  Distribution leftDistribution,
+                  Distribution rightDistribution)
+      : common::InvalidArgument(
+            "Zip size mismatch: left operand has " +
+            std::to_string(leftSize) + " element(s) (" +
+            distributionName(leftDistribution) +
+            " distribution), right operand has " +
+            std::to_string(rightSize) + " element(s) (" +
+            distributionName(rightDistribution) + " distribution)"),
+        leftSize_(leftSize),
+        rightSize_(rightSize),
+        leftDistribution_(leftDistribution),
+        rightDistribution_(rightDistribution) {}
+
+  std::size_t leftSize() const noexcept { return leftSize_; }
+  std::size_t rightSize() const noexcept { return rightSize_; }
+  Distribution leftDistribution() const noexcept {
+    return leftDistribution_;
+  }
+  Distribution rightDistribution() const noexcept {
+    return rightDistribution_;
+  }
+
+private:
+  std::size_t leftSize_;
+  std::size_t rightSize_;
+  Distribution leftDistribution_;
+  Distribution rightDistribution_;
+};
+
+} // namespace skelcl

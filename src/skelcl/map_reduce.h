@@ -22,10 +22,14 @@ template <typename Tin, typename Tout = Tin>
 class MapReduce {
 public:
   /// `mapSource` defines a unary function Tin -> Tout; `reduceSource` an
-  /// associative binary operator on Tout.
-  MapReduce(std::string mapSource, std::string reduceSource)
+  /// associative binary operator on Tout. `identity` is the reduce
+  /// operator's identity element, returned for an empty input (no
+  /// launch happens then).
+  MapReduce(std::string mapSource, std::string reduceSource,
+            Tout identity = Tout{})
       : mapSource_(std::move(mapSource)),
         reduceSource_(std::move(reduceSource)),
+        identity_(identity),
         mapName_(detail::userFunctionName(mapSource_)),
         reduceName_(detail::userFunctionName(reduceSource_)) {}
 
@@ -34,7 +38,9 @@ public:
                                trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
-    COMMON_EXPECTS(input.size() > 0, "MapReduce of an empty vector");
+    if (input.size() == 0) {
+      return Scalar<Tout>(identity_);
+    }
 
     input.state().ensureOnDevices();
     ocl::Program& fused = memo_.get(fusedSource());
@@ -209,6 +215,7 @@ private:
 
   std::string mapSource_;
   std::string reduceSource_;
+  Tout identity_{};
   std::string mapName_;
   std::string reduceName_;
   detail::ProgramMemo memo_;

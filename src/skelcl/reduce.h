@@ -26,8 +26,12 @@ namespace skelcl {
 template <typename T>
 class Reduce {
 public:
-  explicit Reduce(std::string source)
+  /// `identity` is the operator's identity element, returned when the
+  /// input is empty (e.g. 0 for +, 1 for *). Reducing an empty vector
+  /// launches nothing.
+  explicit Reduce(std::string source, T identity = T{})
       : source_(std::move(source)),
+        identity_(identity),
         funcName_(detail::userFunctionName(source_)) {}
 
   Scalar<T> operator()(const Vector<T>& input) {
@@ -35,7 +39,9 @@ public:
                                trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
-    COMMON_EXPECTS(input.size() > 0, "Reduce of an empty vector");
+    if (input.size() == 0) {
+      return Scalar<T>(identity_);
+    }
 
     input.state().ensureOnDevices();
     ocl::Program& program = memo_.get(generateSource());
@@ -214,6 +220,7 @@ private:
   }
 
   std::string source_;
+  T identity_{};
   std::string funcName_;
   detail::ProgramMemo memo_;
 };

@@ -26,6 +26,11 @@ public:
                    "Scalar requires a one-element vector");
   }
 
+  /// Wraps a host-side value — no device involved. Reduce/MapReduce of
+  /// an empty vector return their identity this way instead of
+  /// launching anything.
+  explicit Scalar(const T& value) : holder_(std::vector<T>{value}) {}
+
   /// Downloads (if necessary) and returns the value.
   T getValue() const { return holder_[0]; }
 

@@ -40,6 +40,11 @@ public:
                                trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
+    if (input.size() == 0) {
+      // Scan of nothing is nothing; skip redistribution, allocation,
+      // and every device command.
+      return Vector<T>();
+    }
 
     // Single-device skeleton: gather the vector if it is distributed.
     if (input.state().distribution() != Distribution::Single) {
@@ -53,16 +58,13 @@ public:
     const std::size_t deviceIndex = chunk.deviceIndex;
     const auto& device = runtime.devices()[deviceIndex];
 
-    ocl::Buffer out = runtime.context().createBuffer(
-        device, std::max<std::size_t>(1, n * sizeof(T)));
-    ocl::Event done;
-    if (n > 0) {
-      // The whole pass chains on the input upload through events; the
-      // result is downloaded only when the output vector is read on the
-      // host, waiting on `done` then.
-      done = scanBuffer(chunk.buffer, out, n, deviceIndex,
-                        detail::VectorState<T>::depsOf(chunk));
-    }
+    ocl::Buffer out =
+        runtime.context().createBuffer(device, n * sizeof(T));
+    // The whole pass chains on the input upload through events; the
+    // result is downloaded only when the output vector is read on the
+    // host, waiting on `done` then.
+    ocl::Event done = scanBuffer(chunk.buffer, out, n, deviceIndex,
+                                 detail::VectorState<T>::depsOf(chunk));
 
     Vector<T> output;
     output.state().adoptDeviceBuffer(std::move(out), n, deviceIndex,

@@ -20,6 +20,7 @@
 #include "skelcl/arguments.h"
 #include "skelcl/detail/runtime.h"
 #include "skelcl/distribution.h"
+#include "skelcl/error.h"
 #include "skelcl/index_vector.h"
 #include "skelcl/kernel_cache.h"
 #include "skelcl/map.h"

@@ -178,6 +178,11 @@ public:
         const auto& device = runtime.devices()[d];
         block.buffer = runtime.context().createBuffer(
             device, std::max<std::size_t>(1, block.count * sizeof(T)));
+        if (block.count == 0) {
+          // This device's share rounded to zero elements; seeding or
+          // folding it would enqueue zero-size device commands.
+          continue;
+        }
         // Own portion seeds the block (depends on the chunk being valid).
         ocl::Event seeded = queue.enqueueCopyBuffer(
             chunks_[d].buffer, block.offset * sizeof(T), block.buffer, 0,
@@ -195,7 +200,7 @@ public:
         ocl::Event folded = seeded;
         std::size_t slot = 0;
         for (std::size_t j = 0; j < devices; ++j) {
-          if (j == d || block.count == 0) {
+          if (j == d) {
             continue;
           }
           std::vector<ocl::Event> copyDeps = depsOf(chunks_[j]);
@@ -358,15 +363,71 @@ public:
 
   /// Allocates device chunks for an *output* vector mirroring the chunk
   /// geometry of an input (same distribution and size, fresh buffers).
-  /// The input's element type may differ (Map<Tin, Tout>).
+  /// The input's element type may differ (Map<Tin, Tout>). Mirrors the
+  /// input's *actual* chunks rather than re-partitioning: under measured
+  /// weights a fresh block partition could disagree with the one the
+  /// input was uploaded with, and element-wise kernels need identical
+  /// geometry on both sides.
   template <typename U>
   void allocateLike(const VectorState<U>& input) {
     dropChunks();
     dist_ = input.distribution();
     singleDevice_ = input.singleDeviceIndex();
     host_.resize(input.size());
-    allocateChunks();
+    allocateLayout(input.chunks());
     hostDirty_ = false;
+  }
+
+  /// True when this vector's device chunks have exactly the given
+  /// geometry (device, offset, count per chunk, same order).
+  bool sameLayout(const std::vector<Chunk>& layout) const {
+    if (chunks_.size() != layout.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < chunks_.size(); ++i) {
+      if (chunks_[i].deviceIndex != layout[i].deviceIndex ||
+          chunks_[i].offset != layout[i].offset ||
+          chunks_[i].count != layout[i].count) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Ensures this vector's device data has distribution `dist` and the
+  /// exact chunk geometry of `layout`, re-staging through the host when
+  /// it does not. Zip aligns its right operand with this: two block
+  /// partitions made at different times may disagree under measured
+  /// weights (and two single distributions may sit on different
+  /// devices), and element-wise kernels need identical geometry.
+  void matchLayout(Distribution dist, std::size_t singleDevice,
+                   const std::vector<Chunk>& layout) {
+    if (!chunks_.empty() && dist_ == dist &&
+        (dist != Distribution::Single || singleDevice_ == singleDevice) &&
+        sameLayout(layout)) {
+      ensureOnDevices();
+      return;
+    }
+    trace::ScopedHostSpan span(trace::HostKind::Redistribute,
+                               "vector.redistribute");
+    ensureOnHost();
+    dropChunks();
+    dist_ = dist;
+    singleDevice_ = singleDevice;
+    try {
+      allocateLayout(layout);
+      upload();
+      hostDirty_ = false;
+    } catch (ocl::ClError& e) {
+      // Same failure atomicity as ensureOnDevices: the still-valid host
+      // copy stays the truth, the next access re-stages from it.
+      dropChunks();
+      hostDirty_ = true;
+      devicesDirty_ = false;
+      e.prependContext("vector layout alignment of " +
+                       std::to_string(host_.size()) + " element(s)");
+      throw;
+    }
   }
 
   void ensureOnHost() {
@@ -433,21 +494,46 @@ private:
   /// uploads transfer in one piece and overlap nothing.
   static constexpr std::size_t kSplitMinBytes = 1024 * 1024;
 
+  /// One chunk descriptor per device, sized by the runtime's current
+  /// block weights (detail/partition.h). With even weights — the default
+  /// — this is the paper's even split; on heterogeneous platforms or
+  /// under measured feedback, faster devices receive proportionally
+  /// larger contiguous parts. Devices whose share rounds to zero still
+  /// get a (count == 0) chunk so chunk index == device index holds; no
+  /// device command is ever enqueued for those.
   std::vector<Chunk> blockLayout(std::size_t devices) const {
+    const std::vector<std::size_t> counts =
+        Runtime::instance().blockPartition(host_.size());
+    COMMON_CHECK(counts.size() == devices);
     std::vector<Chunk> layout;
-    const std::size_t n = host_.size();
-    const std::size_t base = n / devices;
-    const std::size_t extra = n % devices;
     std::size_t offset = 0;
     for (std::size_t d = 0; d < devices; ++d) {
       Chunk chunk;
       chunk.deviceIndex = d;
       chunk.offset = offset;
-      chunk.count = base + (d < extra ? 1 : 0);
+      chunk.count = counts[d];
       offset += chunk.count;
       layout.push_back(chunk);
     }
     return layout;
+  }
+
+  /// Fresh buffers with exactly the given chunk geometry (used when the
+  /// geometry must mirror another vector's instead of being computed
+  /// from the current distribution/weights).
+  void allocateLayout(const std::vector<Chunk>& layout) {
+    auto& runtime = Runtime::instance();
+    chunks_.clear();
+    for (const Chunk& reference : layout) {
+      Chunk chunk;
+      chunk.deviceIndex = reference.deviceIndex;
+      chunk.offset = reference.offset;
+      chunk.count = reference.count;
+      chunk.buffer = runtime.context().createBuffer(
+          runtime.devices()[chunk.deviceIndex],
+          std::max<std::size_t>(1, chunk.count * sizeof(T)));
+      chunks_.push_back(std::move(chunk));
+    }
   }
 
   void allocateChunks() {

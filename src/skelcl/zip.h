@@ -10,6 +10,7 @@
 
 #include "skelcl/arguments.h"
 #include "skelcl/detail/skeleton_common.h"
+#include "skelcl/error.h"
 #include "skelcl/vector.h"
 #include "trace/recorder.h"
 
@@ -55,19 +56,27 @@ private:
                                trace::kNoDevice, left.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
-    COMMON_EXPECTS(left.size() == right.size(),
-                   "Zip requires equally sized input vectors");
-
-    // Align the right operand's distribution with the left's.
-    if (right.state().distribution() != left.state().distribution() &&
-        static_cast<const void*>(&right.state()) !=
-            static_cast<const void*>(&left.state())) {
-      const_cast<Vector<Tin>&>(right).setDistribution(
-          left.state().distribution(), left.state().singleDeviceIndex());
+    if (left.size() != right.size()) {
+      // Typed: callers can catch ZipSizeMismatch and read both sizes
+      // and distributions instead of parsing the message.
+      throw ZipSizeMismatch(left.size(), right.size(),
+                            left.state().distribution(),
+                            right.state().distribution());
     }
 
     left.state().ensureOnDevices();
-    right.state().ensureOnDevices();
+    // Align the right operand with the left's distribution *and* exact
+    // chunk geometry. A mere enum comparison is not enough: two block
+    // partitions made at different times may disagree under measured
+    // weights, and two single distributions may sit on different
+    // devices; the kernel zips corresponding chunks element-wise, so
+    // the geometries must be identical.
+    if (static_cast<const void*>(&right.state()) !=
+        static_cast<const void*>(&left.state())) {
+      right.state().matchLayout(left.state().distribution(),
+                                left.state().singleDeviceIndex(),
+                                left.state().chunks());
+    }
     args.prepare();
 
     const bool aliasesLeft =

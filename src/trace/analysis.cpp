@@ -134,6 +134,23 @@ Report analyze(const Trace& trace) {
   report.overlapRatio =
       dmaBusyTotal == 0 ? 0.0 : double(overlapTotal) / double(dmaBusyTotal);
 
+  // --- compute load balance ----------------------------------------------
+  std::uint64_t computeTotal = 0, computeMax = 0;
+  for (const DeviceReport& d : report.devices) {
+    computeTotal += d.engines[0].busyNs;
+    computeMax = std::max(computeMax, d.engines[0].busyNs);
+  }
+  for (DeviceReport& d : report.devices) {
+    d.loadShare = computeTotal == 0
+                      ? 0.0
+                      : double(d.engines[0].busyNs) / double(computeTotal);
+  }
+  if (computeTotal > 0 && !report.devices.empty()) {
+    const double mean =
+        double(computeTotal) / double(report.devices.size());
+    report.computeImbalance = double(computeMax) / mean - 1.0;
+  }
+
   // --- top kernels -------------------------------------------------------
   std::map<std::string, KernelReport> kernels;
   for (const CommandRecord& c : trace.commands) {
@@ -238,13 +255,14 @@ std::string formatReport(const Report& report, std::size_t topN) {
   out += line;
 
   out += "\nper-device engine utilization (busy% of device span)\n";
-  std::snprintf(line, sizeof(line), "%-28s %13s %13s %13s %9s %8s\n",
+  std::snprintf(line, sizeof(line), "%-28s %13s %13s %13s %9s %7s %8s\n",
                 "device", "compute", "h2d dma", "d2h dma", "overlap",
-                "span ms");
+                "load", "span ms");
   out += line;
   for (const DeviceReport& d : report.devices) {
     std::snprintf(
-        line, sizeof(line), "%-28.28s %6s (%4llu) %6s (%4llu) %6s (%4llu) %8s %8.3f\n",
+        line, sizeof(line),
+        "%-28.28s %6s (%4llu) %6s (%4llu) %6s (%4llu) %8s %7s %8.3f\n",
         (std::to_string(d.device) + ": " + d.name).c_str(),
         percent(d.engines[0].busyFraction).c_str(),
         (unsigned long long)d.engines[0].commands,
@@ -252,12 +270,14 @@ std::string formatReport(const Report& report, std::size_t topN) {
         (unsigned long long)d.engines[1].commands,
         percent(d.engines[2].busyFraction).c_str(),
         (unsigned long long)d.engines[2].commands,
-        percent(d.overlapRatio).c_str(), double(d.spanNs) * 1e-6);
+        percent(d.overlapRatio).c_str(), percent(d.loadShare).c_str(),
+        double(d.spanNs) * 1e-6);
     out += line;
   }
   std::snprintf(line, sizeof(line),
-                "aggregate transfer/compute overlap ratio: %.3f\n",
-                report.overlapRatio);
+                "aggregate transfer/compute overlap ratio: %.3f   "
+                "compute load imbalance: %.1f%%\n",
+                report.overlapRatio, report.computeImbalance * 100.0);
   out += line;
 
   out += "\ntop kernels (by engine time)\n";

@@ -40,6 +40,10 @@ struct DeviceReport {
   std::uint64_t dmaBusyNs = 0; // union of both DMA engines
   std::uint64_t overlapNs = 0; // DMA busy while compute busy
   double overlapRatio = 0.0;   // overlapNs / dmaBusyNs (0 when no DMA)
+  /// This device's share of the whole trace's compute busy time. On a
+  /// perfectly balanced D-device run every share is 1/D; skew shows
+  /// which devices carry the load.
+  double loadShare = 0.0;
 };
 
 struct KernelReport {
@@ -55,6 +59,11 @@ struct Report {
   std::uint64_t spanNs = 0;          // whole-trace makespan
   std::uint64_t criticalPathNs = 0;
   double overlapRatio = 0.0; // aggregate (DMA-busy-weighted)
+  /// Per-device load imbalance: max(compute busy) / mean(compute busy)
+  /// - 1, over devices that ran at least one command. 0 = perfectly
+  /// balanced; 1 = the busiest device worked twice the average. The
+  /// number weighted block distributions exist to drive toward 0.
+  double computeImbalance = 0.0;
   std::uint64_t h2dBytes = 0;
   std::uint64_t d2hBytes = 0;
   std::uint64_t kernelCycles = 0;

@@ -1,0 +1,45 @@
+#include "trace/load_monitor.h"
+
+namespace trace {
+
+LoadMonitor& LoadMonitor::instance() {
+  static LoadMonitor monitor;
+  return monitor;
+}
+
+void LoadMonitor::reset(std::size_t deviceCount) {
+  std::lock_guard lock(mutex_);
+  loads_.assign(deviceCount, DeviceLoad{});
+}
+
+void LoadMonitor::addKernel(std::uint32_t device, std::uint64_t cycles,
+                            std::uint64_t durationNs) noexcept {
+  std::lock_guard lock(mutex_);
+  if (device >= loads_.size()) {
+    return;
+  }
+  DeviceLoad& load = loads_[device];
+  load.kernelCycles += cycles;
+  load.computeBusyNs += durationNs;
+  ++load.launches;
+}
+
+std::vector<DeviceLoad> LoadMonitor::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return loads_;
+}
+
+bool LoadMonitor::allDevicesSampled() const {
+  std::lock_guard lock(mutex_);
+  if (loads_.empty()) {
+    return false;
+  }
+  for (const DeviceLoad& load : loads_) {
+    if (load.launches == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace trace

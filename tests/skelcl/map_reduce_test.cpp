@@ -66,11 +66,15 @@ TEST_F(MapReduceTest, SingleElement) {
   EXPECT_EQ(mr(one).getValue(), 15);
 }
 
-TEST_F(MapReduceTest, EmptyThrows) {
+TEST_F(MapReduceTest, EmptyReturnsIdentity) {
   MapReduce<int> mr("int m(int x) { return x; }",
                     "int r(int a, int b) { return a + b; }");
   Vector<int> empty;
-  EXPECT_THROW(mr(empty), common::InvalidArgument);
+  EXPECT_EQ(mr(empty).getValue(), 0);
+
+  MapReduce<int> product("int m(int x) { return x; }",
+                         "int r(int a, int b) { return a * b; }", 1);
+  EXPECT_EQ(product(empty).getValue(), 1);
 }
 
 class MapReduceMultiDevice

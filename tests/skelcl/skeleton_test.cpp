@@ -95,10 +95,14 @@ TEST_F(SkeletonTest, ReduceSingleElement) {
   EXPECT_FLOAT_EQ(sum(one).getValue(), 42.0f);
 }
 
-TEST_F(SkeletonTest, ReduceEmptyThrows) {
+TEST_F(SkeletonTest, ReduceEmptyReturnsIdentity) {
   Reduce<float> sum("float f(float a, float b) { return a + b; }");
   Vector<float> empty;
-  EXPECT_THROW(sum(empty), common::InvalidArgument);
+  EXPECT_EQ(sum(empty).getValue(), 0.0f);
+
+  Reduce<float> product("float f(float a, float b) { return a * b; }",
+                        1.0f);
+  EXPECT_EQ(product(empty).getValue(), 1.0f);
 }
 
 TEST_F(SkeletonTest, ReduceNonCommutativeAssociativeOperator) {

@@ -89,6 +89,39 @@ TEST(Analysis, MergesOverlappingIntervalsWithinAnEngine) {
   EXPECT_EQ(r.devices[0].engines[0].busyNs, 150u);
 }
 
+TEST(Analysis, LoadShareAndImbalanceTrackComputeSkew) {
+  // Device 0 computes for 300 ns, device 1 for 100 ns: shares 75%/25%,
+  // imbalance = max/mean - 1 = 300/200 - 1 = 50%.
+  CommandRecord fast = command(1, /*engine=*/0, 0, 300);
+  CommandRecord slow = command(2, /*engine=*/0, 0, 100);
+  slow.device = 1;
+  Trace t = syntheticTrace({fast, slow});
+  t.devices.push_back({1, "dev1"});
+  const Report r = trace::analyze(t);
+  ASSERT_EQ(r.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.devices[0].loadShare, 0.75);
+  EXPECT_DOUBLE_EQ(r.devices[1].loadShare, 0.25);
+  EXPECT_DOUBLE_EQ(r.computeImbalance, 0.5);
+  // The rendering exposes both (the skeltrace "load" column and the
+  // aggregate imbalance line).
+  const std::string text = trace::formatReport(r);
+  EXPECT_NE(text.find("load"), std::string::npos);
+  EXPECT_NE(text.find("compute load imbalance: 50.0%"), std::string::npos)
+      << text;
+}
+
+TEST(Analysis, BalancedDevicesHaveZeroImbalance) {
+  CommandRecord a = command(1, /*engine=*/0, 0, 200);
+  CommandRecord b = command(2, /*engine=*/0, 50, 250);
+  b.device = 1;
+  Trace t = syntheticTrace({a, b});
+  t.devices.push_back({1, "dev1"});
+  const Report r = trace::analyze(t);
+  EXPECT_DOUBLE_EQ(r.computeImbalance, 0.0);
+  EXPECT_DOUBLE_EQ(r.devices[0].loadShare, 0.5);
+  EXPECT_DOUBLE_EQ(r.devices[1].loadShare, 0.5);
+}
+
 TEST(Analysis, SerializedQueuesHaveZeroOverlap) {
   const auto run =
       trace_test::runWorkload(/*traced=*/true, /*serialized=*/true);
