@@ -402,6 +402,7 @@ Event CommandQueue::enqueueNDRange(Kernel& kernel, const clc::NDRange& range,
                                   args, segments,
                                   &common::ThreadPool::global());
   cumulativeKernelCycles_ += lastStats_.totalCycles;
+  cumulativeKernelLaunches_ += 1;
   return retire(Engine::Compute,
                 commandStartNs(Engine::Compute, deps) + dispatchJitterNs(),
                 model_.kernelDurationNs(lastStats_),

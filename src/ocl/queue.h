@@ -128,6 +128,13 @@ public:
     return cumulativeKernelCycles_;
   }
 
+  /// Number of kernel launches enqueued through this queue since
+  /// construction. The fusion suite compares this across fused and
+  /// unfused runs of the same workload.
+  std::uint64_t cumulativeKernelLaunches() const noexcept {
+    return cumulativeKernelLaunches_;
+  }
+
 private:
   /// Throws DeviceLost when the queue's device has been marked lost.
   /// Every enqueue checks this first, before any effect.
@@ -156,6 +163,7 @@ private:
   Event last_; // previous command, for in-order chaining
   std::uint64_t lastSubmittedEndNs_ = 0;
   std::uint64_t cumulativeKernelCycles_ = 0;
+  std::uint64_t cumulativeKernelLaunches_ = 0;
 };
 
 } // namespace ocl

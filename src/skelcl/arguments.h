@@ -69,9 +69,23 @@ public:
 
   // --- used by the skeleton implementations -------------------------------
 
+  /// True when any entry references a Vector (as pointer or size). Such
+  /// argument lists pin a skeleton call to eager evaluation: the call's
+  /// result depends on (and may mutate) external state that later host
+  /// code is free to change.
+  bool hasVectorEntries() const noexcept {
+    for (const Entry& e : entries_) {
+      if (e.vector != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// ", float a3, __global Event* a4, uint a5" — appended to the
-  /// generated kernel's parameter list.
-  std::string declSuffix() const {
+  /// generated kernel's parameter list. `prefix` disambiguates the
+  /// argument names of multiple fused stages sharing one kernel.
+  std::string declSuffix(const std::string& prefix = "") const {
     std::string out;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
@@ -81,24 +95,28 @@ public:
       } else {
         out += e.typeName + " ";
       }
-      out += argName(i);
+      out += argName(i, prefix);
     }
     return out;
   }
 
   /// ", a3, a4, a5" — appended to the user-function call.
-  std::string callSuffix() const {
+  std::string callSuffix(const std::string& prefix = "") const {
     std::string out;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      out += ", " + argName(i);
+      out += ", " + argName(i, prefix);
     }
     return out;
   }
 
-  /// Uploads every vector argument according to its distribution.
+  /// Uploads every vector argument according to its distribution. Lazy
+  /// skeletons still reading an argument vector are forced first: the
+  /// upcoming launch may overwrite any __global pointer it is handed, so
+  /// deferred readers must snapshot the pre-launch values.
   void prepare() const {
     for (const Entry& e : entries_) {
       if (e.vector != nullptr) {
+        e.vector->forceConsumers();
         e.vector->ensureOnDevices();
       }
     }
@@ -169,8 +187,8 @@ private:
     std::shared_ptr<detail::VectorStateBase> vector;
   };
 
-  static std::string argName(std::size_t i) {
-    return "skelcl_arg" + std::to_string(i);
+  static std::string argName(std::size_t i, const std::string& prefix = "") {
+    return "skelcl_" + prefix + "arg" + std::to_string(i);
   }
 
   template <typename T>

@@ -1,0 +1,93 @@
+// Lazy expression DAG (ROADMAP: "lazy expression graph with rewrite-rule
+// fusion"). A skeleton call no longer launches kernels: it builds an
+// ExprNode describing the computation and installs it on the result
+// vector's state as a *pending producer*. Nothing runs until a true
+// consumption point forces the node — a host read (operator[], iteration,
+// download), a Scalar read, an explicit redistribution, or a side-
+// effecting skeleton that may observe or overwrite the data. At force
+// time a rewrite pass (detail/fusion.h) walks the DAG and fuses chains
+// of element-wise stages into single kernels:
+//
+//   map f . map g        ->  map (f . g)
+//   zip f . map g        ->  zip with the g-load spliced in
+//   reduce f . map g     ->  mapReduce (the hand-written MapReduce
+//                             skeleton is the special case this
+//                             generalizes)
+//   scan f . map g       ->  scan with a fused first level
+//
+// Eager-evaluation rule: a call whose Arguments reference Vectors is
+// evaluated immediately at the call site (its semantics depend on — and
+// may mutate — external state the host is free to change afterwards), as
+// are explicit-output forms. Laziness and fusion apply to pure chains.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "skelcl/arguments.h"
+
+namespace skelcl::detail {
+
+/// One deferred skeleton invocation. Nodes are immutable once built;
+/// `evaluated`/`output` are the evaluation bookkeeping.
+class ExprNode {
+public:
+  enum class Op { Map, Zip, Reduce, Scan };
+
+  /// One input operand: the vector state read, plus the node that was
+  /// pending on it at *build* time (null for concrete data). The child
+  /// link is what the fusion pass follows; the state is the fallback
+  /// leaf when the child is not absorbed (or was forced meanwhile).
+  struct Input {
+    std::shared_ptr<VectorStateBase> state;
+    std::shared_ptr<ExprNode> node;
+  };
+
+  Op op = Op::Map;
+  std::string source;       // user customizing function(s), verbatim
+  std::string funcName;     // name of the customizing function
+  std::string identityExpr; // Scan only: identity element expression
+  Arguments args;           // additional arguments (scalars/structs only
+                            // when the node is deferred)
+  std::size_t workGroupSize = 0; // user override; 0 = SkelCL default
+  std::vector<Input> inputs;
+
+  std::string outType;          // result element type name
+  std::size_t outElemSize = 0;  // sizeof(result element)
+  std::size_t outCount = 0;     // result element count
+  std::size_t fanout = 0;       // deferred parents reading this node
+
+  bool evaluated = false;
+  bool evaluating = false; // re-entrancy guard during evaluation
+  std::weak_ptr<VectorStateBase> output;
+};
+
+/// True when `args` allows deferring the call: vector (and vector-size)
+/// arguments pin a call to eager evaluation.
+bool deferrable(const Arguments& args);
+
+/// Builds a DAG node. Records each input's currently-pending producer as
+/// the child edge, registers the node as a consumer on every input state
+/// (so host mutations snapshot it first), and eagerly stages concrete
+/// inputs on the devices — upload faults and Zip geometry alignment stay
+/// observable at the call site, exactly as under eager execution.
+std::shared_ptr<ExprNode> makeExprNode(
+    ExprNode::Op op, std::string source, std::string funcName,
+    const Arguments& args, std::size_t workGroupSize,
+    std::vector<std::shared_ptr<VectorStateBase>> inputs,
+    std::string outType, std::size_t outElemSize, std::size_t outCount,
+    std::string identityExpr = "");
+
+/// Defers `node`: installs it as `out`'s pending producer. The node
+/// materializes when `out` (or a mutation of its inputs) forces it.
+void deferNode(const std::shared_ptr<ExprNode>& node,
+               const std::shared_ptr<VectorStateBase>& out);
+
+/// Evaluates `node` into `out` immediately (eager call sites: explicit
+/// outputs, vector-argument calls). `out`'s old value is snapshotted for
+/// any deferred readers first.
+void evaluateNodeInto(const std::shared_ptr<ExprNode>& node,
+                      const std::shared_ptr<VectorStateBase>& out);
+
+} // namespace skelcl::detail

@@ -1,0 +1,169 @@
+#include "skelcl/detail/fusion.h"
+
+#include "skelcl/detail/source_utils.h"
+
+namespace skelcl::detail {
+
+namespace {
+
+/// Transitive absorption stops here. Chains this deep are pathological;
+/// the cap bounds generated-source size and the argument list length.
+constexpr std::size_t kMaxStages = 16;
+
+const char* opName(ExprNode::Op op) {
+  switch (op) {
+    case ExprNode::Op::Map: return "Map";
+    case ExprNode::Op::Zip: return "Zip";
+    case ExprNode::Op::Reduce: return "Reduce";
+    case ExprNode::Op::Scan: return "Scan";
+  }
+  return "?";
+}
+
+class Emitter {
+public:
+  Emitter(FusionPlan& plan, bool fusionEnabled, bool rename)
+      : plan_(plan), fusionEnabled_(fusionEnabled), rename_(rename) {}
+
+  /// Emits `node` as stage k (= current stage count): splices its
+  /// (renamed) functions and argument declarations into the plan, then
+  /// recurses into its inputs. Returns the node's value expression at
+  /// %IDX% for element-wise ops; Reduce/Scan roots instead deposit
+  /// their element-load expression in plan.loadExpr.
+  std::string emitStage(const std::shared_ptr<ExprNode>& node) {
+    const std::size_t k = plan_.stages.size();
+    const std::string fnPrefix =
+        rename_ ? "skelcl_f" + std::to_string(k) + "_" : "";
+    FusionStage stage;
+    stage.node = node;
+    stage.argPrefix = rename_ ? "f" + std::to_string(k) + "_" : "";
+    stage.funcName = fnPrefix + node->funcName;
+    plan_.stages.push_back(stage);
+    plan_.functionsSource +=
+        renameUserFunctions(node->source, fnPrefix) + "\n";
+    plan_.argDecls += node->args.declSuffix(stage.argPrefix);
+    names_.push_back(node->funcName);
+
+    std::vector<std::string> loads;
+    loads.reserve(node->inputs.size());
+    for (const ExprNode::Input& input : node->inputs) {
+      loads.push_back(emitLoad(input));
+    }
+
+    switch (node->op) {
+      case ExprNode::Op::Map:
+        return stage.funcName + "(" + loads[0] +
+               node->args.callSuffix(stage.argPrefix) + ")";
+      case ExprNode::Op::Zip:
+        return stage.funcName + "(" + loads[0] + ", " + loads[1] +
+               node->args.callSuffix(stage.argPrefix) + ")";
+      case ExprNode::Op::Reduce:
+      case ExprNode::Op::Scan:
+        plan_.rootFuncName = stage.funcName;
+        plan_.loadExpr = loads[0];
+        return "";
+    }
+    return "";
+  }
+
+  void finish(const std::shared_ptr<ExprNode>& root) {
+    if (plan_.stages.size() == 1) {
+      plan_.label = opName(root->op);
+    } else {
+      plan_.label = "Fused(";
+      for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (i != 0) {
+          plan_.label += "∘"; // ∘ — root first: f∘g applies g first
+        }
+        plan_.label += names_[i];
+      }
+      plan_.label += ")";
+    }
+    plan_.compositionKey = opName(root->op);
+    for (const FusionStage& stage : plan_.stages) {
+      plan_.compositionKey += ";" +
+                              std::string(opName(stage.node->op)) + ":" +
+                              stage.node->funcName;
+    }
+    plan_.compositionKey +=
+        ";leaves=" + std::to_string(plan_.leaves.size());
+  }
+
+private:
+  std::string emitLoad(const ExprNode::Input& input) {
+    const std::shared_ptr<ExprNode>& child = input.node;
+    const bool deferredChild =
+        child != nullptr && !child->evaluated && !child->evaluating;
+    const bool absorbable =
+        fusionEnabled_ && deferredChild &&
+        (child->op == ExprNode::Op::Map ||
+         child->op == ExprNode::Op::Zip) &&
+        child->fanout == 1 && plan_.stages.size() < kMaxStages;
+    if (absorbable) {
+      ++plan_.fusedStages;
+      return emitStage(child);
+    }
+    if (deferredChild) {
+      // The child stays a separate launch (rewrites off, non-element-
+      // wise, or other readers need its vector anyway).
+      plan_.materializeFirst.push_back(child);
+    }
+    const std::size_t idx = plan_.leaves.size();
+    plan_.leaves.push_back(input.state);
+    plan_.leafTypes.push_back(input.state->elementTypeName());
+    return "skelcl_in" + std::to_string(idx) + "[%IDX%]";
+  }
+
+  FusionPlan& plan_;
+  bool fusionEnabled_;
+  bool rename_;
+  std::vector<std::string> names_;
+};
+
+FusionPlan emitPlan(const std::shared_ptr<ExprNode>& root,
+                    bool fusionEnabled, bool rename) {
+  FusionPlan plan;
+  Emitter emitter(plan, fusionEnabled, rename);
+  const std::string rootExpr = emitter.emitStage(root);
+  if (root->op == ExprNode::Op::Map || root->op == ExprNode::Op::Zip) {
+    plan.loadExpr = rootExpr;
+  }
+  emitter.finish(root);
+  return plan;
+}
+
+} // namespace
+
+FusionPlan buildFusionPlan(const std::shared_ptr<ExprNode>& root,
+                           bool fusionEnabled) {
+  // Two-pass: emit with capture-safe renaming first; when nothing was
+  // absorbed the renaming is pure noise (and would perturb cache keys
+  // between "fusion found nothing" and "fusion disabled"), so re-emit
+  // the single stage with the names untouched.
+  FusionPlan plan = emitPlan(root, fusionEnabled, /*rename=*/true);
+  if (plan.fusedStages == 0) {
+    plan = emitPlan(root, fusionEnabled, /*rename=*/false);
+  }
+  return plan;
+}
+
+std::string substituteIndex(const std::string& expr,
+                            const std::string& idx) {
+  static const std::string kPlaceholder = "%IDX%";
+  std::string out;
+  out.reserve(expr.size());
+  std::size_t pos = 0;
+  while (pos < expr.size()) {
+    const std::size_t found = expr.find(kPlaceholder, pos);
+    if (found == std::string::npos) {
+      out.append(expr, pos, expr.size() - pos);
+      break;
+    }
+    out.append(expr, pos, found - pos);
+    out += idx;
+    pos = found + kPlaceholder.size();
+  }
+  return out;
+}
+
+} // namespace skelcl::detail

@@ -91,6 +91,12 @@ void Runtime::init(const DeviceSelection& selection) {
   // dependencies. SKELCL_SERIALIZE=1 restores the pre-overlap behavior
   // (in-order queues) without changing which commands are enqueued.
   serializedQueues_ = envFlag("SKELCL_SERIALIZE");
+  // SKELCL_FUSION=0 turns the rewrite rules off: the expression DAG is
+  // still built, but every node evaluates as its own kernel — the
+  // differential baseline the fusion suite compares against.
+  fusionEnabled_ = envFlag("SKELCL_FUSION", true);
+  fusionStats_ = FusionStats{};
+  programMemo_.clear();
   const long long pieces = envInt("SKELCL_TRANSFER_CHUNKS", 4);
   transferPieces_ = pieces < 1 ? 1 : std::size_t(pieces);
   // SKELCL_SCHEDULE=shuffle explores an alternative legal schedule per
@@ -151,9 +157,23 @@ void Runtime::terminate() {
   }
   tracePath_.clear();
   queues_.clear();
+  programMemo_.clear();
   context_.reset();
   devices_.clear();
   initialized_ = false;
+}
+
+ocl::Program& Runtime::programFor(const std::string& source,
+                                  const std::string& salt) {
+  requireInit();
+  const std::string key = salt + "\x1f" + source;
+  auto it = programMemo_.find(key);
+  if (it == programMemo_.end()) {
+    ocl::Program program = kernelCache().getOrBuild(
+        *context_, source, kDefaultBuildOptions, salt);
+    it = programMemo_.emplace(key, std::move(program)).first;
+  }
+  return it->second;
 }
 
 void Runtime::requireInit() const {

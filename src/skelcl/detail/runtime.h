@@ -4,6 +4,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/env.h"
@@ -92,6 +93,30 @@ public:
   /// records (set from SKELCL_TRACE at init; empty = not tracing).
   const std::string& tracePath() const noexcept { return tracePath_; }
 
+  /// True unless SKELCL_FUSION=0 disabled the expression-DAG rewrite
+  /// rules at init(). With fusion off, every lazily built node still
+  /// flows through the DAG evaluator, but each stage compiles and
+  /// launches its own kernel and materializes its intermediate vector —
+  /// the differential baseline fused execution must match bit-for-bit.
+  bool fusionEnabled() const noexcept { return fusionEnabled_; }
+
+  /// What the rewrite pass achieved this init()..terminate() cycle.
+  struct FusionStats {
+    std::uint64_t fusedStages = 0;        // stages absorbed into parents
+    std::uint64_t fusedLaunches = 0;      // evaluations of fused plans
+    std::uint64_t intermediateBuffers = 0; // materialized DAG-internal
+    std::uint64_t intermediateBytes = 0;   //   vectors, and their bytes
+  };
+  const FusionStats& fusionStats() const noexcept { return fusionStats_; }
+  FusionStats& fusionStatsMutable() noexcept { return fusionStats_; }
+
+  /// Process-wide memo for generated skeleton programs: one build per
+  /// (source, salt) pair per init() cycle, the disk cache underneath
+  /// making cross-process reuse cheap. The salt carries the fusion
+  /// configuration into the cache key.
+  ocl::Program& programFor(const std::string& source,
+                           const std::string& salt);
+
   /// Where block-distribution weights come from. Set at init() from
   /// SKELCL_WEIGHTS=even|static|measured; tests may override at runtime
   /// (takes effect at the next partition/redistribution).
@@ -114,6 +139,9 @@ private:
 
   bool initialized_ = false;
   bool serializedQueues_ = false;
+  bool fusionEnabled_ = true;
+  FusionStats fusionStats_;
+  std::unordered_map<std::string, ocl::Program> programMemo_;
   WeightMode weightMode_ = WeightMode::Even;
   std::size_t transferPieces_ = 4;
   ocl::SchedulePolicy schedulePolicy_;

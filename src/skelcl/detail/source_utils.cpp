@@ -6,7 +6,12 @@
 
 namespace skelcl::detail {
 
-std::string userFunctionName(const std::string& source) {
+namespace {
+
+/// Names of every function defined at the top level of `source`, in
+/// definition order. The shared walk behind userFunctionName() and
+/// collectTopLevelFunctionNames().
+std::vector<std::string> topLevelFunctionNames(const std::string& source) {
   std::vector<clc::Token> tokens;
   try {
     tokens = clc::lexAndPreprocess(source);
@@ -14,9 +19,7 @@ std::string userFunctionName(const std::string& source) {
     throw common::InvalidArgument(
         std::string("cannot parse user function: ") + e.what());
   }
-  // The customizing function is the *last* function defined at the top
-  // level; earlier definitions are helpers it may call.
-  std::string last;
+  std::vector<std::string> names;
   int depth = 0;
   for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
     const clc::Token& tok = tokens[i];
@@ -35,15 +38,73 @@ std::string userFunctionName(const std::string& source) {
       }
       if (j + 1 < tokens.size() &&
           tokens[j + 1].kind == clc::TokKind::LBrace) {
-        last = tok.text;
+        names.push_back(tok.text);
       }
     }
   }
-  if (last.empty()) {
+  return names;
+}
+
+bool isIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+} // namespace
+
+std::string userFunctionName(const std::string& source) {
+  // The customizing function is the *last* function defined at the top
+  // level; earlier definitions are helpers it may call.
+  const std::vector<std::string> names = topLevelFunctionNames(source);
+  if (names.empty()) {
     throw common::InvalidArgument(
         "no function definition found in user source: " + source);
   }
-  return last;
+  return names.back();
+}
+
+std::vector<std::string> collectTopLevelFunctionNames(
+    const std::string& source) {
+  return topLevelFunctionNames(source);
+}
+
+std::string renameUserFunctions(const std::string& source,
+                                const std::string& prefix) {
+  if (prefix.empty()) {
+    return source;
+  }
+  const std::vector<std::string> names = topLevelFunctionNames(source);
+  std::string out = source;
+  for (const std::string& name : names) {
+    std::string replaced;
+    replaced.reserve(out.size());
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      const std::size_t found = out.find(name, pos);
+      if (found == std::string::npos) {
+        replaced.append(out, pos, out.size() - pos);
+        break;
+      }
+      replaced.append(out, pos, found - pos);
+      const bool startsWord =
+          found == 0 || !isIdentChar(out[found - 1]);
+      const std::size_t after = found + name.size();
+      const bool endsWord = after >= out.size() || !isIdentChar(out[after]);
+      // Member accesses keep their names: `s.name` / `p->name` refer to
+      // struct fields, not the function being renamed.
+      const bool memberAccess =
+          (found >= 1 && out[found - 1] == '.') ||
+          (found >= 2 && out[found - 2] == '-' && out[found - 1] == '>');
+      if (startsWord && endsWord && !memberAccess) {
+        replaced += prefix + name;
+      } else {
+        replaced.append(name);
+      }
+      pos = after;
+    }
+    out = std::move(replaced);
+  }
+  return out;
 }
 
 std::string registeredTypeDefinitions() {

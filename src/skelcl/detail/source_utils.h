@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ocl/ocl.h"
 
@@ -13,6 +14,21 @@ namespace skelcl::detail {
 /// generator needs the name to call it from the skeleton kernel.
 /// Throws common::InvalidArgument when no function definition is found.
 std::string userFunctionName(const std::string& source);
+
+/// Every function *defined* at the top level of `source`, in definition
+/// order (the customizing function plus any helpers it carries along).
+/// Throws common::InvalidArgument when the source does not lex.
+std::vector<std::string> collectTopLevelFunctionNames(
+    const std::string& source);
+
+/// Returns `source` with every top-level-defined function (and every
+/// call to it) renamed to `prefix` + its original name. Used by kernel
+/// fusion to splice several customizing functions into one translation
+/// unit without name capture: two stages may both define "func" or share
+/// helper names. Whole-word textual replacement; member accesses
+/// (`x.name`, `p->name`) are left alone.
+std::string renameUserFunctions(const std::string& source,
+                                const std::string& prefix);
 
 /// Builds (with kernel-cache support) the element-wise combine program
 ///   __kernel void skelcl_combine(__global T* dst, __global const T* src,

@@ -97,19 +97,24 @@ KernelCache::KernelCache(std::string directory)
                                    : std::move(directory)) {}
 
 std::string KernelCache::entryPath(const std::string& source,
-                                   const std::string& options) const {
-  // Key = source digest + bytecode format version + options digest, so a
-  // format bump or a different optimization level can never resolve to a
+                                   const std::string& options,
+                                   const std::string& salt) const {
+  // Key = source digest + bytecode format version + key-schema version +
+  // (options, salt) digest, so a format bump, a different optimization
+  // level, or a different fusion configuration can never resolve to a
   // stale entry.
   return directory_ + "/" + common::Sha256::hexDigest(source) + "-v" +
-         std::to_string(clc::Program::kSerialVersion) + "-" +
-         common::Sha256::hexDigest(options).substr(0, 8) + ".clcbin";
+         std::to_string(clc::Program::kSerialVersion) + "-k" +
+         std::to_string(kKeySchemaVersion) + "-" +
+         common::Sha256::hexDigest(options + "|" + salt).substr(0, 8) +
+         ".clcbin";
 }
 
 ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
                                      const std::string& source,
-                                     const std::string& options) {
-  const std::string path = entryPath(source, options);
+                                     const std::string& options,
+                                     const std::string& salt) {
+  const std::string path = entryPath(source, options, salt);
   if (enabled_ && common::fileExists(path)) {
     try {
       trace::ScopedHostSpan span(trace::HostKind::CacheHit,

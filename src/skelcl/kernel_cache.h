@@ -27,15 +27,27 @@ inline constexpr const char* kDefaultBuildOptions = "-cl-opt-level=2";
 
 class KernelCache {
 public:
+  /// Version of the cache *keying scheme* (the entry filename layout),
+  /// distinct from the bytecode serialization version inside the entry.
+  /// v2: keys additionally fold in a caller salt — the fusion flag and
+  /// the fused-function composition — so a fused kernel can never
+  /// resolve to an entry built for a different composition (or by a
+  /// pre-fusion library version).
+  static constexpr unsigned kKeySchemaVersion = 2;
+
   /// `directory`: cache location; empty selects $SKELCL_CACHE_DIR or
   /// $HOME/.skelcl/cache (created on first store).
   explicit KernelCache(std::string directory = "");
 
   /// Returns a *built* program for `source`: loaded from disk when a
   /// valid entry exists, compiled with `options` (and stored) otherwise.
+  /// `salt` joins the key without joining the compile: callers use it to
+  /// separate entries whose sources could collide across configurations
+  /// (fusion on/off, fused composition).
   ocl::Program getOrBuild(const ocl::Context& context,
                           const std::string& source,
-                          const std::string& options = kDefaultBuildOptions);
+                          const std::string& options = kDefaultBuildOptions,
+                          const std::string& salt = "");
 
   void setEnabled(bool enabled) noexcept { enabled_ = enabled; }
   bool enabled() const noexcept { return enabled_; }
@@ -55,7 +67,8 @@ public:
 
 private:
   std::string entryPath(const std::string& source,
-                        const std::string& options) const;
+                        const std::string& options,
+                        const std::string& salt) const;
 
   std::string directory_;
   bool enabled_ = true;

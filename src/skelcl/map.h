@@ -6,11 +6,18 @@
 // arguments (Sec. III-C) extend the function's parameter list; a
 // Map<T, void> produces no output vector and works purely through
 // side-effects on vector arguments — the form list-mode OSEM uses.
+//
+// Invocation is lazy: a call builds an expression-DAG node
+// (detail/expr.h) and nothing launches until the result is consumed, so
+// chains of element-wise skeletons fuse into single kernels
+// (detail/fusion.h). Calls with vector arguments and explicit-output
+// forms evaluate eagerly, as does Map<T, void> (pure side effects).
 #pragma once
 
 #include <string>
 
 #include "skelcl/arguments.h"
+#include "skelcl/detail/expr.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/vector.h"
 #include "trace/recorder.h"
@@ -36,111 +43,44 @@ public:
 
   Vector<Tout> operator()(const Vector<Tin>& input, const Arguments& args) {
     Vector<Tout> output;
-    run(input, args, output);
+    run(input, args, output, /*explicitOutput=*/false);
     return output;
   }
 
   /// Explicit-output form; `output` may alias `input`.
   void operator()(const Vector<Tin>& input, const Arguments& args,
                   Vector<Tout>& output) {
-    run(input, args, output);
+    run(input, args, output, /*explicitOutput=*/true);
   }
 
 private:
   void run(const Vector<Tin>& input, const Arguments& args,
-           Vector<Tout>& output) {
+           Vector<Tout>& output, bool explicitOutput) {
+    // The call-site span: covers node construction (and, on the eager
+    // paths, the whole launch). Fused evaluation emits its own span.
     trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Map",
                                trace::kNoDevice, input.size());
     auto& runtime = detail::Runtime::instance();
     runtime.requireInit();
-
-    input.state().ensureOnDevices();
-    args.prepare();
-
-    const bool aliased =
-        static_cast<const void*>(&output.state()) ==
-        static_cast<const void*>(&input.state());
-    if (!aliased) {
-      output.state().allocateLike(input.state());
+    auto node = detail::makeExprNode(
+        detail::ExprNode::Op::Map, source_, funcName_, args,
+        workGroupSize_, {input.stateHandle()}, typeName<Tout>(),
+        sizeof(Tout), input.size());
+    if (!explicitOutput && detail::deferrable(args)) {
+      detail::deferNode(node, output.stateHandle());
+    } else {
+      detail::evaluateNodeInto(node, output.stateHandle());
     }
-
-    ocl::Program& program = program_(args);
-    // Per-device chunks are disjoint, so any visit order is legal (the
-    // schedule fuzzer shuffles it); a fault on one device reports which.
-    const auto& chunks = input.state().chunks();
-    for (std::size_t idx : runtime.chunkVisitOrder(chunks.size())) {
-      const detail::Chunk& chunk = chunks[idx];
-      if (chunk.count == 0) {
-        continue;
-      }
-      try {
-        const auto& device = runtime.devices()[chunk.deviceIndex];
-        ocl::Kernel kernel = program.createKernel("skelcl_map");
-        std::size_t arg = 0;
-        kernel.setArg(arg++, chunk.buffer);
-        kernel.setArg(
-            arg++,
-            output.state().chunkForDevice(chunk.deviceIndex).buffer);
-        kernel.setArg(arg++, std::uint32_t(chunk.count));
-        args.apply(kernel, arg, chunk.deviceIndex);
-
-        // The launch depends on the input upload (piecewise when it was
-        // split — sub-launches then pipeline against the pieces), vector
-        // arguments, and, when aliased, the output chunk's last writer.
-        const detail::UploadPieces pieces =
-            input.state().takeUploadPieces(chunk.deviceIndex);
-        std::vector<ocl::Event> deps;
-        if (pieces.empty()) {
-          detail::appendEvent(deps, chunk.ready);
-        }
-        if (!aliased) {
-          detail::appendEvent(
-              deps,
-              output.state().readyEventOn(chunk.deviceIndex));
-        }
-        args.collectDeps(deps, chunk.deviceIndex);
-
-        const std::size_t wg =
-            detail::effectiveWorkGroupSize(workGroupSize_, device);
-        ocl::Event done = detail::launchPipelined(
-            runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
-            {&pieces});
-        output.state().recordEventOn(chunk.deviceIndex, done);
-        args.recordEvent(done, chunk.deviceIndex);
-      } catch (ocl::ClError& e) {
-        e.prependContext("Map skeleton on device " +
-                         std::to_string(chunk.deviceIndex));
-        throw;
-      }
-    }
-    output.state().markDevicesModified();
-  }
-
-  ocl::Program& program_(const Arguments& args) {
-    const std::string source =
-        detail::registeredTypeDefinitions() + source_ +
-        "\n__kernel void skelcl_map(__global const " + typeName<Tin>() +
-        "* skelcl_in, __global " + typeName<Tout>() +
-        "* skelcl_out, uint skelcl_n" + args.declSuffix() +
-        ") {\n"
-        "  size_t skelcl_i = get_global_id(0);\n"
-        "  if (skelcl_i < skelcl_n) {\n"
-        "    skelcl_out[skelcl_i] = " +
-        funcName_ + "(skelcl_in[skelcl_i]" + args.callSuffix() +
-        ");\n"
-        "  }\n"
-        "}\n";
-    return memo_.get(source);
   }
 
   std::string source_;
   std::string funcName_;
   std::size_t workGroupSize_ = 0;
-  detail::ProgramMemo memo_;
 };
 
 /// Map without an output vector: the user function returns void and works
-/// through side effects on Arguments vectors (paper Sec. IV-B).
+/// through side effects on Arguments vectors (paper Sec. IV-B). Always
+/// eager — there is no result vector whose read could force it later.
 template <typename Tin>
 class Map<Tin, void> {
 public:

@@ -7,15 +7,23 @@
 //  parallel. [...] To improve the performance, SkelCL saves the
 //  intermediate results in the device's fast local memory."
 //
-// The implementation is associativity-only (no commutativity needed):
-// every work-item reduces a *contiguous* subrange, and the local-memory
-// tree combines adjacent partial results in element order. On a block-
-// distributed vector each device reduces its block; the per-device
-// results are combined with one final launch on device 0.
+// The execution (detail/expr.cpp) is associativity-only (no
+// commutativity needed): every work-item reduces a *contiguous*
+// subrange, and the local-memory tree combines adjacent partial results
+// in element order. On a block-distributed vector each device reduces
+// its block; the per-device results are combined with one final launch
+// on device 0.
+//
+// Invocation is lazy: the call builds an expression-DAG node and the
+// reduction runs when the Scalar is read. A deferred element-wise
+// producer feeding the reduce is absorbed into the first reduction pass
+// (reduce f . map g -> mapReduce — the rewrite the hand-written
+// MapReduce skeleton is the special case of).
 #pragma once
 
 #include <string>
 
+#include "skelcl/detail/expr.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/scalar.h"
 #include "skelcl/vector.h"
@@ -42,187 +50,19 @@ public:
     if (input.size() == 0) {
       return Scalar<T>(identity_);
     }
-
-    input.state().ensureOnDevices();
-    ocl::Program& program = memo_.get(generateSource());
-
-    // Per-device partial reduction. Under the copy distribution every
-    // device holds the whole vector, so reducing one copy suffices.
-    // Each device's pass starts as soon as that device's upload lands
-    // (its chunk's ready event); nothing blocks the host in between.
-    struct Partial {
-      ocl::Buffer buffer;
-      ocl::Event ready;
-      std::size_t deviceIndex;
-    };
-    std::vector<Partial> partials;
-    const auto& chunks = input.state().chunks();
-    const bool copyDist =
-        input.state().distribution() == Distribution::Copy;
-    // Partials stay in canonical chunk order (device order = element
-    // order), so the combine below needs associativity only.
-    for (const detail::Chunk& chunk : chunks) {
-      if (chunk.count == 0) {
-        continue;
-      }
-      try {
-        auto reduced =
-            reduceOnDevice(program, chunk.buffer, chunk.count,
-                           chunk.deviceIndex,
-                           detail::VectorState<T>::depsOf(chunk));
-        partials.push_back(Partial{std::move(reduced.first),
-                                   std::move(reduced.second),
-                                   chunk.deviceIndex});
-      } catch (ocl::ClError& e) {
-        e.prependContext("Reduce skeleton on device " +
-                         std::to_string(chunk.deviceIndex));
-        throw;
-      }
-      if (copyDist) {
-        break;
-      }
-    }
-    COMMON_CHECK(!partials.empty());
-
-    if (partials.size() == 1) {
-      Vector<T> holder;
-      holder.state().adoptDeviceBuffer(partials[0].buffer, 1,
-                                       partials[0].deviceIndex,
-                                       partials[0].ready);
-      return Scalar<T>(std::move(holder));
-    }
-
-    // Combine the per-device results on device 0. Device order equals
-    // element order, so associativity is still all we need. All reads
-    // are non-blocking (each depending on its device's reduction) and
-    // overlap across the devices' D2H links; the staging upload waits on
-    // them through events, never by stalling the host. The result is
-    // consumed at the Scalar's getValue(), which waits on the final
-    // event — the true consumption point.
-    std::vector<T> values(partials.size());
-    std::vector<ocl::Event> reads;
-    for (std::size_t i = 0; i < partials.size(); ++i) {
-      reads.push_back(
-          runtime.queue(partials[i].deviceIndex)
-              .enqueueReadBuffer(partials[i].buffer, 0, sizeof(T),
-                                 &values[i], /*blocking=*/false,
-                                 {partials[i].ready}));
-    }
-    const auto& device0 = runtime.devices()[0];
-    ocl::Buffer staging = runtime.context().createBuffer(
-        device0, values.size() * sizeof(T));
-    ocl::Event staged = runtime.queue(0).enqueueWriteBuffer(
-        staging, 0, values.size() * sizeof(T), values.data(), reads);
-    auto finalReduce =
-        reduceOnDevice(program, staging, values.size(), 0, {staged});
+    auto node = detail::makeExprNode(
+        detail::ExprNode::Op::Reduce, source_, funcName_, Arguments{},
+        /*workGroupSize=*/0, {input.stateHandle()}, typeName<T>(),
+        sizeof(T), /*outCount=*/1);
     Vector<T> holder;
-    holder.state().adoptDeviceBuffer(std::move(finalReduce.first), 1, 0,
-                                     std::move(finalReduce.second));
+    detail::deferNode(node, holder.stateHandle());
     return Scalar<T>(std::move(holder));
   }
 
 private:
-  static constexpr std::size_t kWg = 256;     // power of two for the tree
-  static constexpr std::size_t kMaxGroups = 64;
-
-  /// Reduces `count` elements of `buffer` (on device `deviceIndex`) down
-  /// to a single element; the first pass waits on `deps`. Returns the
-  /// one-element result buffer and the event of the last pass.
-  std::pair<ocl::Buffer, ocl::Event> reduceOnDevice(
-      ocl::Program& program, ocl::Buffer buffer, std::size_t count,
-      std::size_t deviceIndex, std::vector<ocl::Event> deps) {
-    auto& runtime = detail::Runtime::instance();
-    auto& queue = runtime.queue(deviceIndex);
-    const auto& device = runtime.devices()[deviceIndex];
-
-    ocl::Buffer in = std::move(buffer);
-    ocl::Event last;
-    if (!deps.empty()) {
-      last = deps.front();
-    }
-    while (count > 1) {
-      const std::size_t groups =
-          std::min(kMaxGroups, (count + kWg - 1) / kWg);
-      ocl::Buffer out =
-          runtime.context().createBuffer(device, groups * sizeof(T));
-      ocl::Kernel kernel = program.createKernel("skelcl_reduce");
-      kernel.setArg(0, in);
-      kernel.setArg(1, out);
-      kernel.setArg(2, std::uint32_t(count));
-      last = queue.enqueueNDRange(kernel,
-                                  ocl::NDRange1D{groups * kWg, kWg}, deps);
-      deps = {last};
-      in = std::move(out);
-      count = groups;
-    }
-    return {std::move(in), std::move(last)};
-  }
-
-  std::string generateSource() const {
-    const std::string t = typeName<T>();
-    const std::string wg = std::to_string(kWg);
-    return detail::registeredTypeDefinitions() + source_ +
-           "\n__kernel void skelcl_reduce(__global const " + t +
-           "* skelcl_in, __global " + t +
-           "* skelcl_out, uint skelcl_n) {\n"
-           "  __local " + t + " skelcl_scratch[" + wg + "];\n"
-           "  __local int skelcl_flags[" + wg + "];\n"
-           "  uint skelcl_lid = (uint)get_local_id(0);\n"
-           // Contiguous span per group, contiguous sub-chunk per item:
-           // ranges combine strictly in element order (associativity
-           // suffices). The group count is chosen host-side so that no
-           // group's span is empty.
-           "  size_t skelcl_groups = get_num_groups(0);\n"
-           "  size_t skelcl_span =\n"
-           "      (skelcl_n + skelcl_groups - 1) / skelcl_groups;\n"
-           "  size_t skelcl_gstart = get_group_id(0) * skelcl_span;\n"
-           "  size_t skelcl_gend = min(skelcl_gstart + skelcl_span,\n"
-           "                           (size_t)skelcl_n);\n"
-           "  size_t skelcl_chunk = (skelcl_span + " + wg + " - 1) / " + wg +
-           ";\n"
-           "  size_t skelcl_start = skelcl_gstart + skelcl_lid * skelcl_chunk;\n"
-           "  size_t skelcl_end = min(skelcl_start + skelcl_chunk,\n"
-           "                          skelcl_gend);\n"
-           "  int skelcl_have = 0;\n"
-           "  " + t + " skelcl_acc;\n"
-           "  for (size_t i = skelcl_start; i < skelcl_end; ++i) {\n"
-           "    if (skelcl_have) {\n"
-           "      skelcl_acc = " + funcName_ + "(skelcl_acc, skelcl_in[i]);\n"
-           "    } else {\n"
-           "      skelcl_acc = skelcl_in[i];\n"
-           "      skelcl_have = 1;\n"
-           "    }\n"
-           "  }\n"
-           "  skelcl_flags[skelcl_lid] = skelcl_have;\n"
-           "  if (skelcl_have) skelcl_scratch[skelcl_lid] = skelcl_acc;\n"
-           "  barrier(CLK_LOCAL_MEM_FENCE);\n"
-           // Adjacent-pair tree: associativity-only combination.
-           "  for (uint s = 1; s < " + wg + "; s <<= 1) {\n"
-           "    if (skelcl_lid % (2 * s) == 0 &&\n"
-           "        skelcl_lid + s < " + wg + ") {\n"
-           "      if (skelcl_flags[skelcl_lid + s]) {\n"
-           "        if (skelcl_flags[skelcl_lid]) {\n"
-           "          skelcl_scratch[skelcl_lid] = " + funcName_ +
-           "(skelcl_scratch[skelcl_lid], skelcl_scratch[skelcl_lid + s]);\n"
-           "        } else {\n"
-           "          skelcl_scratch[skelcl_lid] =\n"
-           "              skelcl_scratch[skelcl_lid + s];\n"
-           "          skelcl_flags[skelcl_lid] = 1;\n"
-           "        }\n"
-           "      }\n"
-           "    }\n"
-           "    barrier(CLK_LOCAL_MEM_FENCE);\n"
-           "  }\n"
-           "  if (skelcl_lid == 0) {\n"
-           "    skelcl_out[get_group_id(0)] = skelcl_scratch[0];\n"
-           "  }\n"
-           "}\n";
-  }
-
   std::string source_;
   T identity_{};
   std::string funcName_;
-  detail::ProgramMemo memo_;
 };
 
 } // namespace skelcl

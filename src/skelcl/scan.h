@@ -8,15 +8,21 @@
 //  use of local memory, as well as it tries to avoid memory bank
 //  conflicts."
 //
-// Structure: per-work-group Blelloch up-sweep/down-sweep in local memory
-// producing block sums, a recursive scan of the block sums, and a uniform
-// combine pass. Runs on a single device; vectors with other
-// distributions are gathered first (the paper's evaluation does not use
-// multi-GPU Scan).
+// Structure (detail/expr.cpp): per-work-group Blelloch up-sweep/down-
+// sweep in local memory producing block sums, a recursive scan of the
+// block sums, and a uniform combine pass. Runs on a single device;
+// vectors with other distributions are gathered first (the paper's
+// evaluation does not use multi-GPU Scan).
+//
+// Invocation is lazy: a deferred element-wise producer is absorbed into
+// the first Blelloch level (scan f . map g), evaluating the chain while
+// the tree loads — no intermediate vector.
 #pragma once
 
 #include <string>
+#include <type_traits>
 
+#include "skelcl/detail/expr.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/vector.h"
 #include "trace/recorder.h"
@@ -45,144 +51,19 @@ public:
       // and every device command.
       return Vector<T>();
     }
-
-    // Single-device skeleton: gather the vector if it is distributed.
-    if (input.state().distribution() != Distribution::Single) {
-      const_cast<Vector<T>&>(input).setDistribution(Distribution::Single,
-                                                    0);
-    }
-    input.state().ensureOnDevices();
-
-    const std::size_t n = input.size();
-    const detail::Chunk& chunk = input.state().chunks().front();
-    const std::size_t deviceIndex = chunk.deviceIndex;
-    const auto& device = runtime.devices()[deviceIndex];
-
-    ocl::Buffer out =
-        runtime.context().createBuffer(device, n * sizeof(T));
-    // The whole pass chains on the input upload through events; the
-    // result is downloaded only when the output vector is read on the
-    // host, waiting on `done` then.
-    ocl::Event done = scanBuffer(chunk.buffer, out, n, deviceIndex,
-                                 detail::VectorState<T>::depsOf(chunk));
-
+    auto node = detail::makeExprNode(
+        detail::ExprNode::Op::Scan, source_, funcName_, Arguments{},
+        /*workGroupSize=*/0, {input.stateHandle()}, typeName<T>(),
+        sizeof(T), input.size(), identity_);
     Vector<T> output;
-    output.state().adoptDeviceBuffer(std::move(out), n, deviceIndex,
-                                     std::move(done));
+    detail::deferNode(node, output.stateHandle());
     return output;
   }
 
 private:
-  static constexpr std::size_t kWg = 256; // power of two (Blelloch tree)
-
-  ocl::Event scanBuffer(const ocl::Buffer& in, const ocl::Buffer& out,
-                        std::size_t n, std::size_t deviceIndex,
-                        const std::vector<ocl::Event>& deps) {
-    auto& runtime = detail::Runtime::instance();
-    auto& queue = runtime.queue(deviceIndex);
-    const auto& device = runtime.devices()[deviceIndex];
-    ocl::Program& program = memo_.get(generateSource());
-
-    const std::size_t groups = (n + kWg - 1) / kWg;
-    ocl::Buffer sums =
-        runtime.context().createBuffer(device, groups * sizeof(T));
-
-    ocl::Kernel block = program.createKernel("skelcl_scan_block");
-    block.setArg(0, in);
-    block.setArg(1, out);
-    block.setArg(2, sums);
-    block.setArg(3, std::uint32_t(n));
-    ocl::Event blocked =
-        queue.enqueueNDRange(block, ocl::NDRange1D{groups * kWg, kWg},
-                             deps);
-
-    if (groups > 1) {
-      ocl::Buffer sumsScanned =
-          runtime.context().createBuffer(device, groups * sizeof(T));
-      ocl::Event sumsDone =
-          scanBuffer(sums, sumsScanned, groups, deviceIndex, {blocked});
-
-      ocl::Kernel add = program.createKernel("skelcl_scan_add");
-      add.setArg(0, out);
-      add.setArg(1, sumsScanned);
-      add.setArg(2, std::uint32_t(n));
-      return queue.enqueueNDRange(add, ocl::NDRange1D{groups * kWg, kWg},
-                                  {blocked, sumsDone});
-    }
-    return blocked;
-  }
-
-  std::string generateSource() const {
-    const std::string t = typeName<T>();
-    const std::string wg = std::to_string(kWg);
-    const std::string half = std::to_string(kWg / 2);
-    const std::string last = std::to_string(kWg - 1);
-    return detail::registeredTypeDefinitions() + source_ +
-           "\n__kernel void skelcl_scan_block(__global const " + t +
-           "* skelcl_in, __global " + t + "* skelcl_out, __global " + t +
-           "* skelcl_sums, uint skelcl_n) {\n"
-           "  __local " + t + " skelcl_tmp[" + wg + "];\n"
-           "  uint skelcl_lid = (uint)get_local_id(0);\n"
-           "  size_t skelcl_gid = get_global_id(0);\n"
-           "  if (skelcl_gid < skelcl_n) {\n"
-           "    skelcl_tmp[skelcl_lid] = skelcl_in[skelcl_gid];\n"
-           "  } else {\n"
-           "    skelcl_tmp[skelcl_lid] = " + identity_ + ";\n"
-           "  }\n"
-           "  barrier(CLK_LOCAL_MEM_FENCE);\n"
-           // Up-sweep (reduce) phase.
-           "  uint skelcl_offset = 1;\n"
-           "  for (uint d = " + half + "; d > 0; d >>= 1) {\n"
-           "    if (skelcl_lid < d) {\n"
-           "      uint ai = skelcl_offset * (2 * skelcl_lid + 1) - 1;\n"
-           "      uint bi = skelcl_offset * (2 * skelcl_lid + 2) - 1;\n"
-           "      skelcl_tmp[bi] = " + funcName_ +
-           "(skelcl_tmp[ai], skelcl_tmp[bi]);\n"
-           "    }\n"
-           "    skelcl_offset <<= 1;\n"
-           "    barrier(CLK_LOCAL_MEM_FENCE);\n"
-           "  }\n"
-           // Record the block total, clear the root.
-           "  if (skelcl_lid == 0) {\n"
-           "    skelcl_sums[get_group_id(0)] = skelcl_tmp[" + last + "];\n"
-           "    skelcl_tmp[" + last + "] = " + identity_ + ";\n"
-           "  }\n"
-           "  barrier(CLK_LOCAL_MEM_FENCE);\n"
-           // Down-sweep phase.
-           "  for (uint d = 1; d < " + wg + "; d <<= 1) {\n"
-           "    skelcl_offset >>= 1;\n"
-           "    if (skelcl_lid < d) {\n"
-           "      uint ai = skelcl_offset * (2 * skelcl_lid + 1) - 1;\n"
-           "      uint bi = skelcl_offset * (2 * skelcl_lid + 2) - 1;\n"
-           // tmp[bi] holds the prefix that flowed down from the parent;
-           // the left subtree's total combines on its RIGHT (operand
-           // order matters for non-commutative operators).
-           "      " + t + " skelcl_t = skelcl_tmp[ai];\n"
-           "      skelcl_tmp[ai] = skelcl_tmp[bi];\n"
-           "      skelcl_tmp[bi] = " + funcName_ +
-           "(skelcl_tmp[ai], skelcl_t);\n"
-           "    }\n"
-           "    barrier(CLK_LOCAL_MEM_FENCE);\n"
-           "  }\n"
-           "  if (skelcl_gid < skelcl_n) {\n"
-           "    skelcl_out[skelcl_gid] = skelcl_tmp[skelcl_lid];\n"
-           "  }\n"
-           "}\n"
-           "\n__kernel void skelcl_scan_add(__global " + t +
-           "* skelcl_data, __global const " + t +
-           "* skelcl_offsets, uint skelcl_n) {\n"
-           "  size_t skelcl_gid = get_global_id(0);\n"
-           "  if (skelcl_gid < skelcl_n) {\n"
-           "    skelcl_data[skelcl_gid] = " + funcName_ +
-           "(skelcl_offsets[get_group_id(0)], skelcl_data[skelcl_gid]);\n"
-           "  }\n"
-           "}\n";
-  }
-
   std::string source_;
   std::string identity_;
   std::string funcName_;
-  detail::ProgramMemo memo_;
 };
 
 } // namespace skelcl

@@ -34,6 +34,13 @@ namespace skelcl {
 
 namespace detail {
 
+class ExprNode;
+
+/// Materializes a deferred skeleton computation (defined in expr.cpp).
+/// No-op when the node has already been evaluated or is being evaluated
+/// further up the call stack.
+void forceExprNode(const std::shared_ptr<ExprNode>& node);
+
 /// One device's share of a vector.
 struct Chunk {
   ocl::Buffer buffer;
@@ -70,6 +77,76 @@ public:
   /// chunk, so later consumers depend on it instead of a finish().
   virtual void recordEventOn(std::size_t deviceIndex,
                              const ocl::Event& event) = 0;
+
+  // --- type-erased geometry, for the expression-DAG evaluator ----------
+  // The lazy evaluator (detail/expr.cpp) executes plans over states of
+  // arbitrary element type; these virtuals expose exactly the operations
+  // the eager skeletons used to perform through the typed interface.
+  virtual std::size_t elementSize() const = 0;
+  virtual std::size_t singleDeviceIndex() const = 0;
+  virtual const std::vector<Chunk>& chunks() const = 0;
+  virtual std::vector<std::pair<std::size_t, ocl::Event>> takeUploadPieces(
+      std::size_t deviceIndex) = 0;
+  virtual void allocateLikeBase(const VectorStateBase& input) = 0;
+  virtual void matchLayout(Distribution dist, std::size_t singleDevice,
+                           const std::vector<Chunk>& layout) = 0;
+  virtual void adoptDeviceBufferBase(ocl::Buffer buffer, std::size_t count,
+                                     std::size_t deviceIndex,
+                                     ocl::Event ready) = 0;
+  virtual void setDistribution(Distribution dist,
+                               std::size_t singleDevice) = 0;
+
+  // --- deferred-computation plumbing ------------------------------------
+  // A vector produced by a lazy skeleton call carries the producing DAG
+  // node here until a true consumption point forces it. The state also
+  // remembers which later nodes *read* it, so a host-side mutation can
+  // snapshot their inputs (force them) before the values change —
+  // preserving eager-execution semantics exactly.
+
+  /// Installs `node` as this state's deferred producer. `count` is the
+  /// result's declared element count, so size() works without forcing.
+  void installPending(std::shared_ptr<ExprNode> node, std::size_t count) {
+    pending_ = std::move(node);
+    pendingCount_ = count;
+  }
+  const std::shared_ptr<ExprNode>& pendingNode() const { return pending_; }
+  bool hasPending() const { return pending_ != nullptr; }
+  std::size_t pendingCount() const { return pendingCount_; }
+  void clearPending() { pending_.reset(); }
+
+  /// Materializes this state's deferred producer, if any.
+  void forcePending() {
+    if (pending_ != nullptr) {
+      forceExprNode(pending_);
+    }
+  }
+
+  /// Registers a deferred node that reads this state.
+  void addConsumer(const std::shared_ptr<ExprNode>& node) {
+    consumers_.emplace_back(node);
+  }
+
+  /// Forces every still-deferred node that reads this state. Called
+  /// before any operation that changes the observable values, so lazy
+  /// readers see the pre-mutation data — exactly what eager execution
+  /// would have computed.
+  void forceConsumers() {
+    if (consumers_.empty()) {
+      return;
+    }
+    std::vector<std::weak_ptr<ExprNode>> readers;
+    readers.swap(consumers_);
+    for (const auto& weak : readers) {
+      if (auto node = weak.lock()) {
+        forceExprNode(node);
+      }
+    }
+  }
+
+protected:
+  std::shared_ptr<ExprNode> pending_;
+  std::size_t pendingCount_ = 0;
+  std::vector<std::weak_ptr<ExprNode>> consumers_;
 };
 
 template <typename T>
@@ -83,9 +160,14 @@ public:
 
   // --- host access ------------------------------------------------------
 
-  std::size_t size() const override { return host_.size(); }
+  /// A deferred producer knows its result size before materializing.
+  std::size_t size() const override {
+    return pending_ ? pendingCount_ : host_.size();
+  }
 
   std::vector<T>& hostForWrite() {
+    forcePending();
+    forceConsumers();
     ensureOnHost();
     hostDirty_ = true;
     devicesDirty_ = false;
@@ -93,6 +175,12 @@ public:
   }
 
   const std::vector<T>& hostForRead() {
+    forcePending();
+    // A blocking read is a sync point: flush deferred readers of this
+    // vector first so their kernels are already enqueued when the
+    // download is — the out-of-order engines then stream the read while
+    // those kernels compute, just as eager call-site enqueueing did.
+    forceConsumers();
     ensureOnHost();
     return host_;
   }
@@ -101,6 +189,8 @@ public:
   const std::vector<T>& rawHost() const { return host_; }
 
   void resizeHost(std::size_t n) {
+    forcePending();
+    forceConsumers();
     ensureOnHost();
     host_.resize(n);
     dropChunks();
@@ -110,6 +200,8 @@ public:
   /// Overwrites every element on the host side without downloading any
   /// stale device data first (unlike hostForWrite, which preserves it).
   void fillHost(const T& value) {
+    forcePending();
+    forceConsumers();
     host_.assign(host_.size(), value);
     hostDirty_ = true;
     devicesDirty_ = false;
@@ -118,11 +210,13 @@ public:
   // --- distribution -----------------------------------------------------
 
   Distribution distribution() const override { return dist_; }
-  std::size_t singleDeviceIndex() const { return singleDevice_; }
+  std::size_t singleDeviceIndex() const override { return singleDevice_; }
 
-  void setDistribution(Distribution dist, std::size_t singleDevice = 0) {
+  void setDistribution(Distribution dist, std::size_t singleDevice = 0)
+      override {
     auto& runtime = Runtime::instance();
     runtime.requireInit();
+    forcePending();
     if (dist == dist_ &&
         (dist != Distribution::Single || singleDevice == singleDevice_)) {
       return;
@@ -144,6 +238,8 @@ public:
   void setDistributionCombine(const std::string& combineSource) {
     auto& runtime = Runtime::instance();
     runtime.requireInit();
+    forcePending();
+    forceConsumers();
     COMMON_EXPECTS(dist_ == Distribution::Copy,
                    "combine redistribution requires a copy distribution");
     if (chunks_.empty() || !devicesDirty_) {
@@ -237,6 +333,7 @@ public:
   // --- device access ----------------------------------------------------
 
   void ensureOnDevices() override {
+    forcePending();
     auto& runtime = Runtime::instance();
     runtime.requireInit();
     // Failure atomicity: an allocation or upload failure (injected or
@@ -276,7 +373,9 @@ public:
         " (distribution: " + distributionName(dist_) + ")");
   }
 
-  const std::vector<Chunk>& chunks() const { return chunks_; }
+  const std::vector<Chunk>& chunks() const override { return chunks_; }
+
+  std::size_t elementSize() const override { return sizeof(T); }
 
   void markDevicesModified() override {
     COMMON_EXPECTS(!chunks_.empty(),
@@ -320,7 +419,7 @@ public:
   /// skeletons call this once and pipeline their sub-launches against
   /// the pieces; afterwards only Chunk::ready remains.
   std::vector<std::pair<std::size_t, ocl::Event>> takeUploadPieces(
-      std::size_t deviceIndex) {
+      std::size_t deviceIndex) override {
     for (Chunk& chunk : chunks_) {
       if (chunk.deviceIndex == deviceIndex) {
         return std::move(chunk.pieces);
@@ -348,6 +447,7 @@ public:
                          std::size_t deviceIndex,
                          ocl::Event ready = ocl::Event()) {
     host_.assign(count, T{});
+    clearPending();
     Chunk chunk;
     chunk.buffer = std::move(buffer);
     chunk.deviceIndex = deviceIndex;
@@ -361,6 +461,13 @@ public:
     devicesDirty_ = true;
   }
 
+  void adoptDeviceBufferBase(ocl::Buffer buffer, std::size_t count,
+                             std::size_t deviceIndex,
+                             ocl::Event ready) override {
+    adoptDeviceBuffer(std::move(buffer), count, deviceIndex,
+                      std::move(ready));
+  }
+
   /// Allocates device chunks for an *output* vector mirroring the chunk
   /// geometry of an input (same distribution and size, fresh buffers).
   /// The input's element type may differ (Map<Tin, Tout>). Mirrors the
@@ -368,14 +475,18 @@ public:
   /// weights a fresh block partition could disagree with the one the
   /// input was uploaded with, and element-wise kernels need identical
   /// geometry on both sides.
-  template <typename U>
-  void allocateLike(const VectorState<U>& input) {
+  void allocateLikeBase(const VectorStateBase& input) override {
     dropChunks();
     dist_ = input.distribution();
     singleDevice_ = input.singleDeviceIndex();
     host_.resize(input.size());
     allocateLayout(input.chunks());
     hostDirty_ = false;
+  }
+
+  template <typename U>
+  void allocateLike(const VectorState<U>& input) {
+    allocateLikeBase(input);
   }
 
   /// True when this vector's device chunks have exactly the given
@@ -401,7 +512,8 @@ public:
   /// weights (and two single distributions may sit on different
   /// devices), and element-wise kernels need identical geometry.
   void matchLayout(Distribution dist, std::size_t singleDevice,
-                   const std::vector<Chunk>& layout) {
+                   const std::vector<Chunk>& layout) override {
+    forcePending();
     if (!chunks_.empty() && dist_ == dist &&
         (dist != Distribution::Single || singleDevice_ == singleDevice) &&
         sameLayout(layout)) {
@@ -431,6 +543,7 @@ public:
   }
 
   void ensureOnHost() {
+    forcePending();
     if (!devicesDirty_ || chunks_.empty()) {
       return;
     }
@@ -685,7 +798,13 @@ public:
 
   // --- distribution & synchronization ------------------------------------
 
-  Distribution distribution() const { return state_->distribution(); }
+  /// Forces a deferred producer first: the result's distribution is
+  /// decided at evaluation (it follows the input layout), so answering
+  /// from the unevaluated state would report the default.
+  Distribution distribution() const {
+    state_->forcePending();
+    return state_->distribution();
+  }
 
   void setDistribution(Distribution dist, std::size_t singleDevice = 0) {
     state_->setDistribution(dist, singleDevice);
@@ -702,7 +821,10 @@ public:
   /// Paper Sec. IV-B: after a skeleton that updates a vector by
   /// side-effect (through Arguments), tell SkelCL the device data is
   /// newer than the host copy.
-  void dataOnDevicesModified() { state_->markDevicesModified(); }
+  void dataOnDevicesModified() {
+    state_->forcePending();
+    state_->markDevicesModified();
+  }
   void dataOnHostModified() { state_->markHostModified(); }
 
   /// Deep copy (the copy constructor shares state).

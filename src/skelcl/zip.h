@@ -4,11 +4,17 @@
 //
 // "Thus, it is a generalized dyadic form of Map. By chaining Zip
 //  skeletons, variadic forms of Map can be implemented."
+//
+// Invocation is lazy (see detail/expr.h): the size check and operand
+// geometry alignment still happen at the call site, but the kernel only
+// launches when the result is consumed — deferred Map producers feeding
+// either operand are absorbed into the zip kernel (detail/fusion.h).
 #pragma once
 
 #include <string>
 
 #include "skelcl/arguments.h"
+#include "skelcl/detail/expr.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/error.h"
 #include "skelcl/vector.h"
@@ -33,7 +39,7 @@ public:
   Vector<Tout> operator()(const Vector<Tin>& left, const Vector<Tin>& right,
                           const Arguments& args) {
     Vector<Tout> output;
-    run(left, right, args, output);
+    run(left, right, args, output, /*explicitOutput=*/false);
     return output;
   }
 
@@ -41,17 +47,20 @@ public:
   /// where the output aliases the left input.
   void operator()(const Vector<Tin>& left, const Vector<Tin>& right,
                   Vector<Tout>& output) {
-    run(left, right, Arguments{}, output);
+    run(left, right, Arguments{}, output, /*explicitOutput=*/true);
   }
 
   void operator()(const Vector<Tin>& left, const Vector<Tin>& right,
                   const Arguments& args, Vector<Tout>& output) {
-    run(left, right, args, output);
+    run(left, right, args, output, /*explicitOutput=*/true);
   }
 
 private:
   void run(const Vector<Tin>& left, const Vector<Tin>& right,
-           const Arguments& args, Vector<Tout>& output) {
+           const Arguments& args, Vector<Tout>& output,
+           bool explicitOutput) {
+    // The call-site span: covers node construction (and, on the eager
+    // paths, the whole launch). Fused evaluation emits its own span.
     trace::ScopedHostSpan span(trace::HostKind::Skeleton, "Zip",
                                trace::kNoDevice, left.size());
     auto& runtime = detail::Runtime::instance();
@@ -63,114 +72,20 @@ private:
                             left.state().distribution(),
                             right.state().distribution());
     }
-
-    left.state().ensureOnDevices();
-    // Align the right operand with the left's distribution *and* exact
-    // chunk geometry. A mere enum comparison is not enough: two block
-    // partitions made at different times may disagree under measured
-    // weights, and two single distributions may sit on different
-    // devices; the kernel zips corresponding chunks element-wise, so
-    // the geometries must be identical.
-    if (static_cast<const void*>(&right.state()) !=
-        static_cast<const void*>(&left.state())) {
-      right.state().matchLayout(left.state().distribution(),
-                                left.state().singleDeviceIndex(),
-                                left.state().chunks());
+    auto node = detail::makeExprNode(
+        detail::ExprNode::Op::Zip, source_, funcName_, args,
+        workGroupSize_, {left.stateHandle(), right.stateHandle()},
+        typeName<Tout>(), sizeof(Tout), left.size());
+    if (!explicitOutput && detail::deferrable(args)) {
+      detail::deferNode(node, output.stateHandle());
+    } else {
+      detail::evaluateNodeInto(node, output.stateHandle());
     }
-    args.prepare();
-
-    const bool aliasesLeft =
-        static_cast<const void*>(&output.state()) ==
-        static_cast<const void*>(&left.state());
-    const bool aliasesRight =
-        static_cast<const void*>(&output.state()) ==
-        static_cast<const void*>(&right.state());
-    if (!aliasesLeft && !aliasesRight) {
-      output.state().allocateLike(left.state());
-    }
-
-    ocl::Program& program = program_(args);
-    // Per-device chunks are disjoint, so any visit order is legal (the
-    // schedule fuzzer shuffles it); a fault on one device reports which.
-    const auto& chunks = left.state().chunks();
-    for (std::size_t idx : runtime.chunkVisitOrder(chunks.size())) {
-      const detail::Chunk& chunk = chunks[idx];
-      if (chunk.count == 0) {
-        continue;
-      }
-      try {
-        const auto& device = runtime.devices()[chunk.deviceIndex];
-        ocl::Kernel kernel = program.createKernel("skelcl_zip");
-        std::size_t arg = 0;
-        kernel.setArg(arg++, chunk.buffer);
-        kernel.setArg(arg++,
-                      right.state().chunkForDevice(chunk.deviceIndex).buffer);
-        kernel.setArg(
-            arg++,
-            output.state().chunkForDevice(chunk.deviceIndex).buffer);
-        kernel.setArg(arg++, std::uint32_t(chunk.count));
-        args.apply(kernel, arg, chunk.deviceIndex);
-
-        // Depend on both operands' uploads — piecewise where split, so
-        // sub-launches pipeline against whichever transfer streams last —
-        // plus vector arguments and the aliased output's last writer.
-        const bool sameState =
-            static_cast<const void*>(&right.state()) ==
-            static_cast<const void*>(&left.state());
-        const detail::UploadPieces leftPieces =
-            left.state().takeUploadPieces(chunk.deviceIndex);
-        const detail::UploadPieces rightPieces =
-            sameState ? detail::UploadPieces{}
-                      : right.state().takeUploadPieces(chunk.deviceIndex);
-        std::vector<ocl::Event> deps;
-        if (leftPieces.empty()) {
-          detail::appendEvent(deps, chunk.ready);
-        }
-        if (!sameState && rightPieces.empty()) {
-          detail::appendEvent(
-              deps, right.state().readyEventOn(chunk.deviceIndex));
-        }
-        args.collectDeps(deps, chunk.deviceIndex);
-
-        const std::size_t wg =
-            detail::effectiveWorkGroupSize(workGroupSize_, device);
-        ocl::Event done = detail::launchPipelined(
-            runtime.queue(chunk.deviceIndex), kernel, chunk.count, wg, deps,
-            {&leftPieces, &rightPieces});
-        output.state().recordEventOn(chunk.deviceIndex, done);
-        args.recordEvent(done, chunk.deviceIndex);
-      } catch (ocl::ClError& e) {
-        e.prependContext("Zip skeleton on device " +
-                         std::to_string(chunk.deviceIndex));
-        throw;
-      }
-    }
-    output.state().markDevicesModified();
-  }
-
-  ocl::Program& program_(const Arguments& args) {
-    const std::string source =
-        detail::registeredTypeDefinitions() + source_ +
-        "\n__kernel void skelcl_zip(__global const " + typeName<Tin>() +
-        "* skelcl_left, __global const " + typeName<Tin>() +
-        "* skelcl_right, __global " + typeName<Tout>() +
-        "* skelcl_out, uint skelcl_n" + args.declSuffix() +
-        ") {\n"
-        "  size_t skelcl_i = get_global_id(0);\n"
-        "  if (skelcl_i < skelcl_n) {\n"
-        "    skelcl_out[skelcl_i] = " +
-        funcName_ + "(skelcl_left[skelcl_i], skelcl_right[skelcl_i]" +
-        args.callSuffix() +
-        ");\n"
-        "  }\n"
-        "}\n";
-    return memo_.get(source);
   }
 
   std::string source_;
   std::string funcName_;
   std::size_t workGroupSize_ = 0;
-  detail::ProgramMemo memo_;
 };
 
 } // namespace skelcl

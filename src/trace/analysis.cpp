@@ -160,6 +160,7 @@ Report analyze(const Trace& trace) {
     KernelReport& k = kernels[trace.str(c.name)];
     k.name = trace.str(c.name);
     ++k.launches;
+    ++report.kernelLaunches;
     k.totalNs += c.endNs - c.startNs;
     k.cycles += c.cycles;
   }
@@ -221,6 +222,8 @@ Report analyze(const Trace& trace) {
       report.cacheHits += value;
     } else if (key.first == "cache_misses") {
       report.cacheMisses += value;
+    } else if (key.first == "intermediate_bytes") {
+      report.intermediateBytes += value;
     }
   }
   for (const HostSpanRecord& h : trace.hostSpans) {
@@ -252,6 +255,11 @@ std::string formatReport(const Report& report, std::size_t topN) {
                 (unsigned long long)report.cacheHits,
                 (unsigned long long)report.cacheMisses,
                 (unsigned long long)report.skeletonSpans);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "kernel launches: %llu   intermediate bytes: %llu\n",
+                (unsigned long long)report.kernelLaunches,
+                (unsigned long long)report.intermediateBytes);
   out += line;
 
   out += "\nper-device engine utilization (busy% of device span)\n";

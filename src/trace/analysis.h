@@ -67,9 +67,14 @@ struct Report {
   std::uint64_t h2dBytes = 0;
   std::uint64_t d2hBytes = 0;
   std::uint64_t kernelCycles = 0;
+  std::uint64_t kernelLaunches = 0; // kernel commands in the trace
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
   std::uint64_t skeletonSpans = 0;
+  /// Bytes of intermediate vectors materialized between skeleton stages
+  /// (from the "intermediate_bytes" counter). Kernel fusion exists to
+  /// drive this — and the launch count — down.
+  std::uint64_t intermediateBytes = 0;
 };
 
 Report analyze(const Trace& trace);

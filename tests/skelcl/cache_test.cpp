@@ -73,6 +73,27 @@ TEST_F(CacheTest, DifferentSourcesGetDifferentEntries) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST_F(CacheTest, DifferentSaltsGetDifferentEntries) {
+  // The key schema (v2) folds the caller salt — the fusion flag and
+  // fused composition — into the entry name, so identical sources built
+  // under different fusion configurations never share an entry.
+  KernelCache cache(dir_);
+  cache.getOrBuild(context_, source_, skelcl::kDefaultBuildOptions,
+                   "fusion=1;Fused(f\xE2\x88\x98g);leaves=1");
+  cache.getOrBuild(context_, source_, skelcl::kDefaultBuildOptions,
+                   "fusion=0;Map:f;leaves=1");
+  EXPECT_EQ(cache.stats().misses, 2u);
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    if (e.path().extension() == ".clcbin") ++entries;
+  }
+  EXPECT_EQ(entries, 2u);
+  // Each salted key still hits on reuse.
+  cache.getOrBuild(context_, source_, skelcl::kDefaultBuildOptions,
+                   "fusion=0;Map:f;leaves=1");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST_F(CacheTest, CorruptedEntryFallsBackToRebuild) {
   KernelCache cache(dir_);
   cache.getOrBuild(context_, source_);

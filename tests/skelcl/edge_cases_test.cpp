@@ -75,13 +75,14 @@ TEST_F(EdgeCases, KernelTrapSurfacesThroughSkeletonCall) {
 TEST_F(EdgeCases, DivisionByZeroInUserFunctionTraps) {
   skelcl::Map<int> div("int f(int x) { return 100 / x; }");
   Vector<int> zeros(std::vector<int>{5, 0, 2});
-  EXPECT_THROW(div(zeros), clc::TrapError);
+  // Lazy invocation: the trap fires when the result is read.
+  EXPECT_THROW(div(zeros)[0], clc::TrapError);
 }
 
 TEST_F(EdgeCases, SkeletonUsableAfterFailedCall) {
   skelcl::Map<int> div("int f(int x) { return 100 / x; }");
   Vector<int> bad(std::vector<int>{0});
-  EXPECT_THROW(div(bad), clc::TrapError);
+  EXPECT_THROW(div(bad)[0], clc::TrapError);
   // The same skeleton instance keeps working with good input.
   Vector<int> good(std::vector<int>{4});
   EXPECT_EQ(div(good)[0], 25);
@@ -91,7 +92,7 @@ TEST_F(EdgeCases, BuildErrorIdentifiesTheUserFunction) {
   skelcl::Map<float> typo("float f(float x) { return sqrrt(x); }");
   Vector<float> input(std::vector<float>{1.0f});
   try {
-    typo(input);
+    (void)typo(input)[0];
     FAIL() << "expected BuildError";
   } catch (const ocl::BuildError& e) {
     EXPECT_NE(e.log().find("sqrrt"), std::string::npos) << e.log();
@@ -106,7 +107,7 @@ TEST_F(EdgeCases, MalformedUserSourceFails) {
   // at first use as a build failure (like a real OpenCL driver).
   skelcl::Map<float> bad("float f(float x) {");
   Vector<float> input(std::vector<float>{1.0f});
-  EXPECT_THROW(bad(input), ocl::BuildError);
+  EXPECT_THROW(bad(input)[0], ocl::BuildError);
 }
 
 TEST_F(EdgeCases, LargeStructElements) {
@@ -144,8 +145,10 @@ TEST_F(EdgeCases, ManySmallSkeletonCallsReuseCompiledProgram) {
     v = inc(v);
   }
   EXPECT_EQ(v[0], 51);
-  // At most one build/load happened; the memo served the other 49.
-  EXPECT_LE(cache.stats().hits + cache.stats().misses, 1u);
+  // Fusion chops the 50-deep chain into max-depth fused programs plus
+  // one shorter remainder, so at most two distinct programs get built;
+  // the program memo serves every repeat without touching the cache.
+  EXPECT_LE(cache.stats().hits + cache.stats().misses, 2u);
 }
 
 TEST_F(EdgeCases, ScanOfEmptyVectorIsEmpty) {

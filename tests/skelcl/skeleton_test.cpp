@@ -299,7 +299,8 @@ TEST_F(SkeletonTest, ChainedSkeletonsStayOnDevice) {
 TEST_F(SkeletonTest, InvalidUserFunctionFailsAtFirstUse) {
   Map<float> broken("float f(float x) { return undefined_var; }");
   Vector<float> input(std::vector<float>{1.0f});
-  EXPECT_THROW(broken(input), ocl::BuildError);
+  // Invocation is lazy; the build happens when the result is read.
+  EXPECT_THROW(broken(input)[0], ocl::BuildError);
 }
 
 TEST_F(SkeletonTest, UserFunctionNameExtraction) {
