@@ -13,6 +13,7 @@
 
 #include "skelcl/detail/fusion.h"
 #include "skelcl/detail/runtime.h"
+#include "skelcl/detail/scheduler.h"
 #include "skelcl/detail/skeleton_common.h"
 #include "skelcl/detail/source_utils.h"
 #include "trace/recorder.h"
@@ -31,6 +32,16 @@ struct EvalGuard {
   explicit EvalGuard(bool& flag) : flag_(flag) { flag_ = true; }
   ~EvalGuard() { flag_ = false; }
   bool& flag_;
+};
+
+/// Depth of nested evaluations on this thread. Only a force at depth 0
+/// is a true consumption point: forces issued from inside an evaluation
+/// (materializing an unabsorbed child) must not re-enter the scheduler.
+thread_local int t_evalDepth = 0;
+
+struct DepthGuard {
+  DepthGuard() { ++t_evalDepth; }
+  ~DepthGuard() { --t_evalDepth; }
 };
 
 void evaluateNode(const std::shared_ptr<ExprNode>& node,
@@ -790,6 +801,7 @@ void runScan(const std::shared_ptr<ExprNode>& node,
 void evaluateNode(const std::shared_ptr<ExprNode>& node,
                   const std::shared_ptr<VectorStateBase>& out) {
   EvalGuard guard(node->evaluating);
+  DepthGuard depth;
   auto& runtime = Runtime::instance();
   runtime.requireInit();
 
@@ -805,18 +817,14 @@ void evaluateNode(const std::shared_ptr<ExprNode>& node,
     forceExprNode(child);
     const std::uint64_t bytes =
         std::uint64_t(child->outCount) * child->outElemSize;
-    auto& stats = runtime.fusionStatsMutable();
-    stats.intermediateBuffers += 1;
-    stats.intermediateBytes += bytes;
+    runtime.noteIntermediate(bytes);
     if (trace::Recorder::enabled()) {
       trace::Recorder::instance().bumpCounter(
           "intermediate_bytes", trace::kNoDevice, trace::now(), bytes);
     }
   }
   if (plan.fusedStages > 0) {
-    auto& stats = runtime.fusionStatsMutable();
-    stats.fusedStages += plan.fusedStages;
-    stats.fusedLaunches += 1;
+    runtime.noteFusedEvaluation(plan.fusedStages);
   }
 
   const std::size_t spanSize =
@@ -856,10 +864,26 @@ void forceExprNode(const std::shared_ptr<ExprNode>& node) {
   if (node == nullptr || node->evaluated || node->evaluating) {
     return;
   }
-  // `node` may alias the output state's own pending_ member, which the
-  // evaluation clears (adoptDeviceBuffer does so mid-flight) — pin the
-  // node so it outlives that reset.
+  // `node` may alias the output state's own pending_ member, which an
+  // evaluation clears (adoptDeviceBuffer does so mid-flight, and a
+  // scheduler drain clears it from underneath us) — pin the node first
+  // so it outlives that reset.
   std::shared_ptr<ExprNode> keep = node;
+  // A force at the top of the evaluation stack is a true consumption
+  // point: drain the async scheduler first, so every outstanding
+  // independent job's commands are enqueued before this consumer's
+  // blocking wait (the drain may evaluate `keep` itself — recheck).
+  // Forces nested inside an evaluation, and forces issued *by* the
+  // drain, fall through to the direct path.
+  if (t_evalDepth == 0) {
+    Scheduler& scheduler = Scheduler::instance();
+    if (scheduler.shouldDrain()) {
+      scheduler.drain(keep);
+      if (keep->evaluated || keep->evaluating) {
+        return;
+      }
+    }
+  }
   std::shared_ptr<VectorStateBase> out = keep->output.lock();
   if (out == nullptr) {
     // The result vector died unread; the computation is dead code.
@@ -947,6 +971,10 @@ void deferNode(const std::shared_ptr<ExprNode>& node,
                const std::shared_ptr<VectorStateBase>& out) {
   node->output = out;
   out->installPending(node, node->outCount);
+  // Register the job with the async scheduler: the next top-of-stack
+  // consumption point dispatches every outstanding job, not just the
+  // one being consumed. No-op under SKELCL_ASYNC=0.
+  Scheduler::instance().noteDeferred(node);
 }
 
 void evaluateNodeInto(const std::shared_ptr<ExprNode>& node,
@@ -961,6 +989,40 @@ void evaluateNodeInto(const std::shared_ptr<ExprNode>& node,
   }
   node->output = out;
   evaluateNode(node, out);
+}
+
+void collectNodePrograms(const std::shared_ptr<ExprNode>& node,
+                         std::vector<PreparedProgram>& out) {
+  if (node == nullptr || node->evaluated || node->evaluating) {
+    return;
+  }
+  auto& runtime = Runtime::instance();
+  FusionPlan plan = buildFusionPlan(node, runtime.fusionEnabled());
+  for (const auto& child : plan.materializeFirst) {
+    if (child->evaluated || child->output.expired()) {
+      continue; // evaluated, or dead code the force will eliminate
+    }
+    collectNodePrograms(child, out);
+  }
+  const std::string salt = saltFor(plan, runtime.fusionEnabled());
+  switch (node->op) {
+    case ExprNode::Op::Map:
+    case ExprNode::Op::Zip:
+      out.push_back({elementwiseSource(plan, node->outType), salt});
+      break;
+    case ExprNode::Op::Reduce:
+      out.push_back({plainReduceSource(node), salt});
+      if (plan.fusedStages > 0) {
+        out.push_back({fusedReduceSource(node, plan), salt});
+      }
+      break;
+    case ExprNode::Op::Scan:
+      out.push_back({plainScanSource(node), salt});
+      if (plan.fusedStages > 0) {
+        out.push_back({fusedScanSource(node, plan), salt});
+      }
+      break;
+  }
 }
 
 } // namespace skelcl::detail

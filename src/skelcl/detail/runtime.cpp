@@ -3,6 +3,7 @@
 #include "common/env.h"
 #include "common/logging.h"
 #include "skelcl/detail/partition.h"
+#include "skelcl/detail/scheduler.h"
 #include "skelcl/distribution.h"
 #include "trace/load_monitor.h"
 #include "trace/recorder.h"
@@ -95,8 +96,22 @@ void Runtime::init(const DeviceSelection& selection) {
   // still built, but every node evaluates as its own kernel — the
   // differential baseline the fusion suite compares against.
   fusionEnabled_ = envFlag("SKELCL_FUSION", true);
-  fusionStats_ = FusionStats{};
-  programMemo_.clear();
+  fusionStats_.fusedStages.store(0);
+  fusionStats_.fusedLaunches.store(0);
+  fusionStats_.intermediateBuffers.store(0);
+  fusionStats_.intermediateBytes.store(0);
+  {
+    std::lock_guard lock(programMutex_);
+    programMemo_.clear();
+  }
+  // SKELCL_ASYNC=0 turns the task-graph scheduler off: every deferred
+  // job evaluates at its own consumption point, exactly the pre-async
+  // behavior — the differential baseline the async suite compares
+  // against. SKELCL_SCHED_THREADS sizes the scheduler's prepare pool.
+  asyncEnabled_ = envFlag("SKELCL_ASYNC", true);
+  const long long schedThreads = envInt("SKELCL_SCHED_THREADS", 0);
+  schedulerThreads_ = schedThreads < 0 ? 0 : std::size_t(schedThreads);
+  Scheduler::instance().configure(asyncEnabled_, schedulerThreads_);
   const long long pieces = envInt("SKELCL_TRANSFER_CHUNKS", 4);
   transferPieces_ = pieces < 1 ? 1 : std::size_t(pieces);
   // SKELCL_SCHEDULE=shuffle explores an alternative legal schedule per
@@ -144,6 +159,10 @@ void Runtime::init(const DeviceSelection& selection) {
 }
 
 void Runtime::terminate() {
+  // Outstanding deferred jobs are dead code at terminate (their outputs
+  // can never be read afterwards), exactly as under synchronous
+  // evaluation — drop them instead of dispatching.
+  Scheduler::instance().reset();
   if (!tracePath_.empty() && trace::Recorder::enabled()) {
     const trace::Trace collected = trace::Recorder::instance().stop();
     try {
@@ -157,7 +176,10 @@ void Runtime::terminate() {
   }
   tracePath_.clear();
   queues_.clear();
-  programMemo_.clear();
+  {
+    std::lock_guard lock(programMutex_);
+    programMemo_.clear();
+  }
   context_.reset();
   devices_.clear();
   initialized_ = false;
@@ -167,13 +189,25 @@ ocl::Program& Runtime::programFor(const std::string& source,
                                   const std::string& salt) {
   requireInit();
   const std::string key = salt + "\x1f" + source;
-  auto it = programMemo_.find(key);
-  if (it == programMemo_.end()) {
-    ocl::Program program = kernelCache().getOrBuild(
-        *context_, source, kDefaultBuildOptions, salt);
-    it = programMemo_.emplace(key, std::move(program)).first;
+  std::shared_ptr<ProgramEntry> entry;
+  {
+    std::lock_guard lock(programMutex_);
+    std::shared_ptr<ProgramEntry>& slot = programMemo_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<ProgramEntry>();
+    }
+    entry = slot;
   }
-  return it->second;
+  // Build outside the map lock so distinct keys compile in parallel
+  // (the scheduler's prepare workers); call_once makes concurrent
+  // requests for the same key share one build. A throwing build leaves
+  // the flag unset, so the next request retries — the same "failed
+  // builds are not memoized" semantics the synchronous path had.
+  std::call_once(entry->once, [&] {
+    entry->program.emplace(kernelCache().getOrBuild(
+        *context_, source, kDefaultBuildOptions, salt));
+  });
+  return *entry->program;
 }
 
 void Runtime::requireInit() const {

@@ -2,7 +2,10 @@
 // queue per device, and the shared on-disk kernel cache.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -100,6 +103,19 @@ public:
   /// the differential baseline fused execution must match bit-for-bit.
   bool fusionEnabled() const noexcept { return fusionEnabled_; }
 
+  /// True unless SKELCL_ASYNC=0 disabled the asynchronous task-graph
+  /// scheduler at init(). With async on (the default), deferred skeleton
+  /// jobs accumulate until a consumption point, then every outstanding
+  /// job's commands are dispatched before the consumer blocks — so
+  /// independent jobs overlap on the device engines. SKELCL_ASYNC=0 is
+  /// the differential baseline: each job evaluates at its own
+  /// consumption point, nothing else changes.
+  bool asyncEnabled() const noexcept { return asyncEnabled_; }
+
+  /// Worker threads for the scheduler's parallel prepare phase
+  /// (SKELCL_SCHED_THREADS; 0 = one per hardware thread).
+  std::size_t schedulerThreads() const noexcept { return schedulerThreads_; }
+
   /// What the rewrite pass achieved this init()..terminate() cycle.
   struct FusionStats {
     std::uint64_t fusedStages = 0;        // stages absorbed into parents
@@ -107,13 +123,36 @@ public:
     std::uint64_t intermediateBuffers = 0; // materialized DAG-internal
     std::uint64_t intermediateBytes = 0;   //   vectors, and their bytes
   };
-  const FusionStats& fusionStats() const noexcept { return fusionStats_; }
-  FusionStats& fusionStatsMutable() noexcept { return fusionStats_; }
+  /// Snapshot of the counters. Internally atomic: the async scheduler's
+  /// prepare workers run concurrently with accounting on the dispatch
+  /// thread, so plain fields would race under TSan.
+  FusionStats fusionStats() const noexcept {
+    FusionStats out;
+    out.fusedStages = fusionStats_.fusedStages.load();
+    out.fusedLaunches = fusionStats_.fusedLaunches.load();
+    out.intermediateBuffers = fusionStats_.intermediateBuffers.load();
+    out.intermediateBytes = fusionStats_.intermediateBytes.load();
+    return out;
+  }
+  /// One fused plan evaluated, absorbing `stagesAbsorbed` children.
+  void noteFusedEvaluation(std::uint64_t stagesAbsorbed) noexcept {
+    fusionStats_.fusedStages.fetch_add(stagesAbsorbed);
+    fusionStats_.fusedLaunches.fetch_add(1);
+  }
+  /// One DAG-internal intermediate vector of `bytes` materialized.
+  void noteIntermediate(std::uint64_t bytes) noexcept {
+    fusionStats_.intermediateBuffers.fetch_add(1);
+    fusionStats_.intermediateBytes.fetch_add(bytes);
+  }
 
   /// Process-wide memo for generated skeleton programs: one build per
   /// (source, salt) pair per init() cycle, the disk cache underneath
   /// making cross-process reuse cheap. The salt carries the fusion
-  /// configuration into the cache key.
+  /// configuration into the cache key. Thread-safe: the async
+  /// scheduler's prepare workers warm programs concurrently — distinct
+  /// keys build in parallel, concurrent requests for the same key block
+  /// on one build (a failed build is not memoized; the next request
+  /// retries, preserving the synchronous retry semantics).
   ocl::Program& programFor(const std::string& source,
                            const std::string& salt);
 
@@ -137,11 +176,29 @@ public:
 private:
   Runtime() = default;
 
+  struct AtomicFusionStats {
+    std::atomic<std::uint64_t> fusedStages{0};
+    std::atomic<std::uint64_t> fusedLaunches{0};
+    std::atomic<std::uint64_t> intermediateBuffers{0};
+    std::atomic<std::uint64_t> intermediateBytes{0};
+  };
+  /// One memoized program. Entries are pinned by shared_ptr so the map
+  /// can rehash while another thread builds; call_once serializes
+  /// concurrent builders of the same key.
+  struct ProgramEntry {
+    std::once_flag once;
+    std::optional<ocl::Program> program;
+  };
+
   bool initialized_ = false;
   bool serializedQueues_ = false;
   bool fusionEnabled_ = true;
-  FusionStats fusionStats_;
-  std::unordered_map<std::string, ocl::Program> programMemo_;
+  bool asyncEnabled_ = true;
+  std::size_t schedulerThreads_ = 0;
+  AtomicFusionStats fusionStats_;
+  std::mutex programMutex_;
+  std::unordered_map<std::string, std::shared_ptr<ProgramEntry>>
+      programMemo_;
   WeightMode weightMode_ = WeightMode::Even;
   std::size_t transferPieces_ = 4;
   ocl::SchedulePolicy schedulePolicy_;

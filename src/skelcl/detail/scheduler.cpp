@@ -1,0 +1,219 @@
+#include "skelcl/detail/scheduler.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "ocl/ocl.h"
+#include "skelcl/detail/expr.h"
+#include "skelcl/detail/runtime.h"
+#include "skelcl/vector.h"
+#include "trace/recorder.h"
+
+namespace skelcl::detail {
+
+/// One job that survived the liveness filter: the pinned node, its
+/// (still-alive) output state, and when the skeleton call deferred it.
+struct Scheduler::LiveJob {
+  std::shared_ptr<ExprNode> node;
+  std::shared_ptr<VectorStateBase> out;
+  std::uint64_t registeredNs = 0;
+};
+
+namespace {
+
+/// True when `target` lies inside the unevaluated part of `root`'s
+/// subgraph — i.e. dispatching `root` would evaluate `target`.
+bool subgraphContains(const ExprNode* root, const ExprNode* target,
+                      std::unordered_set<const ExprNode*>& visited) {
+  if (root == nullptr) {
+    return false;
+  }
+  if (root == target) {
+    return true;
+  }
+  if (root->evaluated || !visited.insert(root).second) {
+    return false;
+  }
+  for (const ExprNode::Input& input : root->inputs) {
+    if (subgraphContains(input.node.get(), target, visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+Scheduler& Scheduler::instance() {
+  static Scheduler scheduler;
+  return scheduler;
+}
+
+void Scheduler::configure(bool asyncEnabled, std::size_t threads) {
+  asyncEnabled_ = asyncEnabled;
+  jobs_.clear();
+  stats_ = Stats{};
+  if (threads != threads_) {
+    pool_.reset();
+    threads_ = threads;
+  }
+}
+
+void Scheduler::reset() {
+  jobs_.clear();
+  stats_ = Stats{};
+}
+
+void Scheduler::noteDeferred(const std::shared_ptr<ExprNode>& node) {
+  if (!asyncEnabled_) {
+    return;
+  }
+  jobs_.push_back(PendingJob{node, ocl::hostTimeNs()});
+}
+
+common::ThreadPool& Scheduler::pool() {
+  if (threads_ == 0) {
+    return common::ThreadPool::global();
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<common::ThreadPool>(threads_);
+  }
+  return *pool_;
+}
+
+void Scheduler::prepare(const std::vector<LiveJob>& live) {
+  // Serial collection in registration order makes the set of distinct
+  // programs — and their first-needed order — a deterministic function
+  // of the program, independent of worker timing.
+  std::vector<PreparedProgram> requested;
+  for (const LiveJob& job : live) {
+    collectNodePrograms(job.node, requested);
+  }
+  std::vector<PreparedProgram> unique;
+  std::unordered_set<std::string> seen;
+  for (PreparedProgram& program : requested) {
+    if (seen.insert(program.salt + "\x1f" + program.source).second) {
+      unique.push_back(std::move(program));
+    }
+  }
+  if (unique.empty()) {
+    return;
+  }
+  // Build in parallel; each worker's trace emissions (Build/CacheHit
+  // spans, cache counters) land in its program's buffer, replayed below
+  // in first-needed order so traces stay byte-identical run to run. A
+  // failing build is ignored here: dispatch retries it inline (failed
+  // builds are not memoized) and the error surfaces on the job that
+  // actually needs the program.
+  auto& runtime = Runtime::instance();
+  std::vector<trace::Recorder::CaptureBuffer> buffers(unique.size());
+  pool().parallelFor(unique.size(), [&](std::size_t i) {
+    trace::Recorder::redirectThreadToBuffer(&buffers[i]);
+    try {
+      runtime.programFor(unique[i].source, unique[i].salt);
+    } catch (...) { // NOLINT(bugprone-empty-catch)
+    }
+    trace::Recorder::redirectThreadToBuffer(nullptr);
+  });
+  for (trace::Recorder::CaptureBuffer& buffer : buffers) {
+    trace::Recorder::instance().replay(buffer);
+  }
+}
+
+void Scheduler::drain(const std::shared_ptr<ExprNode>& requested) {
+  struct DrainGuard {
+    bool& flag;
+    ~DrainGuard() { flag = false; }
+  };
+  draining_ = true;
+  DrainGuard guard{draining_};
+
+  std::vector<PendingJob> taken;
+  taken.swap(jobs_);
+
+  std::vector<LiveJob> live;
+  live.reserve(taken.size());
+  for (const PendingJob& job : taken) {
+    std::shared_ptr<ExprNode> node = job.node.lock();
+    if (node == nullptr || node->evaluated || node->evaluating) {
+      continue;
+    }
+    if (node->fanout > 0) {
+      // A deferred parent reads this node: the parent's dispatch fuses
+      // or forces it. If the parent dies unread instead, the node's own
+      // consumption point still forces it — nothing is lost.
+      continue;
+    }
+    if (node != requested) {
+      std::unordered_set<const ExprNode*> visited;
+      if (subgraphContains(node.get(), requested.get(), visited)) {
+        // This job consumes the value being read right now: dispatching
+        // it would speculatively run work the synchronous force defers
+        // until the job's own consumption point. Keep it queued.
+        jobs_.push_back(job);
+        continue;
+      }
+    }
+    std::shared_ptr<VectorStateBase> out = node->output.lock();
+    if (out == nullptr) {
+      // The result died unread; the computation is dead code (the same
+      // elimination the synchronous force applies).
+      node->evaluated = true;
+      continue;
+    }
+    live.push_back(LiveJob{std::move(node), std::move(out),
+                           job.registeredNs});
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  ++stats_.drains;
+  if (live.size() > stats_.maxConcurrent) {
+    const std::uint64_t delta = live.size() - stats_.maxConcurrent;
+    stats_.maxConcurrent = live.size();
+    if (trace::Recorder::enabled()) {
+      // Cumulative counter whose final value is the max: bump by the
+      // increase only.
+      trace::Recorder::instance().bumpCounter(
+          "sched_concurrent_jobs", trace::kNoDevice, trace::now(), delta);
+    }
+  }
+
+  // With a single live job the drain IS the synchronous force — skip
+  // the prepare phase so even trace timestamps match the sync baseline.
+  // With fault injection armed, prepare could consume a build@N trigger
+  // that the inline retry would then sail past, so builds stay inline
+  // and hit the injector in exactly the synchronous order.
+  if (live.size() > 1 && !ocl::FaultInjector::enabled()) {
+    prepare(live);
+  }
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const LiveJob& job = live[i];
+    const std::uint64_t dispatchNs = ocl::hostTimeNs();
+    try {
+      forceExprNode(job.node);
+    } catch (...) {
+      // Per-subgraph isolation: the error waits, as the original typed
+      // exception, at this job's own consumption point; the remaining
+      // jobs still dispatch.
+      job.out->poisonPending(std::current_exception());
+    }
+    ++stats_.jobsDispatched;
+    const std::uint64_t queueWaitNs = dispatchNs - job.registeredNs;
+    if (trace::Recorder::enabled()) {
+      auto& recorder = trace::Recorder::instance();
+      recorder.recordHostSpan(trace::HostKind::Scheduler, "sched.job",
+                              trace::kNoDevice, job.registeredNs,
+                              ocl::hostTimeNs(), queueWaitNs,
+                              std::uint32_t(1 + i));
+      recorder.bumpCounter("sched_queue_wait_ns", trace::kNoDevice,
+                           trace::now(), queueWaitNs);
+    }
+  }
+}
+
+} // namespace skelcl::detail

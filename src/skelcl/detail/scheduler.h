@@ -1,0 +1,109 @@
+// Asynchronous task-graph scheduler over the lazy expression DAG
+// (ROADMAP: "concurrent evaluation of independent skeleton jobs").
+//
+// Every deferred skeleton call registers its root node here; the first
+// true consumption point (a host read, Scalar::getValue, an explicit
+// redistribution) then *drains* the registry: every outstanding
+// independent job's commands are enqueued on the per-device command
+// queues before the consumer issues its blocking wait. Two independent
+// skeleton chains therefore pipeline on the simulated engines — the
+// consumer of chain A no longer serializes chain B behind A's download.
+// Jobs downstream of the value being consumed are NOT dispatched (they
+// would speculatively evaluate work the synchronous force defers), so
+// dependent chains keep their synchronous schedule exactly.
+//
+// Determinism contract (what the async differential suite asserts):
+//  * jobs dispatch in registration order on the *calling* thread, so the
+//    enqueue sequence — and with it the virtual-time schedule — is a
+//    pure function of the program;
+//  * a drain of exactly one job degenerates to the synchronous force:
+//    single-job programs keep bit-identical outputs and virtual time
+//    under SKELCL_ASYNC=0 and =1;
+//  * the only wall-clock parallelism is the *prepare* phase, which warms
+//    the generated kernel programs over the shared thread pool — pure
+//    host work that never touches the virtual clock; its trace emissions
+//    are captured per program and replayed in a deterministic order
+//    (trace::Recorder::replay).
+//
+// Failure isolation: a job that throws during dispatch poisons its own
+// output state (VectorStateBase::poisonPending); the error resurfaces as
+// the original typed exception at that job's consumption point while
+// every other job's result stays intact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace common {
+class ThreadPool;
+}
+
+namespace skelcl::detail {
+
+class ExprNode;
+
+class Scheduler {
+public:
+  static Scheduler& instance();
+
+  /// Applies one init() cycle's configuration (SKELCL_ASYNC,
+  /// SKELCL_SCHED_THREADS) and clears any leftover registry.
+  void configure(bool asyncEnabled, std::size_t threads);
+
+  /// Drops every outstanding job without dispatching it (terminate():
+  /// results that can no longer be read are dead code, exactly as under
+  /// synchronous evaluation).
+  void reset();
+
+  /// Registers a freshly deferred root job. No-op when async is off.
+  void noteDeferred(const std::shared_ptr<ExprNode>& node);
+
+  /// True when a top-of-stack consumption point should drain() first.
+  bool shouldDrain() const noexcept {
+    return asyncEnabled_ && !draining_ && !jobs_.empty();
+  }
+
+  /// Dispatches outstanding root jobs in registration order: filters
+  /// dead/absorbed entries, warms the generated programs in parallel,
+  /// then enqueues each job's commands. Failures poison the failing
+  /// job's output and dispatch continues. `requested` is the node the
+  /// consumption point is about to force: a job whose subgraph contains
+  /// it (other than the requested job itself) is a *downstream consumer*
+  /// of the value being read — it stays queued rather than dispatching,
+  /// so reading an intermediate of a dependent chain keeps exactly the
+  /// synchronous schedule instead of speculatively evaluating the rest
+  /// of the chain.
+  void drain(const std::shared_ptr<ExprNode>& requested);
+
+  /// What the scheduler did this init()..terminate() cycle.
+  struct Stats {
+    std::uint64_t drains = 0;         // non-empty drain() calls
+    std::uint64_t jobsDispatched = 0; // root jobs enqueued by drains
+    std::uint64_t maxConcurrent = 0;  // most jobs live in one drain
+  };
+  Stats stats() const noexcept { return stats_; }
+
+private:
+  Scheduler() = default;
+
+  struct PendingJob {
+    std::weak_ptr<ExprNode> node;
+    std::uint64_t registeredNs = 0; // virtual time of the skeleton call
+  };
+  struct LiveJob;
+
+  void prepare(const std::vector<LiveJob>& live);
+  common::ThreadPool& pool();
+
+  // All registry state is confined to the thread running the skeleton
+  // program (prepare workers only build programs); no mutex needed.
+  bool asyncEnabled_ = false;
+  bool draining_ = false;
+  std::size_t threads_ = 0;
+  std::vector<PendingJob> jobs_;
+  Stats stats_;
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+} // namespace skelcl::detail

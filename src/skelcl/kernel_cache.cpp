@@ -123,8 +123,11 @@ ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
       common::Stopwatch timer;
       ocl::Program program =
           context.createProgramFromBinary(openEntry(common::readFile(path)));
-      stats_.loadSeconds += timer.elapsedSeconds();
-      ++stats_.hits;
+      {
+        std::lock_guard lock(statsMutex_);
+        stats_.loadSeconds += timer.elapsedSeconds();
+        ++stats_.hits;
+      }
       if (trace::Recorder::enabled()) {
         trace::Recorder::instance().bumpCounter(
             "cache_hits", trace::kNoDevice, trace::now(), 1);
@@ -142,8 +145,11 @@ ocl::Program KernelCache::getOrBuild(const ocl::Context& context,
   common::Stopwatch timer;
   ocl::Program program = context.createProgram(source);
   program.build(options);
-  stats_.buildSeconds += timer.elapsedSeconds();
-  ++stats_.misses;
+  {
+    std::lock_guard lock(statsMutex_);
+    stats_.buildSeconds += timer.elapsedSeconds();
+    ++stats_.misses;
+  }
   if (trace::Recorder::enabled()) {
     trace::Recorder::instance().bumpCounter(
         "cache_misses", trace::kNoDevice, trace::now(), 1);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "ocl/ocl.h"
@@ -62,8 +63,17 @@ public:
     double loadSeconds = 0;  // time spent loading cached binaries
     double buildSeconds = 0; // time spent building from source
   };
-  const Stats& stats() const noexcept { return stats_; }
-  void resetStats() noexcept { stats_ = Stats{}; }
+  /// Snapshot: getOrBuild may run concurrently from the async
+  /// scheduler's prepare workers, so counters live under a mutex and
+  /// callers get a copy.
+  Stats stats() const {
+    std::lock_guard lock(statsMutex_);
+    return stats_;
+  }
+  void resetStats() {
+    std::lock_guard lock(statsMutex_);
+    stats_ = Stats{};
+  }
 
 private:
   std::string entryPath(const std::string& source,
@@ -72,6 +82,7 @@ private:
 
   std::string directory_;
   bool enabled_ = true;
+  mutable std::mutex statsMutex_;
   Stats stats_;
 };
 

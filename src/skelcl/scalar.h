@@ -9,6 +9,13 @@
 // blocks: chained skeletons keep enqueueing while earlier reductions are
 // still in flight, and only getValue() waits (on the event-ordered
 // download) — the true consumption point.
+//
+// getValue() is therefore a future: under the async task-graph scheduler
+// it first drains every outstanding skeleton job (so independent chains
+// pipeline on the devices), then blocks only on its own subgraph's
+// completion. If this reduction failed during an asynchronous dispatch,
+// getValue() rethrows the original typed error; other jobs' results are
+// unaffected.
 #pragma once
 
 #include "skelcl/vector.h"

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
@@ -114,10 +115,25 @@ public:
   std::size_t pendingCount() const { return pendingCount_; }
   void clearPending() { pending_.reset(); }
 
-  /// Materializes this state's deferred producer, if any.
+  /// Files the failure of this state's deferred producer. The async
+  /// scheduler dispatches jobs away from their consumption points; when
+  /// one throws, the error is parked here and rethrown — as the original
+  /// typed exception — at this vector's own next consumption, leaving
+  /// every other job's result intact (per-subgraph poisoning).
+  void poisonPending(std::exception_ptr error) {
+    pendingError_ = std::move(error);
+  }
+
+  /// Materializes this state's deferred producer, if any; rethrows a
+  /// parked failure exactly once (matching the synchronous contract: a
+  /// failed evaluation is never retried, later reads see host data).
   void forcePending() {
+    rethrowPoison();
     if (pending_ != nullptr) {
       forceExprNode(pending_);
+      // The force may have drained the scheduler, which dispatches this
+      // very producer and parks its failure here instead of throwing.
+      rethrowPoison();
     }
   }
 
@@ -144,8 +160,17 @@ public:
   }
 
 protected:
+  void rethrowPoison() {
+    if (pendingError_ != nullptr) {
+      std::exception_ptr error;
+      std::swap(error, pendingError_);
+      std::rethrow_exception(error);
+    }
+  }
+
   std::shared_ptr<ExprNode> pending_;
   std::size_t pendingCount_ = 0;
+  std::exception_ptr pendingError_;
   std::vector<std::weak_ptr<ExprNode>> consumers_;
 };
 

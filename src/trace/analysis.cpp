@@ -224,11 +224,17 @@ Report analyze(const Trace& trace) {
       report.cacheMisses += value;
     } else if (key.first == "intermediate_bytes") {
       report.intermediateBytes += value;
+    } else if (key.first == "sched_concurrent_jobs") {
+      report.maxConcurrentJobs =
+          std::max(report.maxConcurrentJobs, value);
     }
   }
   for (const HostSpanRecord& h : trace.hostSpans) {
     if (h.kind == HostKind::Skeleton) {
       ++report.skeletonSpans;
+    } else if (h.kind == HostKind::Scheduler) {
+      ++report.schedulerJobs;
+      report.schedQueueWaitNs += h.value;
     }
   }
   return report;
@@ -261,6 +267,15 @@ std::string formatReport(const Report& report, std::size_t topN) {
                 (unsigned long long)report.kernelLaunches,
                 (unsigned long long)report.intermediateBytes);
   out += line;
+  if (report.schedulerJobs > 0) {
+    std::snprintf(line, sizeof(line),
+                  "scheduler: %llu async job(s)   queue wait: %.3f ms   "
+                  "max concurrent jobs: %llu\n",
+                  (unsigned long long)report.schedulerJobs,
+                  double(report.schedQueueWaitNs) * 1e-6,
+                  (unsigned long long)report.maxConcurrentJobs);
+    out += line;
+  }
 
   out += "\nper-device engine utilization (busy% of device span)\n";
   std::snprintf(line, sizeof(line), "%-28s %13s %13s %13s %9s %7s %8s\n",

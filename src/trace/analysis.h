@@ -75,6 +75,15 @@ struct Report {
   /// (from the "intermediate_bytes" counter). Kernel fusion exists to
   /// drive this — and the launch count — down.
   std::uint64_t intermediateBytes = 0;
+  /// Async task-graph scheduler activity: jobs dispatched by drains
+  /// (HostKind::Scheduler spans), the summed virtual time jobs spent
+  /// registered-but-undispatched (each span's value), and the largest
+  /// number of jobs outstanding at any drain (the
+  /// "sched_concurrent_jobs" counter's final — monotone — sample). All
+  /// zero for synchronous (SKELCL_ASYNC=0) runs.
+  std::uint64_t schedulerJobs = 0;
+  std::uint64_t schedQueueWaitNs = 0;
+  std::uint64_t maxConcurrentJobs = 0;
 };
 
 Report analyze(const Trace& trace);

@@ -56,7 +56,18 @@ std::string chromeJson(const Trace& trace) {
   std::string out = "{\"traceEvents\":[\n";
 
   // Row naming: pid 0 = host, pid d+1 = device d with one tid per engine.
+  // Host tid = HostSpanRecord::lane: 0 is the runtime thread, lanes >= 1
+  // hold the async scheduler's overlapping per-job spans.
   appendMeta(out, "process_name", 0, -1, "SkelCL host");
+  std::uint32_t maxLane = 0;
+  for (const HostSpanRecord& h : trace.hostSpans) {
+    maxLane = h.lane > maxLane ? h.lane : maxLane;
+  }
+  appendMeta(out, "thread_name", 0, 0, "runtime");
+  for (std::uint32_t lane = 1; lane <= maxLane; ++lane) {
+    appendMeta(out, "thread_name", 0, int(lane),
+               "async job slot " + std::to_string(lane));
+  }
   for (const DeviceInfo& d : trace.devices) {
     appendMeta(out, "process_name", d.index + 1, -1,
                "Device " + std::to_string(d.index) + ": " + d.name);
@@ -86,7 +97,8 @@ std::string chromeJson(const Trace& trace) {
   }
 
   for (const HostSpanRecord& h : trace.hostSpans) {
-    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":" + micros(h.startNs) +
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(h.lane) +
+           ",\"ts\":" + micros(h.startNs) +
            ",\"dur\":" + micros(h.endNs - h.startNs) + ",\"name\":\"" +
            escaped(trace.str(h.name)) + "\",\"cat\":\"" +
            hostKindLabel(h.kind) + "\",\"args\":{\"device\":" +

@@ -50,6 +50,7 @@ std::vector<std::uint8_t> serialize(const Trace& trace) {
     w.write<std::uint32_t>(h.name);
     w.write<std::uint8_t>(std::uint8_t(h.kind));
     w.write<std::uint32_t>(h.device);
+    w.write<std::uint32_t>(h.lane);
     w.write<std::uint64_t>(h.startNs);
     w.write<std::uint64_t>(h.endNs);
     w.write<std::uint64_t>(h.value);
@@ -115,6 +116,7 @@ Trace deserialize(const std::vector<std::uint8_t>& bytes) {
     h.name = r.read<std::uint32_t>();
     h.kind = HostKind(r.read<std::uint8_t>());
     h.device = r.read<std::uint32_t>();
+    h.lane = r.read<std::uint32_t>();
     h.startNs = r.read<std::uint64_t>();
     h.endNs = r.read<std::uint64_t>();
     h.value = r.read<std::uint64_t>();

@@ -15,7 +15,8 @@
 
 namespace trace {
 
-inline constexpr std::uint32_t kBinaryVersion = 1;
+/// v2: HostSpanRecord gained `lane` (host row for scheduler spans).
+inline constexpr std::uint32_t kBinaryVersion = 2;
 
 std::vector<std::uint8_t> serialize(const Trace& trace);
 

@@ -50,6 +50,7 @@ enum class HostKind : std::uint8_t {
   Transfer = 3,     // lazy Vector upload/download batch
   Redistribute = 4, // distribution change staged through the host
   Combine = 5,      // copy->block merge with a user combine function
+  Scheduler = 6,    // async task-graph job: registration .. dispatch end
 };
 
 const char* hostKindLabel(HostKind kind) noexcept;
@@ -74,11 +75,15 @@ struct CommandRecord {
 };
 
 /// One host-side runtime span. `value` depends on the kind: bytes for
-/// Transfer, source length for Build, otherwise 0.
+/// Transfer, source length for Build, queue-wait nanoseconds for
+/// Scheduler, otherwise 0. `lane` is the host row the span renders on:
+/// 0 is the runtime thread; Scheduler spans use one lane per
+/// concurrently outstanding job so overlapping jobs don't collide.
 struct HostSpanRecord {
   std::uint32_t name = 0; // string-table index
   HostKind kind = HostKind::Skeleton;
   std::uint32_t device = kNoDevice;
+  std::uint32_t lane = 0;
   std::uint64_t startNs = 0;
   std::uint64_t endNs = 0;
   std::uint64_t value = 0;

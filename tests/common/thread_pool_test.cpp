@@ -62,6 +62,47 @@ TEST(ThreadPool, NestedWorkloadsComplete) {
   EXPECT_EQ(total.load(), 8);
 }
 
+TEST(ThreadPool, SubmitFromWorkerBodyCompletes) {
+  // True reentrancy: parallelFor called from INSIDE a worker body (not
+  // just sequentially after one completes). The inner call must run to
+  // completion without deadlocking even though every pool thread may
+  // already be busy executing outer bodies — whoever issues the inner
+  // call participates in draining it.
+  common::ThreadPool pool(3);
+  std::atomic<int> inner{0};
+  pool.parallelFor(8, [&](std::size_t) {
+    pool.parallelFor(8, [&](std::size_t) { inner++; });
+  });
+  EXPECT_EQ(inner.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionInsideNestedCallPropagatesToOuterCaller) {
+  common::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallelFor(4,
+                                [&](std::size_t) {
+                                  pool.parallelFor(4, [](std::size_t i) {
+                                    if (i == 2) {
+                                      throw std::runtime_error("inner");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+  // The pool stays usable after the unwound nested failure.
+  std::atomic<int> count{0};
+  pool.parallelFor(16, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ZeroCountFromWorkerBodyIsNoop) {
+  common::ThreadPool pool(2);
+  std::atomic<int> outer{0};
+  pool.parallelFor(4, [&](std::size_t) {
+    pool.parallelFor(0, [](std::size_t) { ADD_FAILURE(); });
+    outer++;
+  });
+  EXPECT_EQ(outer.load(), 4);
+}
+
 TEST(ThreadPool, GlobalPoolExists) {
   auto& pool = common::ThreadPool::global();
   std::atomic<int> count{0};
