@@ -142,6 +142,11 @@ Event CommandQueue::retire(Engine engine, std::uint64_t startNs,
   if (kind == trace::CommandKind::Kernel) {
     trace::LoadMonitor::instance().addKernel(device_.state().index(), cycles,
                                              durationNs);
+  } else if (kind == trace::CommandKind::Write ||
+             kind == trace::CommandKind::Read ||
+             kind == trace::CommandKind::CopyPeer) {
+    trace::LoadMonitor::instance().addTransfer(device_.state().index(),
+                                               bytes);
   }
   if (trace::Recorder::enabled()) {
     const std::vector<std::uint64_t> ids =

@@ -122,6 +122,19 @@ public:
     std::uint64_t fusedLaunches = 0;      // evaluations of fused plans
     std::uint64_t intermediateBuffers = 0; // materialized DAG-internal
     std::uint64_t intermediateBytes = 0;   //   vectors, and their bytes
+
+    /// Delta between two snapshots — see KernelCache::Stats::operator-.
+    friend FusionStats operator-(const FusionStats& later,
+                                 const FusionStats& earlier) {
+      FusionStats delta;
+      delta.fusedStages = later.fusedStages - earlier.fusedStages;
+      delta.fusedLaunches = later.fusedLaunches - earlier.fusedLaunches;
+      delta.intermediateBuffers =
+          later.intermediateBuffers - earlier.intermediateBuffers;
+      delta.intermediateBytes =
+          later.intermediateBytes - earlier.intermediateBytes;
+      return delta;
+    }
   };
   /// Snapshot of the counters. Internally atomic: the async scheduler's
   /// prepare workers run concurrently with accounting on the dispatch
@@ -143,6 +156,23 @@ public:
   void noteIntermediate(std::uint64_t bytes) noexcept {
     fusionStats_.intermediateBuffers.fetch_add(1);
     fusionStats_.intermediateBytes.fetch_add(bytes);
+  }
+  /// Zeroes the fusion counters. Together with KernelCache::resetStats
+  /// this gives back-to-back bench scenarios (and per-tenant scopes) a
+  /// clean slate without an init() cycle.
+  void resetFusionStats() noexcept {
+    fusionStats_.fusedStages.store(0);
+    fusionStats_.fusedLaunches.store(0);
+    fusionStats_.intermediateBuffers.store(0);
+    fusionStats_.intermediateBytes.store(0);
+  }
+
+  /// Drops the per-init program memo (the disk cache underneath stays).
+  /// The job service's "per-tenant isolation" baseline uses this to make
+  /// each tenant pay its own program load, as separate processes would.
+  void clearProgramMemo() {
+    std::lock_guard lock(programMutex_);
+    programMemo_.clear();
   }
 
   /// Process-wide memo for generated skeleton programs: one build per
@@ -208,6 +238,30 @@ private:
   std::unique_ptr<ocl::Context> context_;
   std::vector<ocl::CommandQueue> queues_;
   std::unique_ptr<KernelCache> cache_;
+};
+
+/// Scoped snapshot over the process-global fusion and kernel-cache
+/// counters: captures both at construction, `fusionDelta()` /
+/// `cacheDelta()` report what happened since. The counters themselves
+/// stay cumulative — concurrent scopes each see their own window, so
+/// per-tenant accounting and back-to-back bench scenarios don't bleed
+/// into each other. Requires init().
+class StatsScope {
+public:
+  StatsScope()
+      : fusion0_(Runtime::instance().fusionStats()),
+        cache0_(Runtime::instance().kernelCache().stats()) {}
+
+  Runtime::FusionStats fusionDelta() const {
+    return Runtime::instance().fusionStats() - fusion0_;
+  }
+  KernelCache::Stats cacheDelta() const {
+    return Runtime::instance().kernelCache().stats() - cache0_;
+  }
+
+private:
+  Runtime::FusionStats fusion0_;
+  KernelCache::Stats cache0_;
 };
 
 } // namespace detail

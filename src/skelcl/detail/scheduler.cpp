@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/error.h"
 #include "common/thread_pool.h"
 #include "ocl/ocl.h"
 #include "skelcl/detail/expr.h"
@@ -52,9 +53,12 @@ Scheduler& Scheduler::instance() {
 }
 
 void Scheduler::configure(bool asyncEnabled, std::size_t threads) {
+  std::lock_guard lock(registryMutex_);
   asyncEnabled_ = asyncEnabled;
   jobs_.clear();
+  hasJobs_.store(false, std::memory_order_relaxed);
   stats_ = Stats{};
+  owner_ = std::this_thread::get_id();
   if (threads != threads_) {
     pool_.reset();
     threads_ = threads;
@@ -62,15 +66,64 @@ void Scheduler::configure(bool asyncEnabled, std::size_t threads) {
 }
 
 void Scheduler::reset() {
+  std::lock_guard lock(registryMutex_);
   jobs_.clear();
+  hasJobs_.store(false, std::memory_order_relaxed);
   stats_ = Stats{};
 }
 
-void Scheduler::noteDeferred(const std::shared_ptr<ExprNode>& node) {
-  if (!asyncEnabled_) {
+void Scheduler::claimOwnershipLocked(const char* op) {
+  const std::thread::id self = std::this_thread::get_id();
+  if (jobs_.empty()) {
+    owner_ = self; // sequential handoff: nothing of anyone else's pending
     return;
   }
+  if (owner_ != self) {
+    throw common::Error(
+        std::string("Scheduler::") + op + ": called from a thread that "
+        "does not own the job registry while " +
+        std::to_string(jobs_.size()) + " job(s) from the owning thread "
+        "are pending. Deferred jobs dispatch in registration order on "
+        "the calling thread; external submitters must serialize through "
+        "one thread (or adoptCallingThread() after the owner drained).");
+  }
+}
+
+void Scheduler::noteDeferred(const std::shared_ptr<ExprNode>& node) {
+  if (!asyncEnabled_ || draining_) {
+    // draining_ also covers an ExternalDispatchScope: the job service
+    // forces each job's roots itself, so registration would only leave
+    // stale entries behind.
+    return;
+  }
+  std::lock_guard lock(registryMutex_);
+  claimOwnershipLocked("noteDeferred");
   jobs_.push_back(PendingJob{node, ocl::hostTimeNs()});
+  hasJobs_.store(true, std::memory_order_relaxed);
+}
+
+void Scheduler::adoptCallingThread() {
+  std::lock_guard lock(registryMutex_);
+  if (!jobs_.empty() && owner_ != std::this_thread::get_id()) {
+    throw common::Error(
+        "Scheduler::adoptCallingThread: another thread still has " +
+        std::to_string(jobs_.size()) +
+        " pending job(s); the owner must drain (or the results must be "
+        "consumed) before ownership can move");
+  }
+  owner_ = std::this_thread::get_id();
+}
+
+Scheduler::ExternalDispatchScope::ExternalDispatchScope() {
+  Scheduler& scheduler = Scheduler::instance();
+  scheduler.adoptCallingThread();
+  COMMON_CHECK_MSG(!scheduler.draining_,
+                   "nested external dispatch scope / drain");
+  scheduler.draining_ = true;
+}
+
+Scheduler::ExternalDispatchScope::~ExternalDispatchScope() {
+  Scheduler::instance().draining_ = false;
 }
 
 common::ThreadPool& Scheduler::pool() {
@@ -131,9 +184,15 @@ void Scheduler::drain(const std::shared_ptr<ExprNode>& requested) {
   DrainGuard guard{draining_};
 
   std::vector<PendingJob> taken;
-  taken.swap(jobs_);
+  {
+    std::lock_guard lock(registryMutex_);
+    claimOwnershipLocked("drain");
+    taken.swap(jobs_);
+    hasJobs_.store(false, std::memory_order_relaxed);
+  }
 
   std::vector<LiveJob> live;
+  std::vector<PendingJob> kept;
   live.reserve(taken.size());
   for (const PendingJob& job : taken) {
     std::shared_ptr<ExprNode> node = job.node.lock();
@@ -152,7 +211,7 @@ void Scheduler::drain(const std::shared_ptr<ExprNode>& requested) {
         // This job consumes the value being read right now: dispatching
         // it would speculatively run work the synchronous force defers
         // until the job's own consumption point. Keep it queued.
-        jobs_.push_back(job);
+        kept.push_back(job);
         continue;
       }
     }
@@ -166,20 +225,32 @@ void Scheduler::drain(const std::shared_ptr<ExprNode>& requested) {
     live.push_back(LiveJob{std::move(node), std::move(out),
                            job.registeredNs});
   }
+  if (!kept.empty()) {
+    std::lock_guard lock(registryMutex_);
+    // jobs_ emptied above and nothing registers during a drain, so the
+    // prepend keeps registration order.
+    jobs_.insert(jobs_.begin(), kept.begin(), kept.end());
+    hasJobs_.store(true, std::memory_order_relaxed);
+  }
   if (live.empty()) {
     return;
   }
 
-  ++stats_.drains;
-  if (live.size() > stats_.maxConcurrent) {
-    const std::uint64_t delta = live.size() - stats_.maxConcurrent;
-    stats_.maxConcurrent = live.size();
-    if (trace::Recorder::enabled()) {
-      // Cumulative counter whose final value is the max: bump by the
-      // increase only.
-      trace::Recorder::instance().bumpCounter(
-          "sched_concurrent_jobs", trace::kNoDevice, trace::now(), delta);
+  std::uint64_t concurrentDelta = 0;
+  {
+    std::lock_guard lock(registryMutex_);
+    ++stats_.drains;
+    if (live.size() > stats_.maxConcurrent) {
+      concurrentDelta = live.size() - stats_.maxConcurrent;
+      stats_.maxConcurrent = live.size();
     }
+  }
+  if (concurrentDelta > 0 && trace::Recorder::enabled()) {
+    // Cumulative counter whose final value is the max: bump by the
+    // increase only.
+    trace::Recorder::instance().bumpCounter("sched_concurrent_jobs",
+                                            trace::kNoDevice, trace::now(),
+                                            concurrentDelta);
   }
 
   // With a single live job the drain IS the synchronous force — skip
@@ -202,7 +273,10 @@ void Scheduler::drain(const std::shared_ptr<ExprNode>& requested) {
       // jobs still dispatch.
       job.out->poisonPending(std::current_exception());
     }
-    ++stats_.jobsDispatched;
+    {
+      std::lock_guard lock(registryMutex_);
+      ++stats_.jobsDispatched;
+    }
     const std::uint64_t queueWaitNs = dispatchNs - job.registeredNs;
     if (trace::Recorder::enabled()) {
       auto& recorder = trace::Recorder::instance();

@@ -29,10 +29,26 @@
 // output state (VectorStateBase::poisonPending); the error resurfaces as
 // the original typed exception at that job's consumption point while
 // every other job's result stays intact.
+//
+// Thread-safety contract for external (cross-thread) submitters: the
+// registry belongs to exactly one *owner thread* at a time — the thread
+// running the skeleton program. Ownership transfers implicitly when a
+// thread defers into an EMPTY registry (a sequential handoff, e.g. the
+// job service's dispatcher picking up after init() ran on main), or
+// explicitly via adoptCallingThread(). A thread that defers or drains
+// while ANOTHER thread's jobs are pending violates the contract — jobs
+// dispatch in registration order on the calling thread, so the violator
+// would run the victim's jobs on the wrong thread — and gets a typed
+// common::Error instead of a silent race. The registry itself is guarded
+// by a mutex (the same discipline as Runtime::programFor) so the checks
+// and the handoff are race-free; stats() may be read from any thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace common {
@@ -57,11 +73,43 @@ public:
   void reset();
 
   /// Registers a freshly deferred root job. No-op when async is off.
+  /// Throws common::Error when called from a thread other than the
+  /// current owner while that owner's jobs are pending (see the
+  /// thread-safety contract above); an empty registry hands ownership
+  /// to the caller instead.
   void noteDeferred(const std::shared_ptr<ExprNode>& node);
 
+  /// Makes the calling thread the registry owner. The handoff
+  /// precondition is an empty registry (no other thread's jobs may be
+  /// pending); a violation throws common::Error. The job service's
+  /// dispatcher calls this before executing a batch submitted by client
+  /// threads.
+  void adoptCallingThread();
+
+  /// Dispatch suppression for an external driver (the job service): while
+  /// a scope is alive, consumption points neither drain nor register new
+  /// jobs — the driver forces each job's roots itself, in its own order,
+  /// so per-tenant device-time attribution stays exact. Construction
+  /// adopts the calling thread (same precondition as
+  /// adoptCallingThread()).
+  class ExternalDispatchScope {
+  public:
+    ExternalDispatchScope();
+    ~ExternalDispatchScope();
+    ExternalDispatchScope(const ExternalDispatchScope&) = delete;
+    ExternalDispatchScope& operator=(const ExternalDispatchScope&) = delete;
+  };
+
+  /// Whether this init() cycle runs with the async scheduler at all
+  /// (SKELCL_ASYNC; off means consumption-ordered evaluation).
+  bool asyncEnabled() const noexcept { return asyncEnabled_; }
+
   /// True when a top-of-stack consumption point should drain() first.
+  /// Owner-thread state (draining_) plus a relaxed flag mirror of the
+  /// registry, so the check stays one load on the hot path.
   bool shouldDrain() const noexcept {
-    return asyncEnabled_ && !draining_ && !jobs_.empty();
+    return asyncEnabled_ && !draining_ &&
+           hasJobs_.load(std::memory_order_relaxed);
   }
 
   /// Dispatches outstanding root jobs in registration order: filters
@@ -82,7 +130,10 @@ public:
     std::uint64_t jobsDispatched = 0; // root jobs enqueued by drains
     std::uint64_t maxConcurrent = 0;  // most jobs live in one drain
   };
-  Stats stats() const noexcept { return stats_; }
+  Stats stats() const {
+    std::lock_guard lock(registryMutex_);
+    return stats_;
+  }
 
 private:
   Scheduler() = default;
@@ -95,12 +146,21 @@ private:
 
   void prepare(const std::vector<LiveJob>& live);
   common::ThreadPool& pool();
+  /// Precondition check under registryMutex_: the caller must own the
+  /// registry unless it is empty (which transfers ownership). Throws
+  /// common::Error naming `op` on a violation.
+  void claimOwnershipLocked(const char* op);
 
-  // All registry state is confined to the thread running the skeleton
-  // program (prepare workers only build programs); no mutex needed.
+  // The registry (jobs_, stats_, owner_) is guarded by registryMutex_ so
+  // cross-thread handoffs are race-free and violations are detectable
+  // rather than UB; draining_ is owner-thread-only state and hasJobs_
+  // mirrors jobs_.empty() for the lock-free shouldDrain() fast path.
   bool asyncEnabled_ = false;
   bool draining_ = false;
   std::size_t threads_ = 0;
+  mutable std::mutex registryMutex_;
+  std::thread::id owner_;
+  std::atomic<bool> hasJobs_{false};
   std::vector<PendingJob> jobs_;
   Stats stats_;
   std::unique_ptr<common::ThreadPool> pool_;

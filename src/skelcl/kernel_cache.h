@@ -62,6 +62,18 @@ public:
     std::uint64_t misses = 0;
     double loadSeconds = 0;  // time spent loading cached binaries
     double buildSeconds = 0; // time spent building from source
+
+    /// What happened between two snapshots (`later - earlier`); the
+    /// scoped-accounting primitive per-tenant bench scenarios use so
+    /// back-to-back runs don't bleed into each other.
+    friend Stats operator-(const Stats& later, const Stats& earlier) {
+      Stats delta;
+      delta.hits = later.hits - earlier.hits;
+      delta.misses = later.misses - earlier.misses;
+      delta.loadSeconds = later.loadSeconds - earlier.loadSeconds;
+      delta.buildSeconds = later.buildSeconds - earlier.buildSeconds;
+      return delta;
+    }
   };
   /// Snapshot: getOrBuild may run concurrently from the async
   /// scheduler's prepare workers, so counters live under a mutex and

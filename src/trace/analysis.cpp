@@ -211,7 +211,24 @@ Report analyze(const Trace& trace) {
   for (const CounterRecord& c : trace.counters) {
     finals[{trace.str(c.name), c.device}] = c.value;
   }
+  std::map<std::string, TenantReport> tenants;
   for (const auto& [key, value] : finals) {
+    // "tenant.<name>.cycles" / "tenant.<name>.bytes" — per-tenant job
+    // service accounting.
+    if (key.first.rfind("tenant.", 0) == 0) {
+      const std::string rest = key.first.substr(7);
+      const std::size_t dot = rest.rfind('.');
+      if (dot != std::string::npos) {
+        const std::string name = rest.substr(0, dot);
+        const std::string metric = rest.substr(dot + 1);
+        if (metric == "cycles") {
+          tenants[name].deviceCycles += value;
+        } else if (metric == "bytes") {
+          tenants[name].bytesMoved += value;
+        }
+      }
+      continue;
+    }
     if (key.first == "h2d_bytes") {
       report.h2dBytes += value;
     } else if (key.first == "d2h_bytes") {
@@ -235,7 +252,16 @@ Report analyze(const Trace& trace) {
     } else if (h.kind == HostKind::Scheduler) {
       ++report.schedulerJobs;
       report.schedQueueWaitNs += h.value;
+    } else if (h.kind == HostKind::TenantJob) {
+      TenantReport& tenant = tenants[trace.str(h.name)];
+      ++tenant.jobs;
+      tenant.execNs += h.endNs - h.startNs;
+      tenant.queueWaitNs += h.value;
     }
+  }
+  for (auto& [name, tenant] : tenants) {
+    tenant.name = name;
+    report.tenants.push_back(std::move(tenant));
   }
   return report;
 }
@@ -275,6 +301,23 @@ std::string formatReport(const Report& report, std::size_t topN) {
                   double(report.schedQueueWaitNs) * 1e-6,
                   (unsigned long long)report.maxConcurrentJobs);
     out += line;
+  }
+
+  if (!report.tenants.empty()) {
+    out += "\ntenants (job service)\n";
+    std::snprintf(line, sizeof(line), "%-16s %6s %12s %14s %14s %12s\n",
+                  "tenant", "jobs", "exec ms", "queue wait ms", "cycles",
+                  "bytes");
+    out += line;
+    for (const TenantReport& t : report.tenants) {
+      std::snprintf(line, sizeof(line),
+                    "%-16.16s %6llu %12.3f %14.3f %14llu %12llu\n",
+                    t.name.c_str(), (unsigned long long)t.jobs,
+                    double(t.execNs) * 1e-6, double(t.queueWaitNs) * 1e-6,
+                    (unsigned long long)t.deviceCycles,
+                    (unsigned long long)t.bytesMoved);
+      out += line;
+    }
   }
 
   out += "\nper-device engine utilization (busy% of device span)\n";

@@ -53,9 +53,22 @@ struct KernelReport {
   std::uint64_t cycles = 0;
 };
 
+/// Per-tenant job-service activity, from HostKind::TenantJob spans (one
+/// per completed job: dispatch..completion, value = queue wait) and the
+/// "tenant.<name>.cycles" / "tenant.<name>.bytes" counters.
+struct TenantReport {
+  std::string name;
+  std::uint64_t jobs = 0;
+  std::uint64_t execNs = 0;      // summed dispatch..completion spans
+  std::uint64_t queueWaitNs = 0; // summed submission->dispatch waits
+  std::uint64_t deviceCycles = 0;
+  std::uint64_t bytesMoved = 0;
+};
+
 struct Report {
   std::vector<DeviceReport> devices;
   std::vector<KernelReport> kernels; // sorted by totalNs, descending
+  std::vector<TenantReport> tenants; // sorted by name; empty: no service
   std::uint64_t spanNs = 0;          // whole-trace makespan
   std::uint64_t criticalPathNs = 0;
   double overlapRatio = 0.0; // aggregate (DMA-busy-weighted)

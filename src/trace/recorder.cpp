@@ -50,6 +50,7 @@ const char* hostKindLabel(HostKind kind) noexcept {
     case HostKind::Redistribute: return "redistribute";
     case HostKind::Combine: return "combine";
     case HostKind::Scheduler: return "scheduler";
+    case HostKind::TenantJob: return "tenant_job";
   }
   return "?";
 }

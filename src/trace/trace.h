@@ -51,6 +51,7 @@ enum class HostKind : std::uint8_t {
   Redistribute = 4, // distribution change staged through the host
   Combine = 5,      // copy->block merge with a user combine function
   Scheduler = 6,    // async task-graph job: registration .. dispatch end
+  TenantJob = 7,    // job service: one tenant job, dispatch .. completion
 };
 
 const char* hostKindLabel(HostKind kind) noexcept;
@@ -76,7 +77,8 @@ struct CommandRecord {
 
 /// One host-side runtime span. `value` depends on the kind: bytes for
 /// Transfer, source length for Build, queue-wait nanoseconds for
-/// Scheduler, otherwise 0. `lane` is the host row the span renders on:
+/// Scheduler and TenantJob (whose name is the tenant), otherwise 0.
+/// `lane` is the host row the span renders on:
 /// 0 is the runtime thread; Scheduler spans use one lane per
 /// concurrently outstanding job so overlapping jobs don't collide.
 struct HostSpanRecord {

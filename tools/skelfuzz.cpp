@@ -13,6 +13,15 @@
 //       every typed failure. The two runs must produce identical failure
 //       sequences and byte-identical fired-fault logs.
 //
+//   skelfuzz --tenants N [--seeds S] [--gpus G]
+//       Differential multi-tenant schedule fuzzing: run every tenant's
+//       jobs solo (single-tenant FIFO server) to get a baseline, then
+//       run all N tenants through one shared JobServer under every
+//       scheduling policy and S seeded shuffle schedules. Every job's
+//       output must stay byte-identical to its solo run no matter which
+//       policy interleaves the tenants or which schedule the devices
+//       pick.
+//
 // Exit status: 0 when every invariant holds, 1 on a violation, 2 on
 // usage errors.
 #include <cstdio>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "ocl/fault.h"
+#include "service/service.h"
 #include "skelcl/skelcl.h"
 #include "trace/analysis.h"
 #include "trace/recorder.h"
@@ -43,6 +53,7 @@ int usage() {
       "usage: skelfuzz [--seeds N] [--gpus G] [--scenario NAME]\n"
       "       skelfuzz --plan PLAN [--fault-seed S] [--rounds R]"
       " [--gpus G]\n"
+      "       skelfuzz --tenants N [--seeds S] [--gpus G]\n"
       "scenarios: map-zip, block-map, combine, dot\n");
   return 2;
 }
@@ -261,6 +272,133 @@ int replayFaults(const std::string& plan, std::uint64_t faultSeed,
   return 0;
 }
 
+// --- multi-tenant differential fuzzing ------------------------------------
+
+namespace srv = skelcl::service;
+
+/// One tenant job for the multi-tenant mode: a map/zip chain over data
+/// seeded by (tenant, job), block-distributed so every device runs a
+/// piece. All jobs share one programKey, so batching coalesces them
+/// across tenants — exactly the interleaving under test.
+srv::Job tenantJob(std::size_t tenant, std::size_t jobIndex,
+                   std::vector<float>* sink) {
+  srv::Job job;
+  job.programKey = "fz-tenant";
+  auto holder = std::make_shared<Vector<float>>();
+  job.work = [=](srv::JobContext& ctx) {
+    Map<float> scale(
+        "float fztscale(float x) { return 1.5f * x - 2.0f; }");
+    Zip<float> mix("float fztmix(float a, float b) { return a * b + b; }");
+    const std::size_t n = 3000 + 128 * tenant;
+    std::vector<float> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = float((i + 17 * tenant + 5 * jobIndex) % 101) * 0.125f;
+      b[i] = float((i * 3 + tenant + jobIndex) % 53) - 11.0f;
+    }
+    Vector<float> va(std::move(a));
+    Vector<float> vb(std::move(b));
+    va.setDistribution(Distribution::Block);
+    vb.setDistribution(Distribution::Block);
+    *holder = mix(scale(va), vb);
+    ctx.defer(*holder);
+  };
+  job.consume = [=] { *sink = holder->hostData(); };
+  return job;
+}
+
+/// One init()..terminate() cycle running `tenants` tenants' jobs through
+/// a shared server. tenantCount == 1 with tenant `only` is the solo
+/// baseline. Returns outputs indexed [tenant][job].
+std::vector<std::vector<std::vector<float>>>
+runTenantCycle(std::size_t tenants, std::size_t jobsPerTenant,
+               std::uint32_t gpus, std::uint64_t scheduleSeed,
+               srv::Policy policy, std::size_t soloTenant) {
+  if (scheduleSeed == 0) {
+    ::setenv("SKELCL_SCHEDULE", "fifo", 1);
+    ::unsetenv("SKELCL_SCHEDULE_SEED");
+  } else {
+    ::setenv("SKELCL_SCHEDULE", "shuffle", 1);
+    ::setenv("SKELCL_SCHEDULE_SEED", std::to_string(scheduleSeed).c_str(),
+             1);
+  }
+  ocl::configureSystem(ocl::SystemConfig::teslaS1070(gpus));
+  skelcl::init(skelcl::DeviceSelection::nGPUs(gpus));
+
+  const bool solo = soloTenant != ~std::size_t(0);
+  std::vector<std::vector<std::vector<float>>> outputs(
+      solo ? 1 : tenants,
+      std::vector<std::vector<float>>(jobsPerTenant));
+  {
+    srv::ServiceConfig config;
+    config.policy = policy;
+    srv::JobServer server(config);
+    std::vector<srv::Session*> sessions;
+    const std::size_t first = solo ? soloTenant : 0;
+    const std::size_t count = solo ? 1 : tenants;
+    for (std::size_t t = 0; t < count; ++t) {
+      // Distinct weights and priorities so fair-share and priority
+      // actually reorder the interleaving.
+      sessions.push_back(&server.openSession(
+          "fz" + std::to_string(first + t), 1.0 + double(t % 3),
+          int(t % 2)));
+    }
+    for (std::size_t j = 0; j < jobsPerTenant; ++j) {
+      for (std::size_t t = 0; t < count; ++t) {
+        sessions[t]->submit(
+            tenantJob(first + t, j, &outputs[t][j]));
+      }
+    }
+    server.pump();
+  }
+  skelcl::terminate();
+  ::unsetenv("SKELCL_SCHEDULE");
+  ::unsetenv("SKELCL_SCHEDULE_SEED");
+  return outputs;
+}
+
+int fuzzTenants(std::size_t tenants, std::uint64_t seeds,
+                std::uint32_t gpus) {
+  const std::size_t jobsPerTenant = 3;
+  // Solo baselines: each tenant alone on the machine, FIFO, FIFO
+  // device schedule (one warm-up cycle populates the kernel cache).
+  runTenantCycle(tenants, jobsPerTenant, gpus, 0, srv::Policy::Fifo, 0);
+  std::vector<std::vector<std::vector<float>>> solo(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    solo[t] = std::move(runTenantCycle(tenants, jobsPerTenant, gpus, 0,
+                                       srv::Policy::Fifo, t)[0]);
+  }
+
+  const srv::Policy policies[] = {srv::Policy::Fifo,
+                                  srv::Policy::FairShare,
+                                  srv::Policy::Priority};
+  int violations = 0;
+  for (const srv::Policy policy : policies) {
+    std::uint64_t bad = 0;
+    for (std::uint64_t seed = 0; seed <= seeds; ++seed) {
+      const auto shared = runTenantCycle(tenants, jobsPerTenant, gpus,
+                                         seed, policy, ~std::size_t(0));
+      for (std::size_t t = 0; t < tenants; ++t) {
+        for (std::size_t j = 0; j < jobsPerTenant; ++j) {
+          if (shared[t][j] != solo[t][j]) {
+            ++bad;
+            std::fprintf(stderr,
+                         "FAIL: tenant %zu job %zu diverges from its "
+                         "solo run under policy %s, schedule seed %llu\n",
+                         t, j, srv::policyName(policy),
+                         (unsigned long long)seed);
+          }
+        }
+      }
+    }
+    std::printf("policy %-8s %zu tenant(s) x %zu job(s), %llu "
+                "schedule(s), %llu violation(s)\n",
+                srv::policyName(policy), tenants, jobsPerTenant,
+                (unsigned long long)(seeds + 1), (unsigned long long)bad);
+    violations += int(bad);
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -268,6 +406,7 @@ int main(int argc, char** argv) {
   std::uint64_t rounds = 6;
   std::uint64_t faultSeed = 0;
   std::uint32_t gpus = 4;
+  std::size_t tenants = 0;
   std::string plan;
   std::string scenario;
 
@@ -301,6 +440,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage();
       rounds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--tenants") {
+      const char* v = next();
+      if (!v) return usage();
+      tenants = std::strtoull(v, nullptr, 10);
     } else {
       return usage();
     }
@@ -310,6 +453,12 @@ int main(int argc, char** argv) {
   try {
     if (!plan.empty()) {
       return replayFaults(plan, faultSeed, rounds, gpus);
+    }
+    if (tenants > 0) {
+      // The tenant mode reuses --seeds as the shuffle-schedule count;
+      // keep it small by default (3 policies x (seeds+1) cycles).
+      return fuzzTenants(tenants, std::min<std::uint64_t>(seeds, 4),
+                         gpus);
     }
     return fuzzSchedules(seeds, gpus, scenario);
   } catch (const common::Error& e) {
