@@ -1,0 +1,62 @@
+// Device-side state of a CSR matrix (skelcl/sparse.h). A CsrMatrix is
+// not a Vector: its per-device rowPtr slices *overlap* — the cut row's
+// pointer appears on both neighbors — so the chunk machinery of
+// VectorState does not fit. The matrix is immutable after construction,
+// which keeps the staging logic one-way: partition the rows with the
+// runtime's current block weights (largest-remainder, weight-aware —
+// the same partitioner Vector blocks use, so SKELCL_WEIGHTS=measured
+// shapes sparse row chunks exactly like dense element chunks), slice
+// rowPtr/colIdx/values per device, upload once, and keep that geometry
+// for the matrix's lifetime. Row-pointer slices stay absolute; kernels
+// subtract the slice's base nnz (CsrChunk::nnzBegin) instead, so the
+// host never rewrites the index arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ocl/buffer.h"
+#include "ocl/event.h"
+
+namespace skelcl::detail {
+
+/// One device's share of a CSR matrix: rows [rowBegin, rowBegin +
+/// rowCount) with their index/value slices. `rowPtr` holds rowCount + 1
+/// *absolute* entries; `colIdx`/`values` hold the nnzCount entries
+/// starting at absolute nonzero nnzBegin.
+struct CsrChunk {
+  std::size_t deviceIndex = 0;
+  std::size_t rowBegin = 0;
+  std::size_t rowCount = 0;
+  std::size_t nnzBegin = 0;
+  std::size_t nnzCount = 0;
+  ocl::Buffer rowPtr;
+  ocl::Buffer colIdx;
+  ocl::Buffer values;
+  /// Event of the last upload into this chunk's buffers; consumers pass
+  /// it as a dependency instead of calling finish().
+  ocl::Event ready;
+};
+
+/// Type-erased interface the expression-DAG evaluator works against
+/// (detail/irregular.cpp); the typed CsrState<T> lives in
+/// skelcl/sparse.h.
+class CsrStateBase {
+public:
+  virtual ~CsrStateBase() = default;
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+  virtual std::size_t nnz() const = 0;
+  virtual std::string valueTypeName() const = 0;
+  virtual std::size_t valueSize() const = 0;
+  /// Partitions the rows with the runtime's current block weights and
+  /// uploads each device's slices. Idempotent: the first call fixes the
+  /// geometry (like a Vector, the matrix keeps the partition it was
+  /// uploaded with even if measured weights move later).
+  virtual void ensureOnDevices() = 0;
+  virtual const std::vector<CsrChunk>& chunks() const = 0;
+};
+
+} // namespace skelcl::detail

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "skelcl/detail/fusion.h"
+#include "skelcl/detail/irregular.h"
 #include "skelcl/detail/runtime.h"
 #include "skelcl/detail/scheduler.h"
 #include "skelcl/detail/skeleton_common.h"
@@ -844,6 +845,12 @@ void evaluateNode(const std::shared_ptr<ExprNode>& node,
       case ExprNode::Op::Scan:
         runScan(node, out, plan, runtime, salt);
         break;
+      case ExprNode::Op::Stencil:
+        runStencil(node, out, plan, runtime, salt);
+        break;
+      case ExprNode::Op::SparseGather:
+        runSparseGather(node, out, plan, runtime, salt);
+        break;
     }
   } catch (...) {
     // A failed evaluation is never retried: the error already surfaced
@@ -963,6 +970,28 @@ std::shared_ptr<ExprNode> makeExprNode(
       }
       break;
     }
+    case ExprNode::Op::Stencil: {
+      // Layout (row-aligned block vs. single-device fallback) is picked
+      // at evaluation time; staging here would only guess. Upload faults
+      // still surface at the call site for concrete inputs.
+      const auto& in0 = node->inputs.front().state;
+      if (!in0->hasPending()) {
+        in0->ensureOnDevices();
+      }
+      break;
+    }
+    case ExprNode::Op::SparseGather: {
+      // The gather reads arbitrary columns: the dense operand is
+      // replicated on every device, like a vector argument would be.
+      const auto& in0 = node->inputs.front().state;
+      if (!in0->hasPending()) {
+        if (in0->distribution() != Distribution::Copy) {
+          in0->setDistribution(Distribution::Copy, 0);
+        }
+        in0->ensureOnDevices();
+      }
+      break;
+    }
   }
   return node;
 }
@@ -1021,6 +1050,12 @@ void collectNodePrograms(const std::shared_ptr<ExprNode>& node,
       if (plan.fusedStages > 0) {
         out.push_back({fusedScanSource(node, plan), salt});
       }
+      break;
+    case ExprNode::Op::Stencil:
+      out.push_back({stencilProgramSource(node, plan), salt});
+      break;
+    case ExprNode::Op::SparseGather:
+      out.push_back({sparseProgramSource(node, plan), salt});
       break;
   }
 }

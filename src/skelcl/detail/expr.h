@@ -29,11 +29,34 @@
 
 namespace skelcl::detail {
 
+class CsrStateBase;
+
+/// Stencil root descriptor (see skelcl/stencil.h). Irregular roots are
+/// opaque to the fusion rewriter; the evaluator in detail/irregular.cpp
+/// consumes this verbatim. `boundary` mirrors skelcl::Boundary (0 =
+/// clamp, 1 = wrap, 2 = constant); `constArg` carries the out-of-range
+/// fill value as a ready-made kernel argument (bound with prefix "cv_")
+/// when the policy is constant.
+struct StencilParams {
+  std::size_t radius = 1;
+  int boundary = 0;
+  std::size_t width = 0; // row length of a row-major 2D grid; 0 = 1D
+  Arguments constArg;
+};
+
+/// SparseGather root descriptor: the CSR operand (not a VectorState —
+/// its per-device rowPtr slices overlap at the cut rows) plus the name
+/// of the combine function inside ExprNode::source.
+struct SparseParams {
+  std::shared_ptr<CsrStateBase> csr;
+  std::string combineName;
+};
+
 /// One deferred skeleton invocation. Nodes are immutable once built;
 /// `evaluated`/`output` are the evaluation bookkeeping.
 class ExprNode {
 public:
-  enum class Op { Map, Zip, Reduce, Scan };
+  enum class Op { Map, Zip, Reduce, Scan, Stencil, SparseGather };
 
   /// One input operand: the vector state read, plus the node that was
   /// pending on it at *build* time (null for concrete data). The child
@@ -57,6 +80,11 @@ public:
   std::size_t outElemSize = 0;  // sizeof(result element)
   std::size_t outCount = 0;     // result element count
   std::size_t fanout = 0;       // deferred parents reading this node
+
+  /// Irregular-root descriptors; set by the skeleton right after
+  /// makeExprNode, before the node is deferred or evaluated.
+  std::shared_ptr<StencilParams> stencil; // Op::Stencil only
+  std::shared_ptr<SparseParams> sparse;   // Op::SparseGather only
 
   bool evaluated = false;
   bool evaluating = false; // re-entrancy guard during evaluation

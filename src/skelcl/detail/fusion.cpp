@@ -16,8 +16,19 @@ const char* opName(ExprNode::Op op) {
     case ExprNode::Op::Zip: return "Zip";
     case ExprNode::Op::Reduce: return "Reduce";
     case ExprNode::Op::Scan: return "Scan";
+    case ExprNode::Op::Stencil: return "Stencil";
+    case ExprNode::Op::SparseGather: return "SparseGather";
   }
   return "?";
+}
+
+/// True for ops whose generated kernel can evaluate an absorbed child
+/// chain inline. Stencil/SparseGather roots read their input through a
+/// packed/gathered access pattern the load-splice rewrite cannot
+/// express, so they are opaque: children always materialize first.
+bool fusableRoot(ExprNode::Op op) {
+  return op == ExprNode::Op::Map || op == ExprNode::Op::Zip ||
+         op == ExprNode::Op::Reduce || op == ExprNode::Op::Scan;
 }
 
 class Emitter {
@@ -47,7 +58,7 @@ public:
     std::vector<std::string> loads;
     loads.reserve(node->inputs.size());
     for (const ExprNode::Input& input : node->inputs) {
-      loads.push_back(emitLoad(input));
+      loads.push_back(emitLoad(input, node->op));
     }
 
     switch (node->op) {
@@ -59,6 +70,8 @@ public:
                node->args.callSuffix(stage.argPrefix) + ")";
       case ExprNode::Op::Reduce:
       case ExprNode::Op::Scan:
+      case ExprNode::Op::Stencil:
+      case ExprNode::Op::SparseGather:
         plan_.rootFuncName = stage.funcName;
         plan_.loadExpr = loads[0];
         return "";
@@ -90,12 +103,12 @@ public:
   }
 
 private:
-  std::string emitLoad(const ExprNode::Input& input) {
+  std::string emitLoad(const ExprNode::Input& input, ExprNode::Op parentOp) {
     const std::shared_ptr<ExprNode>& child = input.node;
     const bool deferredChild =
         child != nullptr && !child->evaluated && !child->evaluating;
     const bool absorbable =
-        fusionEnabled_ && deferredChild &&
+        fusionEnabled_ && fusableRoot(parentOp) && deferredChild &&
         (child->op == ExprNode::Op::Map ||
          child->op == ExprNode::Op::Zip) &&
         child->fanout == 1 && plan_.stages.size() < kMaxStages;

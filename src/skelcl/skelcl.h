@@ -28,6 +28,8 @@
 #include "skelcl/reduce.h"
 #include "skelcl/scalar.h"
 #include "skelcl/scan.h"
+#include "skelcl/sparse.h"
+#include "skelcl/stencil.h"
 #include "skelcl/type_name.h"
 #include "skelcl/vector.h"
 #include "skelcl/zip.h"

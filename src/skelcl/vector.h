@@ -89,6 +89,12 @@ public:
   virtual std::vector<std::pair<std::size_t, ocl::Event>> takeUploadPieces(
       std::size_t deviceIndex) = 0;
   virtual void allocateLikeBase(const VectorStateBase& input) = 0;
+  /// Allocates fresh block-distributed chunks with exactly the given
+  /// geometry and no host staging (the buffers are outputs about to be
+  /// written device-side). Unlike matchLayout this never uploads; unlike
+  /// allocateLikeBase the geometry comes from a layout, not another
+  /// vector — SparseGather mirrors its matrix's row partition this way.
+  virtual void allocateBlockLayoutBase(const std::vector<Chunk>& layout) = 0;
   virtual void matchLayout(Distribution dist, std::size_t singleDevice,
                            const std::vector<Chunk>& layout) = 0;
   virtual void adoptDeviceBufferBase(ocl::Buffer buffer, std::size_t count,
@@ -512,6 +518,19 @@ public:
   template <typename U>
   void allocateLike(const VectorState<U>& input) {
     allocateLikeBase(input);
+  }
+
+  void allocateBlockLayoutBase(const std::vector<Chunk>& layout) override {
+    dropChunks();
+    dist_ = Distribution::Block;
+    singleDevice_ = 0;
+    std::size_t total = 0;
+    for (const Chunk& chunk : layout) {
+      total += chunk.count;
+    }
+    host_.resize(total);
+    allocateLayout(layout);
+    hostDirty_ = false;
   }
 
   /// True when this vector's device chunks have exactly the given

@@ -241,6 +241,8 @@ Report analyze(const Trace& trace) {
       report.cacheMisses += value;
     } else if (key.first == "intermediate_bytes") {
       report.intermediateBytes += value;
+    } else if (key.first == "halo_bytes") {
+      report.haloBytes += value;
     } else if (key.first == "sched_concurrent_jobs") {
       report.maxConcurrentJobs =
           std::max(report.maxConcurrentJobs, value);
@@ -289,9 +291,11 @@ std::string formatReport(const Report& report, std::size_t topN) {
                 (unsigned long long)report.skeletonSpans);
   out += line;
   std::snprintf(line, sizeof(line),
-                "kernel launches: %llu   intermediate bytes: %llu\n",
+                "kernel launches: %llu   intermediate bytes: %llu   "
+                "halo bytes: %llu\n",
                 (unsigned long long)report.kernelLaunches,
-                (unsigned long long)report.intermediateBytes);
+                (unsigned long long)report.intermediateBytes,
+                (unsigned long long)report.haloBytes);
   out += line;
   if (report.schedulerJobs > 0) {
     std::snprintf(line, sizeof(line),

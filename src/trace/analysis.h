@@ -88,6 +88,10 @@ struct Report {
   /// (from the "intermediate_bytes" counter). Kernel fusion exists to
   /// drive this — and the launch count — down.
   std::uint64_t intermediateBytes = 0;
+  /// Bytes shipped between devices as stencil halo rows (from the
+  /// "halo_bytes" counter). Scales with the cut surface, not the
+  /// volume — the quantity multi-device stencils try to overlap away.
+  std::uint64_t haloBytes = 0;
   /// Async task-graph scheduler activity: jobs dispatched by drains
   /// (HostKind::Scheduler spans), the summed virtual time jobs spent
   /// registered-but-undispatched (each span's value), and the largest

@@ -511,4 +511,101 @@ TEST_F(ServiceTest, StressThreadedClientsDrainEveryJob) {
   }
 }
 
+TEST_F(ServiceTest, StressThreadedStencilJobsDrainByteIdentically) {
+  // Threaded clients racing stencil jobs through the dispatcher: each
+  // job runs a block-distributed 2D stencil whose halo exchange
+  // stresses the inter-device event DAG from the service's threads.
+  const std::size_t rows = 37, width = 8;
+  const auto seededGrid = [&](std::size_t seed) {
+    std::vector<float> g(rows * width);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] = float((i * 131 + seed * 17) % 251) * 0.125f;
+    }
+    return g;
+  };
+  const char* kHeat =
+      "float svt_heat(__global const float* w, uint st) {"
+      "  return 0.25f * (w[1] + w[(int)st] + w[(int)st + 2]"
+      "                  + w[2 * (int)st + 1]);"
+      "}";
+  const auto stencilJob = [&](std::size_t seed,
+                              const std::shared_ptr<JobSink>& sink) {
+    svc::Job job;
+    job.programKey = "svt-stencil";
+    auto out = std::make_shared<Vector<float>>();
+    job.work = [=](svc::JobContext& ctx) {
+      skelcl::Stencil<float> heat(
+          kHeat, skelcl::StencilShape{1, skelcl::Boundary::Clamp,
+                                      std::uint32_t(width)});
+      Vector<float> v(seededGrid(seed));
+      *out = heat(v);
+      ctx.defer(*out);
+    };
+    job.consume = [=] { sink->data = out->hostData(); };
+    return job;
+  };
+
+  std::vector<std::vector<float>> direct;
+  for (std::size_t j = 0; j < 4; ++j) {
+    skelcl::Stencil<float> heat(
+        kHeat, skelcl::StencilShape{1, skelcl::Boundary::Clamp,
+                                    std::uint32_t(width)});
+    Vector<float> v(seededGrid(j));
+    direct.push_back(heat(v).hostData());
+  }
+
+  svc::ServiceConfig config;
+  config.queueCap = 2; // small: overload retry under threads
+  svc::JobServer server(config);
+  const std::size_t tenants = 2, jobsPer = 2;
+  std::vector<svc::Session*> sessions;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    sessions.push_back(
+        &server.openSession("stencil-" + std::to_string(t)));
+  }
+  server.start();
+
+  std::vector<std::vector<svc::JobHandle>> handles(tenants);
+  std::vector<std::vector<std::shared_ptr<JobSink>>> sinks(tenants);
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    handles[t].resize(jobsPer);
+    sinks[t].resize(jobsPer);
+    clients.emplace_back([&, t] {
+      for (std::size_t j = 0; j < jobsPer; ++j) {
+        auto sink = std::make_shared<JobSink>();
+        sinks[t][j] = sink;
+        while (true) {
+          try {
+            handles[t][j] =
+                sessions[t]->submit(stencilJob(t * jobsPer + j, sink));
+            break;
+          } catch (const svc::ServiceOverload&) {
+            std::this_thread::yield();
+          }
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  for (auto& perTenant : handles) {
+    for (auto& handle : perTenant) {
+      handle.wait();
+    }
+  }
+  server.stop();
+
+  for (std::size_t t = 0; t < tenants; ++t) {
+    for (std::size_t j = 0; j < jobsPer; ++j) {
+      EXPECT_FALSE(handles[t][j].failed());
+      const auto& expected = direct[t * jobsPer + j];
+      ASSERT_EQ(sinks[t][j]->data.size(), expected.size());
+      EXPECT_EQ(0, std::memcmp(sinks[t][j]->data.data(), expected.data(),
+                               expected.size() * sizeof(float)));
+    }
+  }
+}
+
 } // namespace

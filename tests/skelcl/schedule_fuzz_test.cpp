@@ -187,6 +187,64 @@ void dotProduct(Invariants& inv) {
   inv.floats.push_back(sum(mult(va, vb)).getValue());
 }
 
+void stencilHalo(Invariants& inv) {
+  // 203 rows: not divisible by 2, 3, or 4 devices, so block shares are
+  // uneven and every boundary exchanges halos. Wrap makes even the
+  // outermost chunks source rows from the opposite end of the grid.
+  skelcl::Stencil<float> heat(
+      "float fzst(__global const float* w, uint st) {"
+      "  return 0.2f * (w[0] + w[1] + w[2]"
+      "                 + w[(int)st + 1] + w[2 * (int)st + 1]);"
+      "}",
+      skelcl::StencilShape{1, skelcl::Boundary::Wrap, 8});
+  std::vector<float> grid(203 * 8);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = float((i * 40503u) % 701) * 0.125f;
+  }
+  Vector<float> v(grid);
+  for (int it = 0; it < 2; ++it) {
+    v = heat(v);
+  }
+  inv.floats = v.hostData();
+}
+
+void csrDegenerate(Invariants& inv) {
+  // Degenerate CSR structure on a prime row count: empty rows, one full
+  // row, duplicate columns. Exercises zero-row chunks on 4 devices.
+  const std::size_t rows = 53, cols = 19;
+  std::vector<std::uint32_t> rowPtr = {0}, colIdx;
+  std::vector<int> vals;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r % 6 == 1) {
+      // empty row
+    } else if (r == 20) {
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        colIdx.push_back(c);
+        vals.push_back(int(c) - 3);
+      }
+    } else {
+      for (int k = 0; k < int(r % 4) + 1; ++k) {
+        const std::uint32_t c = (k == 1 && !colIdx.empty())
+                                    ? colIdx.back()
+                                    : std::uint32_t((r * 13 + k * 5) % cols);
+        colIdx.push_back(c);
+        vals.push_back(int((r * 3 + k) % 7) - 3);
+      }
+    }
+    rowPtr.push_back(std::uint32_t(colIdx.size()));
+  }
+  skelcl::CsrMatrix<int> m(rows, cols, rowPtr, colIdx, vals);
+  skelcl::SparseGather<int> spmv(
+      "int fzg(int a, int xj) { return a * xj; }",
+      "int fzc(int a, int b) { return a + b; }", "0");
+  std::vector<int> x(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    x[i] = int(i % 13) - 6;
+  }
+  Vector<int> xs(x);
+  inv.ints = spmv(m, xs).hostData();
+}
+
 TEST(ScheduleFuzz, MapZipChainIsScheduleInvariant) {
   expectInvariant(mapZipChain, 2);
 }
@@ -205,6 +263,14 @@ TEST(ScheduleFuzz, ReduceAndScanAreScheduleInvariant) {
 
 TEST(ScheduleFuzz, DotProductIsScheduleInvariant) {
   expectInvariant(dotProduct, 4);
+}
+
+TEST(ScheduleFuzz, StencilHaloExchangeIsScheduleInvariant) {
+  expectInvariant(stencilHalo, 4);
+}
+
+TEST(ScheduleFuzz, CsrDegenerateRowsAreScheduleInvariant) {
+  expectInvariant(csrDegenerate, 4);
 }
 
 TEST(ScheduleFuzz, ShuffleActuallyPerturbsTheSchedule) {

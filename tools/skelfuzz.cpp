@@ -54,7 +54,7 @@ int usage() {
       "       skelfuzz --plan PLAN [--fault-seed S] [--rounds R]"
       " [--gpus G]\n"
       "       skelfuzz --tenants N [--seeds S] [--gpus G]\n"
-      "scenarios: map-zip, block-map, combine, dot\n");
+      "scenarios: map-zip, block-map, combine, dot, stencil, csr\n");
   return 2;
 }
 
@@ -139,11 +139,71 @@ void dot(Observation& obs) {
   obs.floats.push_back(sum(mult(va, vb)).getValue());
 }
 
+void stencilScenario(Observation& obs) {
+  // 2D heat step on a grid whose row count (211) is divisible by no
+  // device count > 1, so every chunk boundary needs a halo exchange.
+  skelcl::Stencil<float> heat(
+      "float fzheat(__global const float* w, uint st) {"
+      "  return 0.25f * (w[1] + w[(int)st] + w[(int)st + 2]"
+      "                  + w[2 * (int)st + 1]);"
+      "}",
+      skelcl::StencilShape{1, skelcl::Boundary::Clamp, 16});
+  std::vector<float> grid(211 * 16);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = float((i * 2654435761u) % 1000) / 997.0f;
+  }
+  Vector<float> v(grid);
+  for (int it = 0; it < 3; ++it) {
+    v = heat(v);
+  }
+  obs.floats = v.hostData();
+}
+
+void csrScenario(Observation& obs) {
+  // CSR with deliberately degenerate rows: empty rows, one full row, and
+  // duplicate column entries, on a prime row count.
+  const std::size_t rows = 67, cols = 31;
+  std::vector<std::uint32_t> rowPtr = {0}, colIdx;
+  std::vector<int> vals;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (r % 7 == 0) {
+      // empty row
+    } else if (r == 13) {
+      for (std::uint32_t c = 0; c < cols; ++c) { // full row
+        colIdx.push_back(c);
+        vals.push_back(int(c) - 5);
+      }
+    } else {
+      for (int k = 0; k < int(r % 5) + 1; ++k) {
+        // every second entry duplicates the previous column
+        const std::uint32_t c = (k % 2 == 1 && !colIdx.empty())
+                                    ? colIdx.back()
+                                    : std::uint32_t((r * 17 + k * 7) % cols);
+        colIdx.push_back(c);
+        vals.push_back(int((r + k) % 9) - 4);
+      }
+    }
+    rowPtr.push_back(std::uint32_t(colIdx.size()));
+  }
+  skelcl::CsrMatrix<int> m(rows, cols, rowPtr, colIdx, vals);
+  skelcl::SparseGather<int> spmv(
+      "int fzspg(int a, int xj) { return a * xj; }",
+      "int fzspc(int a, int b) { return a + b; }", "0");
+  std::vector<int> x(cols);
+  for (std::size_t i = 0; i < cols; ++i) {
+    x[i] = int(i % 11) - 5;
+  }
+  Vector<int> xs(x);
+  obs.ints = spmv(m, xs).hostData();
+}
+
 const Scenario kScenarios[] = {
     {"map-zip", mapZip},
     {"block-map", blockMap},
     {"combine", combine},
     {"dot", dot},
+    {"stencil", stencilScenario},
+    {"csr", csrScenario},
 };
 
 /// One init()..terminate() cycle under the given schedule; seed 0 is the
