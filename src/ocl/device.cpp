@@ -45,6 +45,10 @@ DeviceSpec DeviceSpec::teslaT10() {
   spec.pcieBandwidthGBs = 5.2;
   spec.maxWorkGroupSize = 512;
   spec.localMemBytes = 16 << 10;
+  // One quarter of the S1070's 800 W board: ~60 W idle, ~200 W busy.
+  spec.idlePowerW = 60.0;
+  spec.busyPowerW = 200.0;
+  spec.transferNjPerByte = 0.5;
   return spec;
 }
 
@@ -62,6 +66,10 @@ DeviceSpec DeviceSpec::xeonE5520() {
   spec.pcieBandwidthGBs = 12.0;
   spec.maxWorkGroupSize = 1024;
   spec.localMemBytes = 32 << 10;
+  // Nehalem-era quad core: 80 W TDP, ~15 W idle.
+  spec.idlePowerW = 15.0;
+  spec.busyPowerW = 80.0;
+  spec.transferNjPerByte = 0.25;
   return spec;
 }
 
@@ -70,12 +78,46 @@ DeviceSpec DeviceSpec::scaled(double factor) const {
   DeviceSpec spec = *this;
   spec.clockGHz *= factor;
   spec.memBandwidthGBs *= factor;
-  if (factor != 1.0) {
+  spec.busyPowerW *= factor;
+  spec.scale *= factor;
+  // Regenerate the single " @Nx" suffix from the *composed* factor (the
+  // unscaled base name is this name minus any existing suffix), so
+  // repeated scaling stays idempotent: scaled(0.5).scaled(2.0) returns
+  // the clean base spec, never "name @0.5x @2x".
+  const std::size_t at = spec.name.rfind(" @");
+  if (at != std::string::npos && spec.name.back() == 'x') {
+    spec.name.erase(at);
+  }
+  if (spec.scale != 1.0) {
     char suffix[32];
-    std::snprintf(suffix, sizeof(suffix), " @%gx", factor);
+    std::snprintf(suffix, sizeof(suffix), " @%gx", spec.scale);
     spec.name += suffix;
   }
   return spec;
+}
+
+InterconnectSpec InterconnectSpec::infiniband() {
+  InterconnectSpec spec;
+  spec.name = "ib";
+  spec.latencyUs = 2.0;
+  spec.bandwidthGBs = 4.0; // QDR InfiniBand, 32 Gbit/s effective
+  return spec;
+}
+
+InterconnectSpec InterconnectSpec::ethernet() {
+  InterconnectSpec spec;
+  spec.name = "eth";
+  spec.latencyUs = 50.0;
+  spec.bandwidthGBs = 1.25; // 10GbE
+  return spec;
+}
+
+std::uint32_t SystemConfig::nodeCount() const noexcept {
+  std::uint32_t count = devices.empty() ? 0 : 1;
+  for (std::uint32_t node : nodeOf) {
+    count = std::max(count, node + 1);
+  }
+  return count;
 }
 
 SystemConfig SystemConfig::teslaS1070(std::uint32_t gpus) {
@@ -170,20 +212,157 @@ void parseEntry(const std::string& raw, SystemConfig& config) {
   }
 }
 
+/// Splits a spec on top-level commas only: commas inside `node(...)`
+/// parentheses belong to the inner device list.
+std::vector<std::string> splitTopLevel(const std::string& spec) {
+  std::vector<std::string> entries;
+  std::string current;
+  int depth = 0;
+  for (char c : spec) {
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (depth == 0) {
+        throw common::InvalidArgument(
+            "invalid SKELCL_DEVICES spec '" + spec + "': unmatched ')'");
+      }
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      entries.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  if (depth != 0) {
+    throw common::InvalidArgument("invalid SKELCL_DEVICES spec '" + spec +
+                                  "': unmatched '('");
+  }
+  entries.push_back(current);
+  return entries;
+}
+
+/// One cluster entry `node(<inner>)['*'COUNT]['@'TIER|'@'SCALE'x']`,
+/// suffixes in any order. Appends the node's devices `count` times and
+/// records their node indices; returns the tier this entry named (empty
+/// when it relied on the default).
+std::string parseNodeEntry(const std::string& raw, SystemConfig& config) {
+  const std::string entry = trimmedLower(raw);
+  const std::size_t open = entry.find('(');
+  const std::size_t close = entry.rfind(')');
+  COMMON_CHECK(open != std::string::npos && close != std::string::npos &&
+               open < close);
+  if (entry.substr(0, open) != "node") {
+    badSpec(raw, "expected node(...), got '" + entry.substr(0, open) + "(...'");
+  }
+  const std::string inner = entry.substr(open + 1, close - open - 1);
+  if (trimmedLower(inner).empty()) {
+    badSpec(raw, "node with zero devices (token '" + entry + "')");
+  }
+  if (inner.find("node") != std::string::npos) {
+    badSpec(raw, "nodes do not nest");
+  }
+  // Peel `*COUNT` / `@TIER` / `@SCALEx` suffixes off the tail, each at
+  // most once — same discipline as the device-entry suffixes.
+  std::string tail = entry.substr(close + 1);
+  unsigned long count = 1;
+  double scale = 1.0;
+  std::string tier;
+  bool sawScale = false, sawCount = false;
+  while (!tail.empty()) {
+    const std::size_t at = tail.rfind('@');
+    const std::size_t star = tail.rfind('*');
+    const std::size_t cut = std::max(at == std::string::npos ? 0 : at,
+                                     star == std::string::npos ? 0 : star);
+    if (tail[cut] != '@' && tail[cut] != '*') {
+      badSpec(raw, "junk after node(...): '" + tail + "'");
+    }
+    const std::string suffix = tail.substr(cut + 1);
+    if (tail[cut] == '@') {
+      if (suffix.size() >= 2 && suffix.back() == 'x') {
+        if (sawScale) {
+          badSpec(raw, "duplicate @scale suffix");
+        }
+        char* rest = nullptr;
+        scale = std::strtod(suffix.c_str(), &rest);
+        if (rest != suffix.c_str() + suffix.size() - 1 || !(scale > 0.0)) {
+          badSpec(raw, "scale must be a positive number followed by 'x'");
+        }
+        sawScale = true;
+      } else if (suffix == "ib" || suffix == "eth") {
+        if (!tier.empty()) {
+          badSpec(raw, "duplicate @tier suffix");
+        }
+        tier = suffix;
+      } else {
+        badSpec(raw, "unknown node suffix '@" + suffix +
+                         "' (expected @ib, @eth, or @0.5x)");
+      }
+    } else {
+      if (sawCount) {
+        badSpec(raw, "duplicate *count suffix");
+      }
+      char* rest = nullptr;
+      count = std::strtoul(suffix.c_str(), &rest, 10);
+      if (rest != suffix.c_str() + suffix.size() || count == 0) {
+        badSpec(raw, "count must be a positive integer");
+      }
+      sawCount = true;
+    }
+    tail = tail.substr(0, cut);
+  }
+  // The inner list is an ordinary single-node spec; scale applies to
+  // every device of the node.
+  SystemConfig innerConfig;
+  for (const std::string& deviceEntry : splitTopLevel(inner)) {
+    parseEntry(deviceEntry, innerConfig);
+  }
+  for (unsigned long i = 0; i < count; ++i) {
+    const auto node = std::uint32_t(config.nodeOf.empty()
+                                        ? 0
+                                        : config.nodeOf.back() + 1);
+    for (const DeviceSpec& device : innerConfig.devices) {
+      config.devices.push_back(device.scaled(scale));
+      config.nodeOf.push_back(node);
+    }
+  }
+  return tier;
+}
+
 } // namespace
 
 SystemConfig SystemConfig::parse(const std::string& spec) {
   SystemConfig config;
   config.platformName = "clc-sim OpenCL (spec: " + spec + ")";
-  std::size_t begin = 0;
-  while (begin <= spec.size()) {
-    const std::size_t comma = spec.find(',', begin);
-    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
-    parseEntry(spec.substr(begin, end - begin), config);
-    if (comma == std::string::npos) {
-      break;
+  const std::vector<std::string> entries = splitTopLevel(spec);
+  bool sawNode = false, sawBare = false;
+  std::string tier;
+  for (const std::string& raw : entries) {
+    const std::string entry = trimmedLower(raw);
+    if (entry.rfind("node", 0) == 0 && entry.find('(') != std::string::npos) {
+      sawNode = true;
+      const std::string entryTier = parseNodeEntry(raw, config);
+      if (!entryTier.empty()) {
+        if (!tier.empty() && tier != entryTier) {
+          badSpec(raw, "conflicting interconnect tiers '@" + tier +
+                           "' and '@" + entryTier +
+                           "' (one network joins all nodes)");
+        }
+        tier = entryTier;
+      }
+    } else {
+      sawBare = true;
+      parseEntry(raw, config);
     }
-    begin = comma + 1;
+  }
+  if (sawNode && sawBare) {
+    throw common::InvalidArgument(
+        "invalid SKELCL_DEVICES spec '" + spec +
+        "': node(...) entries and bare device entries must not mix");
+  }
+  if (sawNode) {
+    config.interconnect = tier == "eth" ? InterconnectSpec::ethernet()
+                                        : InterconnectSpec::infiniband();
   }
   COMMON_EXPECTS(!config.devices.empty(),
                  "SKELCL_DEVICES spec names no devices");
@@ -246,6 +425,7 @@ namespace {
 struct System {
   std::string platformName;
   std::vector<std::shared_ptr<DeviceState>> devices;
+  std::vector<std::shared_ptr<NodeState>> nodes;
   std::atomic<std::uint64_t> hostNs{0};
   std::atomic<std::uint64_t> nextCommandId{0};
 };
@@ -255,16 +435,47 @@ std::unique_ptr<System> g_system;
 
 std::uint64_t hostTimeNsForTrace() noexcept { return hostTimeNs(); }
 
-/// Tells the tracer who the devices are (pid labels in exports) and how
-/// to read the virtual clock. Runs on every (re)configuration so traces
-/// started at any point see the current machine.
+/// Tells the tracer who the devices are (pid labels in exports, node and
+/// power columns in skeltrace) and how to read the virtual clock. Runs
+/// on every (re)configuration so traces started at any point see the
+/// current machine.
 void publishSystemToTracer(const System& sys) {
   trace::setTimeSource(&hostTimeNsForTrace);
   std::vector<trace::DeviceInfo> infos;
   for (const auto& state : sys.devices) {
-    infos.push_back({state->index(), state->spec().name});
+    trace::DeviceInfo info;
+    info.index = state->index();
+    info.name = state->spec().name;
+    info.node = state->node();
+    info.idlePowerW = state->spec().idlePowerW;
+    info.busyPowerW = state->spec().busyPowerW;
+    info.transferNjPerByte = state->spec().transferNjPerByte;
+    infos.push_back(std::move(info));
   }
   trace::Recorder::instance().setDevices(std::move(infos));
+}
+
+/// Builds the live state from a config: one NodeState per node (all
+/// sharing the config's interconnect), one DeviceState per device wired
+/// to its node's link.
+void buildSystem(System& sys, const SystemConfig& config) {
+  COMMON_EXPECTS(config.nodeOf.empty() ||
+                     config.nodeOf.size() == config.devices.size(),
+                 "SystemConfig.nodeOf must be empty or parallel to devices");
+  sys.platformName = config.platformName;
+  const std::uint32_t nodeCount = config.nodeCount();
+  for (std::uint32_t n = 0; n < nodeCount; ++n) {
+    sys.nodes.push_back(
+        std::make_shared<NodeState>(n, config.interconnect));
+  }
+  for (std::size_t i = 0; i < config.devices.size(); ++i) {
+    const std::uint32_t node =
+        i < config.nodeOf.size() ? config.nodeOf[i] : 0;
+    COMMON_EXPECTS(node < nodeCount, "device node index out of range");
+    sys.devices.push_back(std::make_shared<DeviceState>(
+        config.devices[i], std::uint32_t(i), node, sys.nodes[node]));
+  }
+  trace::LoadMonitor::instance().reset(config.devices.size());
 }
 
 System& system() {
@@ -274,13 +485,7 @@ System& system() {
       return *g_system;
     }
     g_system = std::make_unique<System>();
-    const SystemConfig config = SystemConfig::teslaS1070();
-    g_system->platformName = config.platformName;
-    for (std::size_t i = 0; i < config.devices.size(); ++i) {
-      g_system->devices.push_back(std::make_shared<DeviceState>(
-          config.devices[i], std::uint32_t(i)));
-    }
-    trace::LoadMonitor::instance().reset(config.devices.size());
+    buildSystem(*g_system, SystemConfig::teslaS1070());
   }
   publishSystemToTracer(*g_system);
   return *g_system;
@@ -292,12 +497,7 @@ void configureSystem(const SystemConfig& config) {
   {
     std::lock_guard lock(g_systemMutex);
     g_system = std::make_unique<System>();
-    g_system->platformName = config.platformName;
-    for (std::size_t i = 0; i < config.devices.size(); ++i) {
-      g_system->devices.push_back(std::make_shared<DeviceState>(
-          config.devices[i], std::uint32_t(i)));
-    }
-    trace::LoadMonitor::instance().reset(config.devices.size());
+    buildSystem(*g_system, config);
   }
   publishSystemToTracer(*g_system);
 }

@@ -284,14 +284,32 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
   // occupied for the whole transfer; the compute engines of both devices
   // stay free to overlap kernels with the copy. In-order queues wait on
   // the full timelines of both devices instead (single-timeline model).
+  //
+  // The staged legs *pipeline*: after the first piece lands in host
+  // memory the upload streams concurrently with the rest of the
+  // download, so the copy takes the slower leg's wire time plus one
+  // latency — not the sum of two full latency+wire transfers. When the
+  // devices live on different nodes the pieces additionally cross the
+  // interconnect, adding its (usually dominant) wire time to the
+  // pipeline bottleneck and its latency on top, and occupying the
+  // source node's egress and the destination node's ingress link.
   const bool inOrder = order_ == QueueOrder::InOrder;
   const TimingModel srcModel(src.device().spec(), backend_);
   const TimingModel dstModel(dst.device().spec(), backend_);
+  DeviceState& srcState = src.device().state();
+  DeviceState& dstState = dst.device().state();
+  const bool crossNode = srcState.node() != dstState.node();
+  NodeState* srcLink = crossNode ? srcState.link().get() : nullptr;
+  NodeState* dstLink = crossNode ? dstState.link().get() : nullptr;
   std::uint64_t start = std::max(hostTimeNs(), std::max(
-      inOrder ? src.device().state().readyTimeNs()
-              : src.device().state().readyTimeNs(Engine::DeviceToHost),
-      inOrder ? dst.device().state().readyTimeNs()
-              : dst.device().state().readyTimeNs(Engine::HostToDevice)));
+      inOrder ? srcState.readyTimeNs()
+              : srcState.readyTimeNs(Engine::DeviceToHost),
+      inOrder ? dstState.readyTimeNs()
+              : dstState.readyTimeNs(Engine::HostToDevice)));
+  if (srcLink != nullptr && dstLink != nullptr) {
+    start = std::max(start, std::max(srcLink->egressReadyNs(),
+                                     dstLink->ingressReadyNs()));
+  }
   if (inOrder && last_.valid()) {
     start = std::max(start, last_.endNs());
   }
@@ -301,10 +319,20 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
     }
   }
   start += dispatchJitterNs();
-  const std::uint64_t duration = srcModel.transferDurationNs(bytes) +
-                                 dstModel.transferDurationNs(bytes);
-  src.device().state().setReadyTimeNs(Engine::DeviceToHost,
-                                      start + duration);
+  double wireNs = std::max(srcModel.transferWireNs(bytes),
+                           dstModel.transferWireNs(bytes));
+  double latencyNs = std::max(srcModel.transferLatencyNs(),
+                              dstModel.transferLatencyNs());
+  if (crossNode && srcLink != nullptr) {
+    const InterconnectSpec& ic = srcLink->interconnect();
+    if (ic.bandwidthGBs > 0.0) {
+      wireNs = std::max(wireNs,
+                        double(bytes) / (ic.bandwidthGBs * 1e9) * 1e9);
+    }
+    latencyNs += ic.latencyUs * 1e3;
+  }
+  const auto duration = std::uint64_t(wireNs + latencyNs);
+  srcState.setReadyTimeNs(Engine::DeviceToHost, start + duration);
 
   auto state = std::make_shared<EventState>();
   state->id = nextCommandId();
@@ -314,14 +342,20 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
   state->submitNs =
       std::min(start, state->queuedNs + model_.enqueueOverheadNs());
   state->engine = Engine::HostToDevice;
-  dst.device().state().setReadyTimeNs(Engine::HostToDevice, state->endNs);
+  dstState.setReadyTimeNs(Engine::HostToDevice, state->endNs);
+  if (srcLink != nullptr && dstLink != nullptr) {
+    srcLink->setEgressReadyNs(state->endNs);
+    dstLink->setIngressReadyNs(state->endNs);
+  }
   lastSubmittedEndNs_ = std::max(lastSubmittedEndNs_, state->endNs);
   advanceHostTimeNs(model_.enqueueOverheadNs());
   if (trace::Recorder::enabled()) {
     // A cross-device copy occupies two engines on two devices: file one
     // span per leg so both timelines show the occupancy. The event's id
     // names the destination leg (what dependents wait on); the source
-    // leg gets its own id.
+    // leg gets its own id. Cross-node copies carry distinct labels (and
+    // bump the internode_bytes counter) so skeltrace can attribute
+    // interconnect traffic separately from same-node PCIe staging.
     const std::vector<std::uint64_t> ids =
         depIds(deps, order_ == QueueOrder::InOrder ? last_ : Event());
     trace::Recorder::CommandInit init;
@@ -334,16 +368,21 @@ Event CommandQueue::enqueueCopyBuffer(const Buffer& src,
     init.deps = &ids;
 
     init.id = nextCommandId();
-    init.device = src.device().state().index();
+    init.device = srcState.index();
     init.engine = std::uint8_t(Engine::DeviceToHost);
-    init.label = "copy_peer_out";
+    init.label = crossNode ? "copy_node_out" : "copy_peer_out";
     trace::Recorder::instance().recordCommand(init);
 
     init.id = state->id;
-    init.device = dst.device().state().index();
+    init.device = dstState.index();
     init.engine = std::uint8_t(Engine::HostToDevice);
-    init.label = "copy_peer_in";
+    init.label = crossNode ? "copy_node_in" : "copy_peer_in";
     trace::Recorder::instance().recordCommand(init);
+
+    if (crossNode) {
+      trace::Recorder::instance().bumpCounter(
+          "internode_bytes", dstState.index(), state->endNs, bytes);
+    }
   }
   Event event(std::move(state));
   last_ = event;

@@ -1,6 +1,7 @@
 #include "ocl/timing_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace ocl {
@@ -27,23 +28,26 @@ BackendProfile BackendProfile::forBackend(Backend backend) noexcept {
 
 std::uint64_t TimingModel::kernelDurationNs(
     const clc::LaunchStats& stats) const {
-  // Schedule work-groups round-robin onto compute units.
+  // Schedule work-groups round-robin onto compute units. Per-CU cycle
+  // sums accumulate in double: truncating sumCycles/pes to an integer
+  // per work-group systematically under-billed kernels with many groups
+  // smaller than one CU's PE width (every group lost up to 1 cycle, and
+  // a group with sumCycles < pes and maxCycles == 1 lost its fraction
+  // entirely whenever the division rounded to the max anyway).
   const std::size_t cus = std::max<std::size_t>(1, spec_.computeUnits);
-  std::vector<std::uint64_t> cuCycles(cus, 0);
+  std::vector<double> cuCycles(cus, 0.0);
   const double pes = double(std::max<std::uint32_t>(1, spec_.pesPerUnit));
   for (std::size_t g = 0; g < stats.groups.size(); ++g) {
     const clc::GroupCost& group = stats.groups[g];
-    const auto throughputCycles =
-        std::uint64_t(double(group.sumCycles) / pes);
-    const std::uint64_t groupCycles =
-        std::max(throughputCycles, group.maxCycles);
-    cuCycles[g % cus] += groupCycles;
+    const double throughputCycles = double(group.sumCycles) / pes;
+    cuCycles[g % cus] +=
+        std::max(throughputCycles, double(group.maxCycles));
   }
-  const std::uint64_t critical =
+  const double critical =
       *std::max_element(cuCycles.begin(), cuCycles.end());
 
   const double hz = spec_.clockGHz * 1e9 * profile_.efficiency;
-  const double computeNs = double(critical) / hz * 1e9;
+  const double computeNs = std::ceil(critical) / hz * 1e9;
 
   const double bytes =
       double(stats.globalBytesRead + stats.globalBytesWritten);
@@ -54,10 +58,24 @@ std::uint64_t TimingModel::kernelDurationNs(
 }
 
 std::uint64_t TimingModel::transferDurationNs(std::uint64_t bytes) const {
-  const double latencyNs = spec_.pcieLatencyUs * 1e3;
-  const double transferNs =
-      double(bytes) / (spec_.pcieBandwidthGBs * 1e9) * 1e9;
-  return std::uint64_t(latencyNs + transferNs);
+  return std::uint64_t(transferLatencyNs() + transferWireNs(bytes));
+}
+
+double TimingModel::transferLatencyNs() const noexcept {
+  return spec_.pcieLatencyUs * 1e3;
+}
+
+double TimingModel::transferWireNs(std::uint64_t bytes) const noexcept {
+  return double(bytes) / (spec_.pcieBandwidthGBs * 1e9) * 1e9;
+}
+
+double TimingModel::activeEnergyNj(std::uint64_t busyNs) const noexcept {
+  // 1 W = 1 nJ/ns, so watts x ns is nanojoules directly.
+  return (spec_.busyPowerW - spec_.idlePowerW) * double(busyNs);
+}
+
+double TimingModel::transferEnergyNj(std::uint64_t bytes) const noexcept {
+  return spec_.transferNjPerByte * double(bytes);
 }
 
 std::uint64_t TimingModel::deviceCopyDurationNs(std::uint64_t bytes) const {

@@ -13,6 +13,12 @@
 //   group    = max(sum_item_cycles / PEs_per_CU, slowest_item)
 //   memory   = global bytes moved / device bandwidth
 //   transfer = pcie_latency + bytes / pcie_bandwidth
+//   peercopy = max(src wire, dst wire) + max(src, dst latency)
+//              (the staged legs pipeline; cross-node copies add the
+//              interconnect's wire time to the max and its latency on
+//              top — see CommandQueue::enqueueCopyBuffer)
+//   energy   = idle_power x wall + (busy-idle) x compute busy
+//              + nj_per_byte x bytes moved        (1 W = 1 nJ/ns)
 //
 // Durations are placed on per-engine device timelines (device.h): kernels
 // occupy the compute engine, uploads/downloads the H2D/D2H DMA engines,
@@ -57,6 +63,20 @@ public:
   /// Duration of a host<->device transfer of `bytes` over one PCIe DMA
   /// engine (latency + bytes/bandwidth).
   std::uint64_t transferDurationNs(std::uint64_t bytes) const;
+
+  /// The two components of transferDurationNs, separately: cross-device
+  /// copies compose legs from these so the staged transfer pipelines —
+  /// max of the legs' wire times plus a single latency — instead of
+  /// paying the full latency+wire sum once per leg.
+  double transferLatencyNs() const noexcept;
+  double transferWireNs(std::uint64_t bytes) const noexcept;
+
+  /// Energy (nanojoules) the device draws above idle while its compute
+  /// engine is busy for `busyNs` (1 W = 1 nJ/ns).
+  double activeEnergyNj(std::uint64_t busyNs) const noexcept;
+
+  /// Energy (nanojoules) of moving `bytes` across the DMA path.
+  double transferEnergyNj(std::uint64_t bytes) const noexcept;
 
   /// Duration of an on-device buffer-to-buffer copy of `bytes`: runs at
   /// global-memory bandwidth and pays for a read plus a write.

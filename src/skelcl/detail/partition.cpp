@@ -58,4 +58,64 @@ std::vector<std::size_t> weightedPartition(
   return counts;
 }
 
+std::vector<std::size_t> nodeBlockPartition(
+    std::size_t n, const std::vector<double>& weights,
+    const std::vector<std::uint32_t>& nodeOf) {
+  const std::size_t devices = weights.size();
+  COMMON_EXPECTS(devices > 0, "nodeBlockPartition: no devices");
+  COMMON_EXPECTS(nodeOf.empty() || nodeOf.size() == devices,
+                 "nodeBlockPartition: nodeOf must be empty or parallel to "
+                 "weights");
+
+  // Group devices by node, preserving first-appearance order (devices of
+  // one node are contiguous in config order, so chunks stay contiguous).
+  std::vector<std::uint32_t> nodes;
+  std::vector<std::vector<std::size_t>> members;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const std::uint32_t node = d < nodeOf.size() ? nodeOf[d] : 0;
+    if (nodes.empty() || nodes.back() != node) {
+      const auto seen = std::find(nodes.begin(), nodes.end(), node);
+      COMMON_EXPECTS(seen == nodes.end(),
+                     "nodeBlockPartition: a node's devices must be "
+                     "contiguous");
+      nodes.push_back(node);
+      members.emplace_back();
+    }
+    members.back().push_back(d);
+  }
+  if (nodes.size() <= 1) {
+    // Single node: exactly the flat split, so single-node machines stay
+    // bit-identical to the pre-cluster partitioner.
+    return weightedPartition(n, weights);
+  }
+
+  // Level 1: split n across nodes by summed member weight; level 2:
+  // split each node's share across its devices. Both levels use the same
+  // largest-remainder method, so the LoadMonitor-driven weight modes
+  // carry over per node unchanged.
+  std::vector<double> nodeWeights(nodes.size(), 0.0);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    for (std::size_t d : members[k]) {
+      nodeWeights[k] += weights[d];
+    }
+  }
+  const std::vector<std::size_t> nodeShares =
+      weightedPartition(n, nodeWeights);
+
+  std::vector<std::size_t> counts(devices, 0);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    std::vector<double> memberWeights;
+    memberWeights.reserve(members[k].size());
+    for (std::size_t d : members[k]) {
+      memberWeights.push_back(weights[d]);
+    }
+    const std::vector<std::size_t> split =
+        weightedPartition(nodeShares[k], memberWeights);
+    for (std::size_t i = 0; i < members[k].size(); ++i) {
+      counts[members[k][i]] = split[i];
+    }
+  }
+  return counts;
+}
+
 } // namespace skelcl::detail

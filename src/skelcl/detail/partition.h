@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace skelcl::detail {
@@ -24,5 +25,16 @@ namespace skelcl::detail {
 /// empty-after-sanitizing) weight sets degrade to an even split.
 std::vector<std::size_t> weightedPartition(std::size_t n,
                                            const std::vector<double>& weights);
+
+/// Two-level node-aware block partition: n first splits across nodes by
+/// each node's summed device weight, then each node's share splits
+/// across its devices — both by the largest-remainder method above. On
+/// a single node (nodeOf empty or constant) this degenerates to the
+/// flat weightedPartition exactly, so pre-cluster machines keep their
+/// historical splits bit-for-bit. Devices of one node must be
+/// contiguous (the SKELCL_DEVICES cluster grammar guarantees it).
+std::vector<std::size_t> nodeBlockPartition(
+    std::size_t n, const std::vector<double>& weights,
+    const std::vector<std::uint32_t>& nodeOf);
 
 } // namespace skelcl::detail

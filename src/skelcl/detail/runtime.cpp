@@ -285,8 +285,18 @@ std::vector<double> Runtime::blockWeights() const {
   return weights;
 }
 
+std::vector<std::uint32_t> Runtime::deviceNodes() const {
+  requireInit();
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(devices_.size());
+  for (const auto& device : devices_) {
+    nodes.push_back(device.node());
+  }
+  return nodes;
+}
+
 std::vector<std::size_t> Runtime::blockPartition(std::size_t n) const {
-  return weightedPartition(n, blockWeights());
+  return nodeBlockPartition(n, blockWeights(), deviceNodes());
 }
 
 KernelCache& Runtime::kernelCache() {

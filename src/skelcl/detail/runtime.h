@@ -199,8 +199,14 @@ public:
   /// has retired a kernel.
   std::vector<double> blockWeights() const;
 
+  /// Node index per claimed device, order matching devices(). All zero
+  /// on single-node machines.
+  std::vector<std::uint32_t> deviceNodes() const;
+
   /// Chunk sizes of a block-distributed vector of n elements: the
-  /// deterministic largest-remainder split of n by blockWeights().
+  /// deterministic two-level (node, then device) largest-remainder split
+  /// of n by blockWeights(). Single-node machines get exactly the flat
+  /// split, so pre-cluster behavior is unchanged.
   std::vector<std::size_t> blockPartition(std::size_t n) const;
 
 private:

@@ -80,6 +80,8 @@ Report analyze(const Trace& trace) {
     std::uint64_t commands[kEngineCount] = {0, 0, 0};
     std::uint64_t minStart = ~0ull;
     std::uint64_t maxEnd = 0;
+    std::uint64_t dmaBytes = 0;
+    std::uint64_t kernelCycles = 0;
   };
   std::map<std::uint32_t, DeviceAccum> perDevice;
   std::uint64_t traceMin = ~0ull, traceMax = 0;
@@ -89,6 +91,12 @@ Report analyze(const Trace& trace) {
     const std::uint8_t e = c.engine < kEngineCount ? c.engine : 0;
     acc.engines[e].emplace_back(c.startNs, c.endNs);
     ++acc.commands[e];
+    if (e != 0) {
+      acc.dmaBytes += c.bytes;
+    }
+    if (c.kind == CommandKind::Kernel) {
+      acc.kernelCycles += c.cycles;
+    }
     acc.minStart = std::min(acc.minStart, c.startNs);
     acc.maxEnd = std::max(acc.maxEnd, c.endNs);
     traceMin = std::min(traceMin, c.startNs);
@@ -96,18 +104,23 @@ Report analyze(const Trace& trace) {
   }
   report.spanNs = traceMax > traceMin ? traceMax - traceMin : 0;
 
-  std::unordered_map<std::uint32_t, std::string> deviceNames;
+  std::unordered_map<std::uint32_t, const DeviceInfo*> deviceInfos;
   for (const DeviceInfo& d : trace.devices) {
-    deviceNames[d.index] = d.name;
+    deviceInfos[d.index] = &d;
   }
 
   std::uint64_t dmaBusyTotal = 0, overlapTotal = 0;
   for (auto& [index, acc] : perDevice) {
     DeviceReport dev;
     dev.device = index;
-    auto named = deviceNames.find(index);
-    dev.name = named != deviceNames.end() ? named->second
-                                          : "device " + std::to_string(index);
+    auto named = deviceInfos.find(index);
+    const DeviceInfo* info =
+        named != deviceInfos.end() ? named->second : nullptr;
+    dev.name = info != nullptr ? info->name
+                               : "device " + std::to_string(index);
+    dev.node = info != nullptr ? info->node : 0;
+    dev.dmaBytes = acc.dmaBytes;
+    dev.kernelCycles = acc.kernelCycles;
     dev.spanNs = acc.maxEnd - acc.minStart;
 
     std::vector<Interval> engineMerged[kEngineCount];
@@ -127,12 +140,54 @@ Report analyze(const Trace& trace) {
     dev.overlapRatio =
         dev.dmaBusyNs == 0 ? 0.0
                            : double(dev.overlapNs) / double(dev.dmaBusyNs);
+    if (info != nullptr) {
+      // 1 W = 1 nJ/ns, so watts x virtual ns is nanojoules. The device
+      // draws idle power for the whole makespan (it is part of the
+      // machine whether or not this trace kept it busy), the busy-idle
+      // delta while its compute engine works, and the DMA energy per
+      // byte it moved.
+      const double energyNj =
+          info->idlePowerW * double(report.spanNs) +
+          (info->busyPowerW - info->idlePowerW) *
+              double(dev.engines[0].busyNs) +
+          info->transferNjPerByte * double(dev.dmaBytes);
+      dev.energyJ = energyNj * 1e-9;
+      dev.perfPerWatt =
+          dev.energyJ > 0.0 ? double(dev.kernelCycles) / dev.energyJ : 0.0;
+    }
     dmaBusyTotal += dev.dmaBusyNs;
     overlapTotal += dev.overlapNs;
     report.devices.push_back(std::move(dev));
   }
   report.overlapRatio =
       dmaBusyTotal == 0 ? 0.0 : double(overlapTotal) / double(dmaBusyTotal);
+
+  // --- per-node energy/work rollups --------------------------------------
+  {
+    std::map<std::uint32_t, NodeReport> nodes;
+    for (const DeviceReport& d : report.devices) {
+      NodeReport& node = nodes[d.node];
+      node.node = d.node;
+      ++node.devices;
+      node.computeBusyNs += d.engines[0].busyNs;
+      node.kernelCycles += d.kernelCycles;
+      node.energyJ += d.energyJ;
+    }
+    for (auto& [index, node] : nodes) {
+      node.perfPerWatt = node.energyJ > 0.0
+                             ? double(node.kernelCycles) / node.energyJ
+                             : 0.0;
+      report.totalEnergyJ += node.energyJ;
+      report.nodes.push_back(node);
+    }
+    std::uint64_t cyclesTotal = 0;
+    for (const NodeReport& node : report.nodes) {
+      cyclesTotal += node.kernelCycles;
+    }
+    report.perfPerWatt = report.totalEnergyJ > 0.0
+                             ? double(cyclesTotal) / report.totalEnergyJ
+                             : 0.0;
+  }
 
   // --- compute load balance ----------------------------------------------
   std::uint64_t computeTotal = 0, computeMax = 0;
@@ -246,6 +301,8 @@ Report analyze(const Trace& trace) {
     } else if (key.first == "sched_concurrent_jobs") {
       report.maxConcurrentJobs =
           std::max(report.maxConcurrentJobs, value);
+    } else if (key.first == "internode_bytes") {
+      report.internodeBytes += value;
     }
   }
   for (const HostSpanRecord& h : trace.hostSpans) {
@@ -325,15 +382,17 @@ std::string formatReport(const Report& report, std::size_t topN) {
   }
 
   out += "\nper-device engine utilization (busy% of device span)\n";
-  std::snprintf(line, sizeof(line), "%-28s %13s %13s %13s %9s %7s %8s\n",
+  std::snprintf(line, sizeof(line),
+                "%-4s %-28s %13s %13s %13s %9s %7s %8s %10s\n", "node",
                 "device", "compute", "h2d dma", "d2h dma", "overlap",
-                "load", "span ms");
+                "load", "span ms", "joules");
   out += line;
   for (const DeviceReport& d : report.devices) {
     std::snprintf(
         line, sizeof(line),
-        "%-28.28s %6s (%4llu) %6s (%4llu) %6s (%4llu) %8s %7s %8.3f\n",
-        (std::to_string(d.device) + ": " + d.name).c_str(),
+        "n%-3u %-28.28s %6s (%4llu) %6s (%4llu) %6s (%4llu) %8s %7s "
+        "%8.3f %10.3f\n",
+        d.node, (std::to_string(d.device) + ": " + d.name).c_str(),
         percent(d.engines[0].busyFraction).c_str(),
         (unsigned long long)d.engines[0].commands,
         percent(d.engines[1].busyFraction).c_str(),
@@ -341,7 +400,7 @@ std::string formatReport(const Report& report, std::size_t topN) {
         percent(d.engines[2].busyFraction).c_str(),
         (unsigned long long)d.engines[2].commands,
         percent(d.overlapRatio).c_str(), percent(d.loadShare).c_str(),
-        double(d.spanNs) * 1e-6);
+        double(d.spanNs) * 1e-6, d.energyJ);
     out += line;
   }
   std::snprintf(line, sizeof(line),
@@ -349,6 +408,31 @@ std::string formatReport(const Report& report, std::size_t topN) {
                 "compute load imbalance: %.1f%%\n",
                 report.overlapRatio, report.computeImbalance * 100.0);
   out += line;
+
+  if (report.totalEnergyJ > 0.0) {
+    out += "\nper-node energy (idle x span + (busy-idle) x compute busy "
+           "+ nJ/byte x DMA bytes)\n";
+    std::snprintf(line, sizeof(line), "%-4s %7s %14s %12s %10s %16s\n",
+                  "node", "devices", "compute ms", "joules", "watts",
+                  "cycles/joule");
+    out += line;
+    for (const NodeReport& n : report.nodes) {
+      const double watts = report.spanNs > 0
+                               ? n.energyJ / (double(report.spanNs) * 1e-9)
+                               : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "n%-3u %7u %14.3f %12.3f %10.1f %16.3e\n", n.node,
+                    n.devices, double(n.computeBusyNs) * 1e-6, n.energyJ,
+                    watts, n.perfPerWatt);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line),
+                  "total energy: %.3f J   perf-per-watt: %.3e cycles/J   "
+                  "cross-node traffic: %llu bytes\n",
+                  report.totalEnergyJ, report.perfPerWatt,
+                  (unsigned long long)report.internodeBytes);
+    out += line;
+  }
 
   out += "\ntop kernels (by engine time)\n";
   std::size_t shown = 0;

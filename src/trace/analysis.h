@@ -35,6 +35,7 @@ struct EngineReport {
 struct DeviceReport {
   std::uint32_t device = 0;
   std::string name;
+  std::uint32_t node = 0; // cluster node (from DeviceInfo; 0 if unknown)
   EngineReport engines[kEngineCount];
   std::uint64_t spanNs = 0;    // first start .. last end on this device
   std::uint64_t dmaBusyNs = 0; // union of both DMA engines
@@ -44,6 +45,28 @@ struct DeviceReport {
   /// perfectly balanced D-device run every share is 1/D; skew shows
   /// which devices carry the load.
   double loadShare = 0.0;
+  /// DMA payload bytes this device moved (H2D + D2H engine commands).
+  std::uint64_t dmaBytes = 0;
+  /// VM cycles this device's kernels retired.
+  std::uint64_t kernelCycles = 0;
+  /// Energy over the whole-trace makespan: the device idles at
+  /// DeviceInfo::idlePowerW for the full span, adds (busy - idle) watts
+  /// while its compute engine is busy, and pays transferNjPerByte per
+  /// DMA byte. Zero when the trace carries no power data (pre-v3 traces
+  /// or synthetic DeviceInfo-less traces).
+  double energyJ = 0.0;
+  /// kernelCycles / energyJ — cycles of useful work per joule.
+  double perfPerWatt = 0.0;
+};
+
+/// Rollup of one cluster node's devices.
+struct NodeReport {
+  std::uint32_t node = 0;
+  std::uint32_t devices = 0;
+  std::uint64_t computeBusyNs = 0;
+  std::uint64_t kernelCycles = 0;
+  double energyJ = 0.0;
+  double perfPerWatt = 0.0; // kernelCycles / energyJ
 };
 
 struct KernelReport {
@@ -67,6 +90,7 @@ struct TenantReport {
 
 struct Report {
   std::vector<DeviceReport> devices;
+  std::vector<NodeReport> nodes;     // one row per cluster node
   std::vector<KernelReport> kernels; // sorted by totalNs, descending
   std::vector<TenantReport> tenants; // sorted by name; empty: no service
   std::uint64_t spanNs = 0;          // whole-trace makespan
@@ -101,6 +125,14 @@ struct Report {
   std::uint64_t schedulerJobs = 0;
   std::uint64_t schedQueueWaitNs = 0;
   std::uint64_t maxConcurrentJobs = 0;
+  /// Bytes shipped across the simulated interconnect (cross-node peer
+  /// copies; from the "internode_bytes" counter). Zero on single-node
+  /// machines.
+  std::uint64_t internodeBytes = 0;
+  /// Whole-machine energy over the makespan (sum of device energyJ).
+  double totalEnergyJ = 0.0;
+  /// Whole-machine kernelCycles / totalEnergyJ.
+  double perfPerWatt = 0.0;
 };
 
 Report analyze(const Trace& trace);

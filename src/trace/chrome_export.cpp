@@ -68,9 +68,15 @@ std::string chromeJson(const Trace& trace) {
     appendMeta(out, "thread_name", 0, int(lane),
                "async job slot " + std::to_string(lane));
   }
+  bool multiNode = false;
   for (const DeviceInfo& d : trace.devices) {
+    multiNode = multiNode || d.node != 0;
+  }
+  for (const DeviceInfo& d : trace.devices) {
+    const std::string nodeTag =
+        multiNode ? "Node " + std::to_string(d.node) + " / " : "";
     appendMeta(out, "process_name", d.index + 1, -1,
-               "Device " + std::to_string(d.index) + ": " + d.name);
+               nodeTag + "Device " + std::to_string(d.index) + ": " + d.name);
     for (std::uint8_t e = 0; e < kEngineCount; ++e) {
       appendMeta(out, "thread_name", d.index + 1, e, engineLabel(e));
     }

@@ -34,10 +34,12 @@ void LoadMonitor::addKernel(std::uint32_t device, std::uint64_t cycles,
 
 void LoadMonitor::addTransfer(std::uint32_t device,
                               std::uint64_t bytes) noexcept {
-  (void)device;
   std::lock_guard lock(mutex_);
   if (activeTenant_ < tenants_.size()) {
     tenants_[activeTenant_].bytesMoved += bytes;
+  }
+  if (device < loads_.size()) {
+    loads_[device].bytesMoved += bytes;
   }
 }
 

@@ -34,6 +34,7 @@ struct DeviceLoad {
   std::uint64_t kernelCycles = 0;  // VM cycles across retired kernels
   std::uint64_t computeBusyNs = 0; // summed kernel durations (virtual ns)
   std::uint64_t launches = 0;
+  std::uint64_t bytesMoved = 0;    // H2D + D2H DMA payload bytes
 
   /// Observed throughput in cycles per busy nanosecond — the `measured`
   /// weight of this device. Zero when the device has not run a kernel.
@@ -67,8 +68,9 @@ public:
   void addKernel(std::uint32_t device, std::uint64_t cycles,
                  std::uint64_t durationNs) noexcept;
 
-  /// Accounts one retired DMA transfer's payload (tenant attribution
-  /// only; device engine busy time lives in the trace).
+  /// Accounts one retired DMA transfer's payload against the device and
+  /// the active tenant (engine busy time lives in the trace; the byte
+  /// total feeds live per-device energy estimates).
   void addTransfer(std::uint32_t device, std::uint64_t bytes) noexcept;
 
   /// Copies the current totals (index = device index).

@@ -29,6 +29,10 @@ std::vector<std::uint8_t> serialize(const Trace& trace) {
   for (const DeviceInfo& d : trace.devices) {
     w.write<std::uint32_t>(d.index);
     w.writeString(d.name);
+    w.write<std::uint32_t>(d.node);
+    w.write<double>(d.idlePowerW);
+    w.write<double>(d.busyPowerW);
+    w.write<double>(d.transferNjPerByte);
   }
   w.write<std::uint64_t>(trace.commands.size());
   for (const CommandRecord& c : trace.commands) {
@@ -89,6 +93,10 @@ Trace deserialize(const std::vector<std::uint8_t>& bytes) {
     DeviceInfo d;
     d.index = r.read<std::uint32_t>();
     d.name = r.readString();
+    d.node = r.read<std::uint32_t>();
+    d.idlePowerW = r.read<double>();
+    d.busyPowerW = r.read<double>();
+    d.transferNjPerByte = r.read<double>();
     trace.devices.push_back(std::move(d));
   }
   const auto nCommands = r.read<std::uint64_t>();

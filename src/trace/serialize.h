@@ -16,7 +16,9 @@
 namespace trace {
 
 /// v2: HostSpanRecord gained `lane` (host row for scheduler spans).
-inline constexpr std::uint32_t kBinaryVersion = 2;
+/// v3: DeviceInfo gained `node` and the power envelope (idle/busy watts,
+///     transfer nJ/byte) behind the cluster energy analysis.
+inline constexpr std::uint32_t kBinaryVersion = 3;
 
 std::vector<std::uint8_t> serialize(const Trace& trace);
 

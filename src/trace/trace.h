@@ -100,10 +100,17 @@ struct CounterRecord {
   std::uint64_t value = 0;
 };
 
-/// Identity of one simulated device, for pid labeling in exports.
+/// Identity of one simulated device: pid labeling in exports, plus the
+/// node placement and power envelope the energy analysis runs on
+/// (joules = idle x span + (busy - idle) x compute busy + nJ/byte x
+/// bytes moved; 1 W = 1 nJ/ns).
 struct DeviceInfo {
   std::uint32_t index = 0;
   std::string name;
+  std::uint32_t node = 0;         // cluster node hosting this device
+  double idlePowerW = 0.0;        // board power while idle
+  double busyPowerW = 0.0;        // board power with compute busy
+  double transferNjPerByte = 0.0; // DMA energy per byte moved
 };
 
 struct Trace {

@@ -284,6 +284,58 @@ TEST_F(OclEngines, InOrderQueueSerializesAcrossEngines) {
   EXPECT_GE(up.startNs(), k.endNs());
 }
 
+TEST_F(OclTiming, KernelDurationAccumulatesFractionalGroupCycles) {
+  // Regression: per-work-group truncation of sumCycles / pesPerUnit
+  // under-billed kernels whose groups are narrower than one CU's PE
+  // width. A synthetic 1-CU, 8-PE, 1 GHz device makes the arithmetic
+  // exact: 1000 groups of max(12/8, 1) = 1.5 cycles accumulate to 1500
+  // cycles, not the 1000 the truncating model charged.
+  ocl::DeviceSpec spec = ocl::DeviceSpec::teslaT10();
+  spec.computeUnits = 1;
+  spec.pesPerUnit = 8;
+  spec.clockGHz = 1.0;
+  spec.memBandwidthGBs = 1e9; // memory never the roofline here
+  const ocl::TimingModel model(spec, ocl::Backend::Cuda); // efficiency 1.0
+
+  clc::LaunchStats stats;
+  stats.groups.assign(1000, clc::GroupCost{12, 1});
+  const auto overhead =
+      ocl::BackendProfile::forBackend(ocl::Backend::Cuda).launchOverheadNs;
+  EXPECT_EQ(model.kernelDurationNs(stats), overhead + 1500u);
+
+  // Groups with sumCycles < pesPerUnit keep their fractional cost too:
+  // 100 groups of max(4/8, 0) = 0.5 cycles bill ceil(50) = 50 ns, where
+  // truncation charged zero.
+  stats.groups.assign(100, clc::GroupCost{4, 0});
+  EXPECT_EQ(model.kernelDurationNs(stats), overhead + 50u);
+}
+
+TEST_F(OclTiming, PeerCopyLegsOverlapInsteadOfSumming) {
+  // Regression: the staged cross-device copy charged src-D2H plus
+  // dst-H2D as a strict sum — the full PCIe latency and wire time
+  // twice. The legs pipeline: identical devices pay exactly one leg's
+  // latency + wire, the same as a single host transfer.
+  ocl::Context ctx({gpus_[0], gpus_[1]});
+  ocl::CommandQueue q0(gpus_[0]);
+  ocl::CommandQueue q1(gpus_[1]);
+  const std::size_t bytes = 4 << 20;
+  std::vector<char> data(bytes, 1);
+  ocl::Buffer src = ctx.createBuffer(gpus_[0], bytes);
+  ocl::Buffer dst = ctx.createBuffer(gpus_[1], bytes);
+  ocl::Event up = q0.enqueueWriteBuffer(src, 0, bytes, data.data());
+  ocl::Event copy = q1.enqueueCopyBuffer(src, 0, dst, 0, bytes, {up});
+
+  const ocl::TimingModel model(gpus_[0].spec(), ocl::Backend::OpenCL);
+  const std::uint64_t oneLeg = model.transferDurationNs(bytes);
+  EXPECT_EQ(copy.durationNs(), oneLeg);
+  EXPECT_LT(copy.durationNs(), 2 * oneLeg); // the old sum formula
+
+  // Both DMA engines are held for the copy's span: a follow-up upload
+  // to the destination cannot start before the copy ends.
+  ocl::Event next = q1.enqueueWriteBuffer(dst, 0, bytes, data.data());
+  EXPECT_GE(next.startNs(), copy.endNs());
+}
+
 TEST_F(OclTiming, MoreComputeUnitsRunFaster) {
   ocl::DeviceSpec big = ocl::DeviceSpec::teslaT10();
   ocl::DeviceSpec half = big;

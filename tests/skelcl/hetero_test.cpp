@@ -128,6 +128,32 @@ TEST(DeviceSpecParse, RejectsMalformedSpecs) {
   }
 }
 
+TEST(DeviceSpecScaled, ComposesIdempotentlyWithoutStackingSuffixes) {
+  // Regression: scaled() used to append " @Nx" on every call, so
+  // scaled(0.5).scaled(0.5) produced "name @0.5x @0.5x" and the factors
+  // compounded unpredictably with the parser's own scaling. The suffix
+  // now always reflects the single composed factor.
+  const ocl::DeviceSpec base = ocl::DeviceSpec::teslaT10();
+  const ocl::DeviceSpec half = base.scaled(0.5);
+  EXPECT_EQ(half.name, base.name + " @0.5x");
+  EXPECT_DOUBLE_EQ(half.scale, 0.5);
+
+  const ocl::DeviceSpec quarter = half.scaled(0.5);
+  EXPECT_EQ(quarter.name, base.name + " @0.25x");
+  EXPECT_DOUBLE_EQ(quarter.clockGHz, base.clockGHz * 0.25);
+  EXPECT_DOUBLE_EQ(quarter.memBandwidthGBs, base.memBandwidthGBs * 0.25);
+
+  // Scaling back to 1.0 restores the clean base spec, name and all.
+  const ocl::DeviceSpec roundTrip = half.scaled(2.0);
+  EXPECT_EQ(roundTrip.name, base.name);
+  EXPECT_DOUBLE_EQ(roundTrip.scale, 1.0);
+  EXPECT_DOUBLE_EQ(roundTrip.clockGHz, base.clockGHz);
+  EXPECT_DOUBLE_EQ(roundTrip.busyPowerW, base.busyPowerW);
+  // PCIe and idle power never scale with the chip.
+  EXPECT_DOUBLE_EQ(quarter.pcieBandwidthGBs, base.pcieBandwidthGBs);
+  EXPECT_DOUBLE_EQ(quarter.idlePowerW, base.idlePowerW);
+}
+
 // ---------------------------------------------------------------------
 // Runtime integration: weight modes, determinism, geometry alignment.
 // ---------------------------------------------------------------------

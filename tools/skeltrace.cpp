@@ -5,10 +5,14 @@
 //   skeltrace --check <ooo> <ser>      assert the out-of-order trace
 //                                      overlaps transfers with compute and
 //                                      the serialized one does not
+//   skeltrace --check-cluster <trace>  assert the trace shows real
+//                                      cross-node traffic and that the
+//                                      energy ledger reconciles
 //
 // Report mode reads the compact binary format (and also accepts a path
 // that fails binary parsing only if it was written as binary). --check is
 // what the perf-smoke suite runs over bench_ablation_overlap's traces.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,7 +30,8 @@ int usage() {
       stderr,
       "usage: skeltrace [--top N] <trace>\n"
       "       skeltrace --json <trace> [-o <out.json>]\n"
-      "       skeltrace --check <overlapped.trace> <serialized.trace>\n");
+      "       skeltrace --check <overlapped.trace> <serialized.trace>\n"
+      "       skeltrace --check-cluster <cluster.trace>\n");
   return 2;
 }
 
@@ -87,6 +92,90 @@ int check(const std::string& oooPath, const std::string& serPath) {
   return ok ? 0 : 1;
 }
 
+/// The cluster contract, run over bench_cluster's multi-node trace:
+///  * the machine really had >= 2 nodes;
+///  * cross-node traffic flowed, and the "internode_bytes" counter agrees
+///    byte-for-byte with the copy_node_in commands it summarizes;
+///  * the energy ledger reconciles: per-node joules sum to the machine
+///    total, and an independent recompute from DeviceInfo power envelopes
+///    x busy time x DMA bytes lands within 1% of the analyzer's answer.
+int checkCluster(const std::string& path) {
+  const trace::Trace t = load(path);
+  const trace::Report r = trace::analyze(t);
+  bool ok = true;
+
+  if (r.nodes.size() < 2) {
+    std::fprintf(stderr, "FAIL: trace spans %zu node(s); expected >= 2\n",
+                 r.nodes.size());
+    ok = false;
+  }
+
+  std::uint64_t nodeInBytes = 0;
+  for (const trace::CommandRecord& c : t.commands) {
+    if (t.str(c.name) == "copy_node_in") {
+      nodeInBytes += c.bytes;
+    }
+  }
+  if (r.internodeBytes == 0) {
+    std::fprintf(stderr, "FAIL: no cross-node traffic recorded\n");
+    ok = false;
+  } else if (r.internodeBytes != nodeInBytes) {
+    std::fprintf(stderr,
+                 "FAIL: internode_bytes counter (%llu) != summed "
+                 "copy_node_in bytes (%llu)\n",
+                 (unsigned long long)r.internodeBytes,
+                 (unsigned long long)nodeInBytes);
+    ok = false;
+  }
+
+  double nodeSumJ = 0.0;
+  for (const trace::NodeReport& n : r.nodes) {
+    nodeSumJ += n.energyJ;
+  }
+  // Devices that never ran a command carry no energy in the report;
+  // recompute over the active set only, on the same whole-span idle
+  // basis the analyzer documents.
+  double recomputedNj = 0.0;
+  for (const trace::DeviceReport& d : r.devices) {
+    for (const trace::DeviceInfo& info : t.devices) {
+      if (info.index == d.device) {
+        recomputedNj +=
+            info.idlePowerW * double(r.spanNs) +
+            (info.busyPowerW - info.idlePowerW) *
+                double(d.engines[0].busyNs) +
+            info.transferNjPerByte * double(d.dmaBytes);
+      }
+    }
+  }
+  const double recomputedJ = recomputedNj * 1e-9;
+  if (!(r.totalEnergyJ > 0.0)) {
+    std::fprintf(stderr, "FAIL: trace carries no energy data\n");
+    ok = false;
+  } else {
+    if (std::abs(nodeSumJ - r.totalEnergyJ) > 0.01 * r.totalEnergyJ) {
+      std::fprintf(stderr,
+                   "FAIL: per-node energy (%.3f J) does not sum to the "
+                   "machine total (%.3f J)\n",
+                   nodeSumJ, r.totalEnergyJ);
+      ok = false;
+    }
+    if (std::abs(recomputedJ - r.totalEnergyJ) > 0.01 * r.totalEnergyJ) {
+      std::fprintf(stderr,
+                   "FAIL: independent energy recompute (%.3f J) is more "
+                   "than 1%% from the analyzer total (%.3f J)\n",
+                   recomputedJ, r.totalEnergyJ);
+      ok = false;
+    }
+  }
+
+  std::printf("nodes %zu  internode bytes %llu  energy %.3f J  "
+              "perf-per-watt %.3e cycles/J\n",
+              r.nodes.size(), (unsigned long long)r.internodeBytes,
+              r.totalEnergyJ, r.perfPerWatt);
+  std::puts(ok ? "CHECK PASSED" : "CHECK FAILED");
+  return ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +189,8 @@ int main(int argc, char** argv) {
       mode = "json";
     } else if (arg == "--check") {
       mode = "check";
+    } else if (arg == "--check-cluster") {
+      mode = "check-cluster";
     } else if (arg == "-o" && i + 1 < argc) {
       out = argv[++i];
     } else if (arg == "--top" && i + 1 < argc) {
@@ -124,6 +215,9 @@ int main(int argc, char** argv) {
     }
     if (paths.size() != 1) {
       return usage();
+    }
+    if (mode == "check-cluster") {
+      return checkCluster(paths[0]);
     }
     if (mode == "json") {
       return toJson(paths[0], out);
